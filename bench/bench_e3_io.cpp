@@ -1,0 +1,263 @@
+// E3 — Fast I/O without inefficient polling (§2).
+//
+// A NIC receives an open-loop Poisson request stream; a server processes
+// each frame (fixed per-request work). Three designs:
+//   baseline interrupt : NIC IRQ -> handler wakes the server thread
+//   baseline polling   : the server spins on the RX tail, burning the core
+//   htm blocking       : a hardware thread mwaits on the RX tail
+// Reported per offered load: achieved throughput, p50/p99 sojourn (frame
+// arrival -> processing complete), and the fraction of core cycles wasted
+// (busy but not doing request work).
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/baseline/baseline_machine.h"
+#include "src/cpu/machine.h"
+#include "src/dev/nic.h"
+#include "src/runtime/rpc.h"
+#include "src/sim/stats.h"
+#include "src/workload/loadgen.h"
+
+using namespace casc;
+
+namespace {
+
+constexpr Tick kService = 600;      // per-request work, cycles
+constexpr Tick kDuration = 1'200'000;
+constexpr Addr kRegion = 0x02000000;
+
+struct RunResult {
+  double throughput_per_mcycle = 0;
+  Histogram sojourn;
+  double wasted_frac = 0;
+  uint64_t drops = 0;
+};
+
+std::vector<uint8_t> MakeFrame(uint64_t req_id) {
+  std::vector<uint8_t> f(64, 0);
+  std::memcpy(f.data(), &req_id, 8);
+  return f;
+}
+
+RunResult RunHtmBlocking(double load) {
+  Machine m;
+  Nic nic(m.sim(), m.mem(), NicConfig{});
+  const NicRings rings = SetupNicRings(m.mem(), nic, kRegion);
+  LatencyRecorder rec;
+  const Ptid server = m.BindNative(
+      0, 0,
+      [&](GuestContext& ctx) -> GuestTask {
+        uint64_t seen = 0;
+        co_await ctx.Monitor(rings.rx_tail);
+        for (;;) {
+          const uint64_t tail = co_await ctx.Load(rings.rx_tail);
+          while (seen < tail) {
+            const Addr buf = rings.rx_bufs + (seen % rings.entries) * 2048;
+            const uint64_t req_id = co_await ctx.Load(buf);
+            co_await ctx.Compute(kService);
+            rec.OnReceive(req_id, m.sim().now());
+            seen++;
+            co_await ctx.Store(nic.config().mmio_base + kNicRxHead, seen);
+          }
+          co_await ctx.Mwait();
+        }
+      },
+      true);
+  m.Start(server);
+  m.RunFor(1000);
+  OpenLoopSource src(m.sim(), kService / load, ServiceDist::Fixed(kService),
+                     [&](uint64_t id, Tick) {
+                       rec.OnSend(id, m.sim().now(), kService);
+                       nic.InjectFrame(MakeFrame(id));
+                     });
+  const Tick t0 = m.sim().now();
+  src.StartAt(t0 + 1);
+  m.RunFor(kDuration);
+  src.Stop();
+  m.RunFor(100000);
+  RunResult r;
+  r.sojourn = rec.latency();
+  r.throughput_per_mcycle = 1e6 * static_cast<double>(rec.completed()) / kDuration;
+  const double busy = static_cast<double>(m.sim().stats().GetCounter("cpu.core0.active_cycles"));
+  const double useful = static_cast<double>(rec.completed()) * kService;
+  r.wasted_frac = busy > useful ? (busy - useful) / kDuration : 0;
+  r.drops = nic.rx_dropped();
+  return r;
+}
+
+RunResult RunBaseline(double load, bool polling) {
+  BaselineMachine m;
+  Nic nic(m.sim(), m.mem(), NicConfig{}, &m.cpu(0));
+  const NicRings rings = SetupNicRings(m.mem(), nic, kRegion);
+  if (!polling) {
+    m.mem().Write(0, nic.config().mmio_base + kNicIrqEnable, 8, 1);
+  }
+  LatencyRecorder rec;
+  SoftThread* server = nullptr;
+  uint64_t seen = 0;
+  bool irq_pending = false;  // edge-trigger re-check (NAPI-style) to avoid lost wakeups
+  server = m.cpu(0).Spawn("server", [&](SoftContext& ctx) -> GuestTask {
+    for (;;) {
+      const uint64_t tail = co_await ctx.Load(rings.rx_tail);
+      if (seen == tail) {
+        if (polling) {
+          continue;  // spin on the tail — burns the core
+        }
+        if (irq_pending) {
+          irq_pending = false;
+          continue;
+        }
+        co_await ctx.Block();  // sleep until the IRQ handler wakes us
+        continue;
+      }
+      while (seen < co_await ctx.Load(rings.rx_tail)) {
+        const Addr buf = rings.rx_bufs + (seen % rings.entries) * 2048;
+        const uint64_t req_id = co_await ctx.Load(buf);
+        co_await ctx.Compute(kService);
+        rec.OnReceive(req_id, m.sim().now());
+        seen++;
+        co_await ctx.Store(nic.config().mmio_base + kNicRxHead, seen);
+      }
+    }
+  });
+  if (!polling) {
+    m.cpu(0).SetIrqHandler(nic.config().irq_vector, [&] {
+      irq_pending = true;
+      m.cpu(0).Wake(server);
+      return 200;  // driver top half
+    });
+  }
+  m.RunFor(1000);
+  OpenLoopSource src(m.sim(), kService / load, ServiceDist::Fixed(kService),
+                     [&](uint64_t id, Tick) {
+                       rec.OnSend(id, m.sim().now(), kService);
+                       nic.InjectFrame(MakeFrame(id));
+                     });
+  const Tick t0 = m.sim().now();
+  src.StartAt(t0 + 1);
+  m.RunFor(kDuration);
+  src.Stop();
+  m.RunFor(200000);
+  RunResult r;
+  r.sojourn = rec.latency();
+  r.throughput_per_mcycle = 1e6 * static_cast<double>(rec.completed()) / kDuration;
+  const double busy =
+      static_cast<double>(m.sim().stats().GetCounter("baseline.cpu0.busy_cycles"));
+  const double useful = static_cast<double>(rec.completed()) * kService;
+  r.wasted_frac = busy > useful ? (busy - useful) / (kDuration + 200000.0) : 0;
+  r.drops = nic.rx_dropped();
+  return r;
+}
+
+// Multi-queue (RSS) scaling: `queues` blocked worker threads, one per RX
+// queue, on one core with smt_width = queues; offered load is expressed as a
+// multiple of ONE worker's capacity.
+RunResult RunHtmMultiQueue(uint32_t queues, double load_of_one) {
+  MachineConfig mc;
+  mc.hwt.smt_width = queues;  // enough issue slots to realize the parallelism
+  Machine m(mc);
+  NicConfig ncfg;
+  ncfg.num_rx_queues = queues;
+  Nic nic(m.sim(), m.mem(), ncfg);
+  LatencyRecorder rec;
+  // Configure each queue's ring + tail and bind one worker per queue.
+  for (uint32_t q = 0; q < queues; q++) {
+    const Addr ring = kRegion + q * 0x100000;
+    const Addr bufs = ring + 0x8000;
+    const Addr tail = ring + 0x4000;
+    for (uint64_t i = 0; i < 256; i++) {
+      const Addr buf = bufs + i * 2048;
+      uint8_t raw[16] = {};
+      std::memcpy(raw, &buf, 8);
+      m.mem().phys().Write(ring + i * 16, raw, 16);
+    }
+    const Addr regs =
+        q == 0 ? ncfg.mmio_base : ncfg.mmio_base + kNicRegSpan + (q - 1) * kNicRxQueueSpan;
+    m.mem().Write(0, regs + 0x00, 8, ring);
+    m.mem().Write(0, regs + 0x08, 8, 256);
+    m.mem().Write(0, regs + 0x10, 8, tail);
+    const Addr head_reg = q == 0 ? ncfg.mmio_base + kNicRxHead : regs + 0x18;
+    const Ptid worker = m.BindNative(
+        0, q,
+        [&m, &rec, bufs, tail, head_reg](GuestContext& ctx) -> GuestTask {
+          uint64_t seen = 0;
+          co_await ctx.Monitor(tail);
+          for (;;) {
+            const uint64_t t = co_await ctx.Load(tail);
+            while (seen < t) {
+              const Addr buf = bufs + (seen % 256) * 2048;
+              const uint64_t req_id = co_await ctx.Load(buf);
+              co_await ctx.Compute(kService);
+              rec.OnReceive(req_id, m.sim().now());
+              seen++;
+              co_await ctx.Store(head_reg, seen);
+            }
+            co_await ctx.Mwait();
+          }
+        },
+        true);
+    m.Start(worker);
+  }
+  m.RunFor(1000);
+  OpenLoopSource src(m.sim(), kService / load_of_one, ServiceDist::Fixed(kService),
+                     [&](uint64_t id, Tick) {
+                       rec.OnSend(id, m.sim().now(), kService);
+                       nic.InjectFrame(MakeFrame(id));  // RSS steers by req id
+                     });
+  src.StartAt(m.sim().now() + 1);
+  m.RunFor(kDuration);
+  src.Stop();
+  m.RunFor(200000);
+  RunResult r;
+  r.sojourn = rec.latency();
+  r.throughput_per_mcycle = 1e6 * static_cast<double>(rec.completed()) / kDuration;
+  r.drops = nic.rx_dropped();
+  return r;
+}
+
+void Report(Table& t, const char* design, double load, const RunResult& r) {
+  char loadbuf[16];
+  std::snprintf(loadbuf, sizeof(loadbuf), "%.1f", load);
+  t.Row(design, loadbuf, r.throughput_per_mcycle, (unsigned long long)r.sojourn.P50(),
+        (unsigned long long)r.sojourn.P99(), r.wasted_frac, (unsigned long long)r.drops);
+}
+
+}  // namespace
+
+int main() {
+  Banner("E3", "I/O notification under load: interrupt vs polling vs blocking threads",
+         "\"polling is unnecessary; ... threads wait on I/O events, letting other threads "
+         "run until there is I/O activity\" — high throughput AND low latency (§2)");
+
+  Table t({"design", "load", "req/Mcyc", "p50 sojourn", "p99 sojourn", "wasted core frac",
+           "drops"});
+  for (double load : {0.2, 0.5, 0.8}) {
+    Report(t, "baseline interrupt", load, RunBaseline(load, false));
+    Report(t, "baseline polling", load, RunBaseline(load, true));
+    Report(t, "htm blocking", load, RunHtmBlocking(load));
+  }
+  t.Print();
+
+  std::printf(
+      "\nmulti-queue (RSS) scaling at 1.6x one worker's capacity — the load a\n"
+      "single thread cannot absorb:\n");
+  Table mq({"design", "offered (x1 worker)", "req/Mcyc", "p50 sojourn", "p99 sojourn",
+            "drops"});
+  for (uint32_t queues : {1u, 2u, 4u}) {
+    const RunResult r = RunHtmMultiQueue(queues, 1.6);
+    char label[48];
+    std::snprintf(label, sizeof(label), "htm blocking, %u rx queue%s", queues,
+                  queues == 1 ? "" : "s");
+    mq.Row(label, "1.6", r.throughput_per_mcycle, (unsigned long long)r.sojourn.P50(),
+           (unsigned long long)r.sojourn.P99(), (unsigned long long)r.drops);
+  }
+  mq.Print();
+
+  std::printf(
+      "\nshape check: polling matches htm latency but wastes ~the whole idle\n"
+      "fraction of the core; interrupts free the core but pay IRQ+wakeup+\n"
+      "dispatch on every quiet-period arrival (worst at low load). htm blocking\n"
+      "gets both: near-zero waste and interrupt-free latency.\n");
+  return 0;
+}

@@ -1,0 +1,242 @@
+// E6 — Microkernel IPC (§2 "Faster Microkernels and Container Proxies").
+//
+// Round-trip app <-> service calls with a payload copy, comparing:
+//   baseline kernel-mediated IPC : syscall into the kernel, wake the service
+//                                  thread, block the caller (2 context
+//                                  switches + 2 mode switches each way)
+//   htm channel IPC (same core)  : doorbell store wakes the service thread
+//   htm direct-start IPC         : caller `start`s the service (XPC-like)
+//   htm channel IPC (cross-core) : service pinned to another core
+// Swept over payload sizes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/baseline_machine.h"
+#include "src/cpu/machine.h"
+#include "src/runtime/services.h"
+#include "src/runtime/syscall_layer.h"
+
+using namespace casc;
+
+namespace {
+
+constexpr int kCalls = 200;
+constexpr Addr kReqBuf = 0x00800000;
+constexpr Addr kRespBuf = 0x00810000;
+constexpr Tick kServiceWork = 100;
+
+template <typename Ctx>
+GuestTask CopyBytes(Ctx& ctx, Addr src, Addr dst, uint32_t len) {
+  for (uint32_t off = 0; off < len; off += 8) {
+    const uint64_t v = co_await ctx.Load(src + off);
+    co_await ctx.Store(dst + off, v);
+  }
+}
+
+double BaselineIpc(uint32_t payload) {
+  BaselineMachine m;
+  SoftThread* app = nullptr;
+  SoftThread* service = nullptr;
+  Tick done = 0;
+  int pending = 0;  // requests queued for the service
+  app = m.cpu(0).Spawn(
+      "app",
+      [&](SoftContext& ctx) -> GuestTask {
+        for (int i = 0; i < kCalls; i++) {
+          co_await ctx.EnterKernel();           // send() syscall
+          if (payload > 0) {
+            co_await ctx.Call(CopyBytes(ctx, kReqBuf, kRespBuf, payload));  // copy to service
+          }
+          pending++;
+          m.cpu(0).Wake(service);
+          co_await ctx.Block();                 // wait for reply (context switch)
+          co_await ctx.ExitKernel();
+        }
+      },
+      [&] { done = m.sim().now(); });
+  service = m.cpu(0).Spawn("service", [&](SoftContext& ctx) -> GuestTask {
+    for (;;) {
+      if (pending == 0) {
+        co_await ctx.Block();
+        continue;
+      }
+      pending--;
+      co_await ctx.Compute(kServiceWork);
+      if (payload > 0) {
+        co_await ctx.Call(CopyBytes(ctx, kRespBuf, kReqBuf, payload));  // reply copy
+      }
+      co_await ctx.EnterKernel();  // reply() syscall
+      m.cpu(0).Wake(app);
+      co_await ctx.ExitKernel();
+    }
+  });
+  m.RunToQuiescence();
+  return static_cast<double>(done) / kCalls;
+}
+
+double HtmIpc(uint32_t payload, bool direct_start, bool cross_core) {
+  MachineConfig mc;
+  mc.num_cores = cross_core ? 2 : 1;
+  Machine m(mc);
+  const Channel ch{0x00400000};
+  auto handler = [payload](GuestContext& c, const SyscallRequest&, uint64_t* ret) -> GuestTask {
+    co_await c.Compute(kServiceWork);
+    if (payload > 0) {
+      co_await c.Call(CopyBytes(c, kRespBuf, kReqBuf, payload));
+    }
+    *ret = 0;
+  };
+  const CoreId service_core = cross_core ? 1 : 0;
+  const Ptid service =
+      direct_start
+          ? m.BindNative(service_core, 2, MakeIpcCallee(ch, handler), /*supervisor=*/true)
+          : m.BindNative(service_core, 2, MakeSyscallServer(ch, handler), /*supervisor=*/true);
+  const Vtid service_vtid = m.threads().PtidOf(service_core, 2);
+  if (!direct_start) {
+    m.Start(service);
+  }
+  Tick done = 0;
+  const Ptid app = m.BindNative(
+      0, 0,
+      [&, service_vtid](GuestContext& ctx) -> GuestTask {
+        for (int i = 0; i < kCalls; i++) {
+          if (payload > 0) {
+            co_await ctx.Call(CopyBytes(ctx, kReqBuf, kRespBuf, payload));
+          }
+          uint64_t ret = 0;
+          if (direct_start) {
+            co_await ctx.Call(IpcCall(ctx, ch, service_vtid, {.nr = 1}, &ret));
+          } else {
+            co_await ctx.Call(SyscallCall(ctx, ch, {.nr = 1}, &ret));
+          }
+        }
+        done = co_await ctx.ReadCsr(Csr::kCycle);
+      },
+      /*supervisor=*/true);
+  m.Start(app);
+  m.RunToQuiescence();
+  return static_cast<double>(done) / kCalls;
+}
+
+// Container-proxy chain: app -> proxy (policy work) -> service and back.
+double HtmProxied() {
+  Machine m;
+  const Channel app_ch{0x00400000};
+  const Channel svc_ch{0x00410000};
+  const Ptid service = m.BindNative(
+      0, 3,
+      MakeSyscallServer(svc_ch,
+                        [](GuestContext& c, const SyscallRequest&, uint64_t* ret) -> GuestTask {
+                          co_await c.Compute(kServiceWork);
+                          *ret = 1;
+                        }),
+      true);
+  const Ptid proxy =
+      m.BindNative(0, 2, MakeSyscallServer(app_ch, MakeProxyHandler(svc_ch, 80)), true);
+  Tick done = 0;
+  const Ptid app = m.BindNative(
+      0, 0,
+      [&](GuestContext& ctx) -> GuestTask {
+        for (int i = 0; i < kCalls; i++) {
+          uint64_t ret = 0;
+          co_await ctx.Call(SyscallCall(ctx, app_ch, {.nr = 1}, &ret));
+        }
+        done = co_await ctx.ReadCsr(Csr::kCycle);
+      },
+      false);
+  m.Start(service);
+  m.Start(proxy);
+  m.Start(app);
+  m.RunToQuiescence();
+  return static_cast<double>(done) / kCalls;
+}
+
+double BaselineProxied() {
+  BaselineMachine m;
+  SoftThread* app = nullptr;
+  SoftThread* proxy = nullptr;
+  SoftThread* service = nullptr;
+  Tick done = 0;
+  int to_proxy = 0;
+  int to_service = 0;
+  app = m.cpu(0).Spawn(
+      "app",
+      [&](SoftContext& ctx) -> GuestTask {
+        for (int i = 0; i < kCalls; i++) {
+          co_await ctx.EnterKernel();
+          to_proxy++;
+          m.cpu(0).Wake(proxy);
+          co_await ctx.Block();
+          co_await ctx.ExitKernel();
+        }
+      },
+      [&] { done = m.sim().now(); });
+  proxy = m.cpu(0).Spawn("proxy", [&](SoftContext& ctx) -> GuestTask {
+    for (;;) {
+      if (to_proxy == 0) {
+        co_await ctx.Block();
+        continue;
+      }
+      to_proxy--;
+      co_await ctx.Compute(80);  // policy work
+      co_await ctx.EnterKernel();
+      to_service++;
+      m.cpu(0).Wake(service);
+      co_await ctx.Block();  // wait for the service's reply
+      co_await ctx.ExitKernel();
+      co_await ctx.EnterKernel();
+      m.cpu(0).Wake(app);
+      co_await ctx.ExitKernel();
+    }
+  });
+  service = m.cpu(0).Spawn("service", [&](SoftContext& ctx) -> GuestTask {
+    for (;;) {
+      if (to_service == 0) {
+        co_await ctx.Block();
+        continue;
+      }
+      to_service--;
+      co_await ctx.Compute(kServiceWork);
+      co_await ctx.EnterKernel();
+      m.cpu(0).Wake(proxy);
+      co_await ctx.ExitKernel();
+    }
+  });
+  m.RunToQuiescence();
+  return static_cast<double>(done) / kCalls;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E6", "Microkernel IPC round trips vs payload size",
+         "\"it can directly start the service's hardware thread achieving the same result "
+         "as XPC ... no need to move into kernel space and invoke the scheduler\" (§2)");
+
+  Table t({"payload B", "baseline kernel IPC", "htm channel", "htm direct-start",
+           "htm cross-core", "speedup"});
+  for (uint32_t payload : {0u, 64u, 256u, 1024u}) {
+    const double base = BaselineIpc(payload);
+    const double channel = HtmIpc(payload, false, false);
+    const double direct = HtmIpc(payload, true, false);
+    const double cross = HtmIpc(payload, false, true);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx", base / std::min(channel, direct));
+    t.Row(payload, base, channel, direct, cross, speedup);
+  }
+  t.Print();
+
+  std::printf("\ncontainer-proxy chain (app -> proxy policy -> service), 0 B payload:\n");
+  Table proxy_table({"design", "cycles/request", "ns/request"});
+  const double hp = HtmProxied();
+  const double bp = BaselineProxied();
+  proxy_table.Row("htm proxied chain", hp, ToNs(static_cast<Tick>(hp)));
+  proxy_table.Row("baseline proxied chain", bp, ToNs(static_cast<Tick>(bp)));
+  proxy_table.Print();
+
+  std::printf(
+      "\nshape check: htm IPC should win big at small payloads (the fixed kernel+\n"
+      "scheduler cost dominates) and converge as the copy cost takes over —\n"
+      "exactly why container proxies and microkernel services benefit most.\n");
+  return 0;
+}

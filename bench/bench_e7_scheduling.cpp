@@ -1,0 +1,181 @@
+// E7 — Processor sharing + thread-per-request vs software scheduling (§4).
+//
+// Open-loop requests with configurable service-time variability are served
+// one thread per request:
+//   htm PS          : each request runs on its own hardware thread; the
+//                     core's fine-grain RR emulates processor sharing with
+//                     ~zero switch cost
+//   baseline FCFS   : run-to-completion software threads (quantum = 0)
+//   baseline RR 10us: timesliced software threads paying real context-switch
+//                     costs on every quantum
+// Reported: p99 slowdown (sojourn / service) and mean sojourn per
+// distribution and load. The paper: "PS scheduling with thread-per-request
+// will actually provide superior performance for server workloads with high
+// execution-time variability [46, 80]".
+#include <cstdio>
+#include <deque>
+
+#include "bench/bench_util.h"
+#include "src/baseline/baseline_machine.h"
+#include "src/cpu/machine.h"
+#include "src/workload/loadgen.h"
+
+using namespace casc;
+
+namespace {
+
+constexpr Tick kMeanService = 1000;
+constexpr Tick kDuration = 1'000'000;
+constexpr Addr kMboxBase = 0x02000000;
+
+struct RunResult {
+  Histogram slowdown;
+  Histogram sojourn;
+  uint64_t completed = 0;
+};
+
+// htm: a pool of worker hardware threads; the host (standing in for the
+// NIC/dispatcher measured separately in E3/E9) writes one mailbox line per
+// request, waking a parked worker.
+RunResult RunHtmPs(const ServiceDist& dist, double load, uint32_t smt_width) {
+  MachineConfig cfg;
+  cfg.hwt.threads_per_core = 128;
+  cfg.hwt.smt_width = smt_width;
+  cfg.hwt.rf_slots = 32;
+  cfg.hwt.l2_slots = 64;
+  cfg.hwt.l3_slots = 128;
+  Machine m(cfg);
+  constexpr uint32_t kWorkers = 96;
+  LatencyRecorder rec;
+  std::vector<uint32_t> idle;
+  std::deque<std::pair<uint64_t, Tick>> backlog;
+  auto mbox = [](uint32_t w) { return kMboxBase + w * 64; };
+
+  std::function<void(uint32_t, uint64_t, Tick)> assign = [&](uint32_t w, uint64_t id,
+                                                             Tick service) {
+    uint8_t buf[24];
+    memcpy(buf, &id, 8);
+    memcpy(buf + 8, &service, 8);
+    static uint64_t seq = 0;
+    seq++;
+    memcpy(buf + 16, &seq, 8);
+    m.mem().DmaWrite(mbox(w), buf, sizeof(buf));
+  };
+
+  for (uint32_t w = 0; w < kWorkers; w++) {
+    const Ptid p = m.BindNative(
+        0, w,
+        [&, w](GuestContext& ctx) -> GuestTask {
+          co_await ctx.Monitor(mbox(w));
+          for (;;) {
+            co_await ctx.Mwait();
+            const uint64_t id = co_await ctx.Load(mbox(w));
+            const uint64_t service = co_await ctx.Load(mbox(w) + 8);
+            co_await ctx.Compute(service);
+            rec.OnReceive(id, m.sim().now());
+            if (!backlog.empty()) {
+              const auto [bid, bsvc] = backlog.front();
+              backlog.pop_front();
+              assign(w, bid, bsvc);
+            } else {
+              idle.push_back(w);
+            }
+          }
+        },
+        true);
+    m.Start(p);
+  }
+  m.RunFor(5000);  // workers park
+  for (uint32_t w = 0; w < kWorkers; w++) {
+    idle.push_back(w);
+  }
+  idle.clear();
+  for (uint32_t w = 0; w < kWorkers; w++) {
+    idle.push_back(w);
+  }
+
+  OpenLoopSource src(m.sim(), static_cast<double>(kMeanService) / load / smt_width, dist,
+                     [&](uint64_t id, Tick service) {
+                       rec.OnSend(id, m.sim().now(), service);
+                       if (!idle.empty()) {
+                         const uint32_t w = idle.back();
+                         idle.pop_back();
+                         assign(w, id, service);
+                       } else {
+                         backlog.push_back({id, service});
+                       }
+                     });
+  src.StartAt(m.sim().now() + 1);
+  m.RunFor(kDuration);
+  src.Stop();
+  m.RunFor(300000);
+  RunResult r;
+  r.slowdown = rec.slowdown();
+  r.sojourn = rec.latency();
+  r.completed = rec.completed();
+  return r;
+}
+
+RunResult RunBaseline(const ServiceDist& dist, double load, Tick quantum) {
+  BaselineMachineConfig cfg;
+  cfg.cpu.quantum = quantum;
+  BaselineMachine m(cfg);
+  LatencyRecorder rec;
+  OpenLoopSource src(m.sim(), static_cast<double>(kMeanService) / load, dist,
+                     [&](uint64_t id, Tick service) {
+                       rec.OnSend(id, m.sim().now(), service);
+                       // Thread-per-request in software: spawn costs a
+                       // dispatch through the runqueue.
+                       m.cpu(0).Spawn(
+                           "req",
+                           [service](SoftContext& ctx) -> GuestTask {
+                             co_await ctx.Compute(service);
+                           },
+                           [&rec, id, &m] { rec.OnReceive(id, m.sim().now()); });
+                     });
+  src.StartAt(1);
+  m.RunFor(kDuration);
+  src.Stop();
+  m.RunFor(300000);
+  RunResult r;
+  r.slowdown = rec.slowdown();
+  r.sojourn = rec.latency();
+  r.completed = rec.completed();
+  return r;
+}
+
+void Report(Table& t, const char* dist, double load, const char* design, const RunResult& r) {
+  char loadbuf[16];
+  std::snprintf(loadbuf, sizeof(loadbuf), "%.1f", load);
+  t.Row(dist, loadbuf, design, (unsigned long long)r.sojourn.P50(),
+        (unsigned long long)r.sojourn.P99(), (unsigned long long)r.slowdown.P99(),
+        (unsigned long long)r.completed);
+}
+
+}  // namespace
+
+int main() {
+  Banner("E7", "Scheduling under service-time variability: PS vs FCFS vs software RR",
+         "fine-grain RR emulates processor sharing; with thread-per-request it is "
+         "\"superior ... for server workloads with high execution-time variability\" (§4)");
+
+  Table t({"service dist", "load", "design", "p50 sojourn", "p99 sojourn", "p99 slowdown",
+           "completed"});
+  for (const char* dist_name : {"fixed", "exp", "bimodal"}) {
+    for (double load : {0.4, 0.7}) {
+      const ServiceDist dist = ServiceDist::Parse(dist_name, kMeanService);
+      Report(t, dist_name, load, "htm PS (thread/request)", RunHtmPs(dist, load, 1));
+      Report(t, dist_name, load, "baseline FCFS", RunBaseline(dist, load, 0));
+      Report(t, dist_name, load, "baseline RR 10us", RunBaseline(dist, load, 30000));
+    }
+  }
+  t.Print();
+
+  std::printf(
+      "\nshape check: with fixed service times FCFS is fine (PS buys nothing);\n"
+      "as variability grows (exp -> bimodal) FCFS p99 slowdown explodes because\n"
+      "short requests queue behind long ones, while htm PS keeps slowdown low\n"
+      "and flat. Software RR sits between: it approximates PS but pays a real\n"
+      "context switch every quantum.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E8 — On-chip capacity bounds the practical thread count (§4).
+//
+// Fixed context-store tiers (RF / L2-slot / L3-slot), growing thread counts.
+// The host wakes parked worker threads in round-robin order (the worst case
+// for any recency-based placement); each worker runs briefly and parks.
+// Reported per thread count: mean and p99 wake-to-run latency, and where the
+// restores came from. "The on-chip capacity will serve as the upper bound on
+// the number of threads a CPU can support" — but degradation is graceful.
+#include <cstdio>
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "src/cpu/machine.h"
+#include "src/sim/stats.h"
+
+using namespace casc;
+
+namespace {
+
+constexpr Addr kMboxBase = 0x02000000;
+constexpr Tick kGap = 600;  // cycles between wakes (isolated wakeups)
+
+struct RunResult {
+  Histogram wake_latency;
+  uint64_t rf = 0;
+  uint64_t l2 = 0;
+  uint64_t l3 = 0;
+  uint64_t dram = 0;
+};
+
+RunResult Run(uint32_t num_threads) {
+  MachineConfig cfg;
+  cfg.hwt.threads_per_core = std::max(num_threads, 16u);
+  cfg.hwt.rf_slots = 16;
+  cfg.hwt.l2_slots = 64;
+  cfg.hwt.l3_slots = 256;
+  Machine m(cfg);
+  auto mbox = [](uint32_t w) { return kMboxBase + w * 64; };
+  std::vector<Tick> woken_at(num_threads, 0);
+  RunResult r;
+  for (uint32_t w = 0; w < num_threads; w++) {
+    const Ptid p = m.BindNative(
+        0, w,
+        [&, w](GuestContext& ctx) -> GuestTask {
+          co_await ctx.Monitor(mbox(w));
+          for (;;) {
+            co_await ctx.Mwait();
+            const Tick now = co_await ctx.ReadCsr(Csr::kCycle);
+            if (woken_at[w] != 0) {
+              r.wake_latency.Record(now - woken_at[w]);
+            }
+            co_await ctx.Compute(50);
+          }
+        },
+        true);
+    m.Start(p);
+  }
+  m.RunFor(20000);  // everyone parks; stats from here measure steady state
+  const uint64_t rf0 = m.sim().stats().GetCounter("hwt.core0.restores_rf");
+  const uint64_t l20 = m.sim().stats().GetCounter("hwt.core0.restores_l2");
+  const uint64_t l30 = m.sim().stats().GetCounter("hwt.core0.restores_l3");
+  const uint64_t dr0 = m.sim().stats().GetCounter("hwt.core0.restores_dram");
+
+  const int kRounds = 4;
+  for (int round = 0; round < kRounds; round++) {
+    for (uint32_t w = 0; w < num_threads; w++) {
+      woken_at[w] = m.sim().now();
+      const uint64_t seq = static_cast<uint64_t>(round) * num_threads + w + 1;
+      m.mem().DmaWrite64(mbox(w) + 8, seq);  // mailbox-line write -> wake
+      m.RunFor(kGap);
+    }
+  }
+  m.RunFor(50000);
+  r.rf = m.sim().stats().GetCounter("hwt.core0.restores_rf") - rf0;
+  r.l2 = m.sim().stats().GetCounter("hwt.core0.restores_l2") - l20;
+  r.l3 = m.sim().stats().GetCounter("hwt.core0.restores_l3") - l30;
+  r.dram = m.sim().stats().GetCounter("hwt.core0.restores_dram") - dr0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  Banner("E8", "Wake latency vs hardware-thread count (fixed on-chip tiers)",
+         "RF/L2/L3 tiers support \"hundreds to thousands of threads per core in a "
+         "cost-effective manner\"; spill past on-chip capacity degrades gracefully (§4)");
+
+  Table t({"threads", "wake p50 cyc", "wake p99 cyc", "p99 ns", "restores rf/l2/l3/dram"});
+  for (uint32_t n : {8u, 16u, 64u, 256u, 512u, 1024u}) {
+    const RunResult r = Run(n);
+    char mix[64];
+    std::snprintf(mix, sizeof(mix), "%llu/%llu/%llu/%llu", (unsigned long long)r.rf,
+                  (unsigned long long)r.l2, (unsigned long long)r.l3,
+                  (unsigned long long)r.dram);
+    t.Row(n, (unsigned long long)r.wake_latency.P50(), (unsigned long long)r.wake_latency.P99(),
+          ToNs(r.wake_latency.P99()), mix);
+  }
+  t.Print();
+
+  std::printf(
+      "\nshape check: up to the RF size wakes cost ~pipeline-refill (20 cyc);\n"
+      "through L2/L3 slots they stay in the paper's 10-50 cycle band; only\n"
+      "past all on-chip capacity (here 16+64+256 = 336 contexts) does the\n"
+      "DRAM tier appear and p99 step up toward memory latency.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// T1 — Table 1 of the paper: the example thread descriptor table and its
+// permission semantics ("start - stop - modify some registers - modify most
+// registers"). We install exactly the paper's table for a user-mode issuer
+// and attempt every operation against every vtid, printing the outcome.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/hwt/tdt.h"
+#include "src/hwt/thread_system.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulation.h"
+
+using namespace casc;
+
+namespace {
+
+constexpr Addr kTdtBase = 0x20000;
+constexpr Addr kEdp = 0x30000;
+
+struct Attempt {
+  const char* op;
+  bool ok;
+};
+
+const char* Outcome(bool ok) { return ok ? "allowed" : "fault"; }
+
+}  // namespace
+
+int main() {
+  Banner("T1", "Example Thread Descriptor Table (§3.2, Table 1)",
+         "4 permission bits gate start / stop / modify-some / modify-most per vtid; "
+         "0b0000 entries are invalid");
+
+  Simulation sim;
+  MemorySystem mem(sim, MemConfig{}, 1);
+  HwtConfig hwt;
+  hwt.threads_per_core = 32;
+  ThreadSystem ts(sim, mem, hwt, 1);
+
+  // The paper's table: vtid -> (ptid, permissions).
+  struct Entry {
+    Vtid vtid;
+    Ptid ptid;
+    uint8_t perms;
+  };
+  const Entry kTable[] = {
+      {0x0, 0x01, 0b1000},
+      {0x1, 0x00, 0b0000},  // invalid
+      {0x2, 0x10, 0b1111},
+      {0x3, 0x11, 0b1110},
+  };
+  for (const Entry& e : kTable) {
+    TdtEntry{e.ptid, e.perms}.WriteTo(mem, kTdtBase, e.vtid);
+  }
+
+  Table tdt({"vtid", "ptid", "permissions", "meaning"});
+  tdt.Row("0x0", "0x01", "0b1000", "start only");
+  tdt.Row("0x1", "0x00", "0b0000", "(invalid)");
+  tdt.Row("0x2", "0x10", "0b1111", "start stop modify-some modify-most");
+  tdt.Row("0x3", "0x11", "0b1110", "start stop modify-some");
+  tdt.Print();
+  std::printf("\n");
+
+  // The issuer: ptid 2, user mode, TDT installed, EDP so faults are visible.
+  const Ptid issuer = 2;
+  auto reset_issuer = [&] {
+    ts.InitThread(issuer, 0x1000, /*supervisor=*/false, kEdp, kTdtBase, 4);
+    ts.thread(issuer).set_state(ThreadState::kRunnable);
+  };
+
+  Table results({"vtid", "start", "stop", "rpull r5", "rpush r5", "rpush pc"});
+  for (const Entry& e : kTable) {
+    std::vector<Attempt> attempts;
+    // Targets must be disabled for register access; they already are.
+    reset_issuer();
+    attempts.push_back({"start", ts.Start(issuer, e.vtid).ok});
+    // Re-disable the target so later ops are exercised uniformly.
+    if (e.perms != 0) {
+      ts.Disable(e.ptid);
+    }
+    reset_issuer();
+    attempts.push_back({"stop", ts.Stop(issuer, e.vtid).ok});
+    reset_issuer();
+    attempts.push_back({"rpull", ts.Rpull(issuer, e.vtid, 5).ok});
+    reset_issuer();
+    attempts.push_back({"rpush-gpr", ts.Rpush(issuer, e.vtid, 5, 42).ok});
+    reset_issuer();
+    attempts.push_back(
+        {"rpush-pc", ts.Rpush(issuer, e.vtid, static_cast<uint32_t>(RemoteReg::kPc), 0x2000).ok});
+    char vtid_s[8];
+    std::snprintf(vtid_s, sizeof(vtid_s), "0x%x", e.vtid);
+    results.Row(vtid_s, Outcome(attempts[0].ok), Outcome(attempts[1].ok),
+                Outcome(attempts[2].ok), Outcome(attempts[3].ok), Outcome(attempts[4].ok));
+  }
+  results.Print();
+
+  std::printf("\nnon-hierarchical check: vtid 0x3 grants start/stop/modify-some but the\n");
+  std::printf("pc write (modify-most) faults — a capability split protection rings\n");
+  std::printf("cannot express. Faults disabled the issuer and wrote a descriptor each\n");
+  std::printf("time (exceptions raised: %llu).\n",
+              (unsigned long long)sim.stats().GetCounter("hwt.exceptions"));
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared helpers for the experiment harness binaries: aligned table output
+// and common measurement plumbing. Each bench binary reproduces one
+// experiment from DESIGN.md §3 and prints its table to stdout.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <type_traits>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace casc {
+
+// Fixed-width text table: Row("a", 1, 2.5) style, auto-formatted.
+class Table {
+ public:
+  explicit Table(std::initializer_list<std::string> headers) {
+    std::vector<std::string> row;
+    for (const auto& h : headers) {
+      row.push_back(h);
+    }
+    rows_.push_back(row);
+  }
+
+  template <typename... Args>
+  void Row(Args... args) {
+    std::vector<std::string> row;
+    (row.push_back(Format(args)), ...);
+    rows_.push_back(row);
+  }
+
+  void Print() const {
+    std::vector<size_t> widths;
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size(); c++) {
+        if (widths.size() <= c) {
+          widths.push_back(0);
+        }
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    for (size_t r = 0; r < rows_.size(); r++) {
+      std::string line;
+      for (size_t c = 0; c < rows_[r].size(); c++) {
+        std::string cell = rows_[r][c];
+        cell.resize(widths[c], ' ');
+        line += cell;
+        if (c + 1 < rows_[r].size()) {
+          line += "  ";
+        }
+      }
+      std::printf("%s\n", line.c_str());
+      if (r == 0) {
+        std::string rule;
+        for (size_t c = 0; c < widths.size(); c++) {
+          rule += std::string(widths[c], '-');
+          if (c + 1 < widths.size()) {
+            rule += "  ";
+          }
+        }
+        std::printf("%s\n", rule.c_str());
+      }
+    }
+  }
+
+ private:
+  static std::string Format(const char* s) { return s; }
+  static std::string Format(const std::string& s) { return s; }
+  static std::string Format(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+  }
+  template <typename T>
+    requires std::is_arithmetic_v<T>
+  static std::string Format(T v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void Banner(const char* id, const char* title, const char* claim) {
+  std::printf("\n=== %s: %s ===\n", id, title);
+  std::printf("paper claim: %s\n\n", claim);
+}
+
+inline double ToNs(Tick cycles, double ghz = 3.0) { return static_cast<double>(cycles) / ghz; }
+
+}  // namespace casc
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,87 @@
+// Microkernel file service (§2 "Faster Microkernels"): an application makes
+// exception-less "syscalls" to a file service running on its own dedicated
+// hardware thread. The service reads sectors from the NVMe-style block
+// device and blocks on the completion queue tail — three layers of blocking
+// (app -> service -> device) with zero interrupts and zero mode switches.
+//
+// Build & run:  ./examples/microkernel_fs
+#include <cstdio>
+#include <string>
+
+#include "src/cpu/machine.h"
+#include "src/dev/block_dev.h"
+#include "src/runtime/services.h"
+#include "src/runtime/syscall_layer.h"
+
+using namespace casc;
+
+int main() {
+  Machine m;
+  BlockDevice disk(m.sim(), m.mem(), BlockConfig{});
+
+  // "Format" the disk: a toy 1-sector-per-file filesystem.
+  const char* files[] = {"the paper argues context switching is obsolete",
+                         "hardware threads wait on I/O queues directly",
+                         "microkernel services stop paying for IPC"};
+  for (uint64_t i = 0; i < 3; i++) {
+    disk.storage().Write(100 + i * 512 * 0 + i * 512, files[i], std::strlen(files[i]) + 1);
+  }
+
+  // Driver state + device ring setup (host-side firmware duties).
+  BlockDriver drv;
+  drv.mmio_base = BlockConfig{}.mmio_base;
+  drv.sq_base = 0x00600000;
+  drv.sq_size = 64;
+  drv.cq_tail = 0x00601000;
+  drv.state = 0x00601040;
+  m.mem().Write(0, drv.mmio_base + kBlkSqBase, 8, drv.sq_base);
+  m.mem().Write(0, drv.mmio_base + kBlkSqSize, 8, drv.sq_size);
+  m.mem().Write(0, drv.mmio_base + kBlkCqTailAddr, 8, drv.cq_tail);
+
+  // The file service: a dedicated hardware thread serving kFsRead.
+  const Channel ch{0x00400000};
+  const Ptid service = m.BindNative(0, 0, MakeSyscallServer(ch, MakeFileHandler(drv)),
+                                    /*supervisor=*/true);
+
+  // The application: reads the three "files" by sector, in user mode.
+  std::vector<std::string> contents;
+  std::vector<Tick> per_read_cycles;
+  const Ptid app = m.BindNative(
+      0, 1,
+      [&](GuestContext& ctx) -> GuestTask {
+        for (uint64_t i = 0; i < 3; i++) {
+          const Tick start = co_await ctx.ReadCsr(Csr::kCycle);
+          uint64_t ret = 0;
+          const Addr dest = 0x00700000 + i * 512;
+          co_await ctx.Call(SyscallCall(
+              ctx, ch, {.nr = kFsRead, .a0 = i, .a1 = 512, .a2 = dest}, &ret));
+          const Tick end = co_await ctx.ReadCsr(Csr::kCycle);
+          per_read_cycles.push_back(end - start);
+        }
+      },
+      /*supervisor=*/false);
+
+  m.Start(service);
+  m.Start(app);
+  m.RunToQuiescence();
+
+  // Host-side: show what the app read.
+  std::printf("casc microkernel file service demo\n");
+  std::printf("----------------------------------\n");
+  for (uint64_t i = 0; i < 3; i++) {
+    char buf[512];
+    const Addr src = 0x00700000 + i * 512;
+    // The file payload starts at offset 100 within sector 0 only for i=0;
+    // others were written at i*512+100? We wrote at byte 100 + i*512.
+    m.mem().phys().Read(src + 100, buf, sizeof(buf) - 1);
+    buf[511] = '\0';
+    std::printf("file %llu -> \"%s\"  (%llu cycles = %.1f us end to end)\n",
+                (unsigned long long)i, buf, (unsigned long long)per_read_cycles[i],
+                m.sim().CyclesToNs(per_read_cycles[i]) / 1000.0);
+  }
+  std::printf("\nEach read crossed app -> service -> device and back with no mode\n");
+  std::printf("switch: the service hardware thread mwait'ed on the CQ tail while the\n");
+  std::printf("flash access (%.1f us) was in flight.\n",
+              m.sim().CyclesToNs(BlockConfig{}.read_latency) / 1000.0);
+  return contents.size() == 0 ? 0 : 0;
+}

@@ -1,0 +1,255 @@
+#include "src/baseline/baseline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace casc {
+
+namespace {
+std::string StatName(CoreId core, const char* suffix) {
+  return "baseline.cpu" + std::to_string(core) + "." + suffix;
+}
+}  // namespace
+
+BaselineCpu::BaselineCpu(Simulation& sim, MemorySystem& mem, const BaselineConfig& config,
+                         CoreId core)
+    : sim_(sim),
+      mem_(mem),
+      config_(config),
+      core_(core),
+      step_event_([this] { Step(); }),
+      stat_switches_(sim.stats().Counter(StatName(core, "context_switches"))),
+      stat_irqs_(sim.stats().Counter(StatName(core, "irqs"))),
+      stat_mode_switches_(sim.stats().Counter(StatName(core, "mode_switches"))),
+      stat_busy_cycles_(sim.stats().Counter(StatName(core, "busy_cycles"))) {}
+
+BaselineCpu::~BaselineCpu() = default;
+
+SoftThread* BaselineCpu::Spawn(const std::string& name, SoftThread::Body body,
+                               std::function<void()> on_finish) {
+  const uint32_t id = static_cast<uint32_t>(threads_.size());
+  const Addr tcb = config_.tcb_base + (static_cast<Addr>(core_) << 20) + id * 1024;
+  auto thread = std::make_unique<SoftThread>(id, name, std::move(body), tcb);
+  thread->on_finish_ = std::move(on_finish);
+  SoftThread* raw = thread.get();
+  threads_.push_back(std::move(thread));
+  runqueue_.push_back(raw);
+  ScheduleStep(1);
+  return raw;
+}
+
+void BaselineCpu::Wake(SoftThread* thread) {
+  assert(thread != nullptr);
+  if (thread->state_ != SoftThread::State::kBlocked) {
+    return;
+  }
+  thread->state_ = SoftThread::State::kRunnable;
+  runqueue_.push_back(thread);
+  ScheduleStep(1);
+}
+
+void BaselineCpu::RaiseIrq(uint32_t vector) {
+  pending_irqs_.push_back(vector);
+  if (!step_event_.scheduled()) {
+    // The core was halted: pay the idle-state exit latency before the IRQ
+    // microcode begins.
+    ScheduleStep(config_.idle_wake);
+  }
+}
+
+void BaselineCpu::SetIrqHandler(uint32_t vector, IrqHandler handler) {
+  irq_handlers_.push_back({vector, std::move(handler)});
+}
+
+void BaselineCpu::ScheduleStep(Tick delay) {
+  const Tick when = sim_.now() + std::max<Tick>(1, delay);
+  if (!step_event_.scheduled() || step_event_.when() > when) {
+    sim_.queue().Schedule(&step_event_, when);
+  }
+}
+
+Tick BaselineCpu::StateTraffic(Addr tcb, bool is_write) {
+  // Register state moves through the cache hierarchy line by line; the first
+  // access pays the full round trip, the rest stream behind it.
+  const uint32_t lines = (StateBytes() + kLineSize - 1) / kLineSize;
+  Tick lat = mem_.AccessLatency(core_, tcb, is_write, /*is_fetch=*/false);
+  for (uint32_t i = 1; i < lines; i++) {
+    mem_.AccessLatency(core_, tcb + i * kLineSize, is_write, false);
+    lat += 2;  // pipelined line transfers
+  }
+  return lat;
+}
+
+SoftThread* BaselineCpu::PickNext() {
+  while (!runqueue_.empty()) {
+    SoftThread* t = runqueue_.front();
+    runqueue_.pop_front();
+    if (t->state_ == SoftThread::State::kRunnable) {
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void BaselineCpu::FinishCurrent() {
+  SoftThread* t = current_;
+  current_ = nullptr;
+  t->state_ = SoftThread::State::kFinished;
+  if (t->on_finish_) {
+    t->on_finish_();
+  }
+}
+
+void BaselineCpu::Step() {
+  // 1. Interrupts win: they preempt whatever is on the logical core.
+  if (!pending_irqs_.empty()) {
+    const uint32_t vector = pending_irqs_.front();
+    pending_irqs_.pop_front();
+    stat_irqs_++;
+    Tick handler_cycles = 0;
+    for (auto& [v, handler] : irq_handlers_) {
+      if (v == vector && handler) {
+        handler_cycles += handler();
+      }
+    }
+    const Tick lat = config_.irq_entry + handler_cycles + config_.irq_exit;
+    stat_busy_cycles_ += lat;
+    ScheduleStep(lat);
+    return;
+  }
+
+  // 2. Nothing on-cpu: dispatch from the runqueue (full switch-in cost).
+  if (current_ == nullptr) {
+    SoftThread* next = PickNext();
+    if (next == nullptr) {
+      return;  // idle; Wake()/RaiseIrq() re-arms
+    }
+    current_ = next;
+    current_->state_ = SoftThread::State::kRunning;
+    dispatched_at_ = sim_.now();
+    stat_switches_++;
+    const Tick cost = config_.sched_pick + config_.switch_sw +
+                      StateTraffic(current_->tcb(), /*is_write=*/false);
+    stat_busy_cycles_ += cost;
+    ScheduleStep(cost);
+    return;
+  }
+
+  // 3. Quantum preemption at op boundaries.
+  if (config_.quantum != 0 && sim_.now() - dispatched_at_ >= config_.quantum &&
+      !runqueue_.empty()) {
+    SoftThread* t = current_;
+    current_ = nullptr;
+    t->state_ = SoftThread::State::kRunnable;
+    runqueue_.push_back(t);
+    const Tick save = StateTraffic(t->tcb(), /*is_write=*/true);
+    stat_busy_cycles_ += save;
+    ScheduleStep(save);
+    return;
+  }
+
+  // 4. Advance the current thread by one op (or one compute chunk).
+  SoftContext& ctx = current_->ctx();
+  if (!ctx.has_pending()) {
+    if (!current_->task_.valid() || current_->task_.done()) {
+      ctx.ResetLeaf();
+      current_->task_ = current_->body_(ctx);
+    }
+    ctx.ResumeLeaf(current_->task_.handle());
+    if (current_->task_.done()) {
+      const Tick teardown = config_.switch_sw;
+      FinishCurrent();
+      ScheduleStep(teardown);
+      return;
+    }
+    if (!ctx.has_pending()) {
+      ScheduleStep(1);  // bare suspension: one-cycle yield
+      return;
+    }
+  }
+
+  SoftOp& op = ctx.pending();
+  Tick lat = 1;
+  switch (op.kind) {
+    case SoftOp::Kind::kCompute: {
+      const Tick chunk = std::max<Tick>(
+          1, std::min(op.cycles, config_.op_check_interval));
+      op.cycles -= std::min(op.cycles, chunk);
+      lat = chunk;
+      if (op.cycles == 0) {
+        ctx.Complete(0);
+      }
+      break;
+    }
+    case SoftOp::Kind::kLoad: {
+      uint64_t value = 0;
+      lat = mem_.Read(core_, op.addr, op.size, &value);
+      ctx.Complete(value);
+      break;
+    }
+    case SoftOp::Kind::kStore:
+      lat = mem_.Write(core_, op.addr, op.size, op.value);
+      ctx.Complete(0);
+      break;
+    case SoftOp::Kind::kAtomicAdd: {
+      uint64_t old = 0;
+      lat = mem_.AtomicAdd(core_, op.addr, op.value, &old);
+      ctx.Complete(old);
+      break;
+    }
+    case SoftOp::Kind::kYield:
+      ctx.Complete(0);
+      if (!runqueue_.empty()) {
+        SoftThread* t = current_;
+        current_ = nullptr;
+        t->state_ = SoftThread::State::kRunnable;
+        runqueue_.push_back(t);
+        lat = StateTraffic(t->tcb(), /*is_write=*/true);
+      }
+      break;
+    case SoftOp::Kind::kBlock: {
+      ctx.Complete(0);
+      SoftThread* t = current_;
+      current_ = nullptr;
+      t->state_ = SoftThread::State::kBlocked;
+      lat = StateTraffic(t->tcb(), /*is_write=*/true);
+      break;
+    }
+    case SoftOp::Kind::kEnterKernel:
+      ctx.Complete(0);
+      stat_mode_switches_++;
+      lat = config_.syscall_entry;
+      if (config_.kernel_uses_fp) {
+        // User FP/vector state must be preserved before the kernel may touch
+        // those registers (§2).
+        lat += mem_.BulkLatency(MemLevel::kL1, config_.state_bytes_fp - config_.state_bytes);
+      }
+      break;
+    case SoftOp::Kind::kExitKernel:
+      ctx.Complete(0);
+      stat_mode_switches_++;
+      lat = config_.syscall_exit;
+      if (config_.kernel_uses_fp) {
+        lat += mem_.BulkLatency(MemLevel::kL1, config_.state_bytes_fp - config_.state_bytes);
+      }
+      break;
+    case SoftOp::Kind::kVmExit:
+      ctx.Complete(0);
+      stat_mode_switches_++;
+      lat = config_.vmexit;
+      break;
+    case SoftOp::Kind::kVmEnter:
+      ctx.Complete(0);
+      stat_mode_switches_++;
+      lat = config_.vmentry;
+      break;
+    case SoftOp::Kind::kNone:
+      ctx.Complete(0);
+      break;
+  }
+  stat_busy_cycles_ += lat;
+  ScheduleStep(lat);
+}
+
+}  // namespace casc

@@ -1,0 +1,233 @@
+// The baseline: today's architecture, for head-to-head comparison with the
+// proposed hardware threading model. A BaselineCpu is one logical core that
+// runs software threads multiplexed by an OS scheduler. Costs the paper
+// attributes to context switching are modeled explicitly and charged through
+// the same simulation substrate:
+//   * mode switches on syscall entry/exit and VM-exit/entry [20, 46, 69],
+//   * IRQ entry/exit (hard-IRQ context) for device interrupts,
+//   * software context switches: scheduler decision plus register-state
+//     save/restore as real memory traffic through the cache hierarchy,
+//   * optional FP/vector state enlargement when the kernel uses FP (§2
+//     "Access to All Registers in the Kernel"),
+//   * quantum preemption (timeslice round robin / FCFS run-to-completion).
+//
+// Software threads are C++20 coroutines (same GuestTask machinery as native
+// HTM programs) issuing timed ops through a SoftContext.
+#ifndef SRC_BASELINE_BASELINE_H_
+#define SRC_BASELINE_BASELINE_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cpu/guest.h"  // GuestTask coroutine plumbing
+#include "src/dev/irq.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulation.h"
+
+namespace casc {
+
+struct BaselineConfig {
+  // Privilege-mode switch costs (cycles), per direction.
+  Tick syscall_entry = 150;
+  Tick syscall_exit = 150;
+  Tick irq_entry = 300;
+  Tick irq_exit = 250;
+  Tick vmexit = 700;
+  Tick vmentry = 500;
+  // Scheduler decision cost per context switch.
+  Tick sched_pick = 250;
+  // Fixed software path of a switch (pushes/pops, bookkeeping).
+  Tick switch_sw = 150;
+  // Architected state moved at each switch (§4: 272 B; 784 B with vectors).
+  uint32_t state_bytes = 272;
+  uint32_t state_bytes_fp = 784;
+  bool kernel_uses_fp = false;  // kernel FP use forces the big state
+  // Exit latency from the idle (halted) state when an IRQ arrives.
+  Tick idle_wake = 900;
+  // Preemption timeslice in cycles; 0 = run to completion (FCFS).
+  Tick quantum = 30000;
+  // Max compute chunk between interrupt checks (pipeline drain granularity).
+  Tick op_check_interval = 10;
+  // TCB region (where saved register state lives).
+  Addr tcb_base = 0x01000000;
+};
+
+class BaselineCpu;
+class SoftThread;
+
+// One pending timed operation of a software thread.
+struct SoftOp {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kCompute,
+    kLoad,
+    kStore,
+    kAtomicAdd,
+    kYield,        // back of the runqueue
+    kBlock,        // off-cpu until Wake()
+    kEnterKernel,  // syscall-style mode switch in
+    kExitKernel,   // mode switch out
+    kVmExit,
+    kVmEnter,
+  };
+  Kind kind = Kind::kNone;
+  Addr addr = 0;
+  uint64_t value = 0;
+  uint32_t size = 8;
+  Tick cycles = 0;
+};
+
+// Awaitable op interface for software threads (mirrors GuestContext).
+class SoftContext {
+ public:
+  struct Awaiter {
+    SoftContext* ctx;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    uint64_t await_resume() const noexcept { return ctx->result_; }
+  };
+
+  explicit SoftContext(SoftThread* thread) : thread_(thread) {}
+
+  SoftThread* thread() const { return thread_; }
+
+  Awaiter Compute(Tick cycles) { return Issue({.kind = SoftOp::Kind::kCompute, .cycles = cycles}); }
+  Awaiter Load(Addr addr, uint32_t size = 8) {
+    return Issue({.kind = SoftOp::Kind::kLoad, .addr = addr, .size = size});
+  }
+  Awaiter Store(Addr addr, uint64_t value, uint32_t size = 8) {
+    return Issue({.kind = SoftOp::Kind::kStore, .addr = addr, .value = value, .size = size});
+  }
+  Awaiter AtomicAdd(Addr addr, uint64_t delta) {
+    return Issue({.kind = SoftOp::Kind::kAtomicAdd, .addr = addr, .value = delta});
+  }
+  Awaiter Yield() { return Issue({.kind = SoftOp::Kind::kYield}); }
+  Awaiter Block() { return Issue({.kind = SoftOp::Kind::kBlock}); }
+  Awaiter EnterKernel() { return Issue({.kind = SoftOp::Kind::kEnterKernel}); }
+  Awaiter ExitKernel() { return Issue({.kind = SoftOp::Kind::kExitKernel}); }
+  Awaiter VmExit() { return Issue({.kind = SoftOp::Kind::kVmExit}); }
+  Awaiter VmEnter() { return Issue({.kind = SoftOp::Kind::kVmEnter}); }
+
+  // Runs another coroutine as a subtask (same composition mechanism as
+  // GuestContext::Call).
+  SubtaskAwaiter Call(GuestTask task) { return SubtaskAwaiter{&leaf_, std::move(task)}; }
+  void ResumeLeaf(std::coroutine_handle<> root) {
+    std::coroutine_handle<> h = leaf_ ? leaf_ : root;
+    h.resume();
+  }
+  void ResetLeaf() { leaf_ = nullptr; }
+
+  // Core-side protocol.
+  bool has_pending() const { return pending_.kind != SoftOp::Kind::kNone; }
+  SoftOp& pending() { return pending_; }
+  void Complete(uint64_t result) {
+    pending_ = SoftOp{};
+    result_ = result;
+  }
+
+ private:
+  Awaiter Issue(SoftOp op) {
+    pending_ = op;
+    return Awaiter{this};
+  }
+
+  SoftThread* thread_;
+  SoftOp pending_;
+  uint64_t result_ = 0;
+  std::coroutine_handle<> leaf_ = nullptr;
+};
+
+class SoftThread {
+ public:
+  enum class State : uint8_t { kRunnable, kRunning, kBlocked, kFinished };
+
+  using Body = std::function<GuestTask(SoftContext&)>;
+
+  SoftThread(uint32_t id, std::string name, Body body, Addr tcb)
+      : id_(id), name_(std::move(name)), body_(std::move(body)), tcb_(tcb), ctx_(this) {}
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  State state() const { return state_; }
+  Addr tcb() const { return tcb_; }
+  SoftContext& ctx() { return ctx_; }
+
+ private:
+  friend class BaselineCpu;
+  uint32_t id_;
+  std::string name_;
+  Body body_;
+  Addr tcb_;
+  SoftContext ctx_;
+  GuestTask task_;
+  State state_ = State::kRunnable;
+  std::function<void()> on_finish_;
+};
+
+// One logical core of the baseline machine.
+class BaselineCpu : public IrqSink {
+ public:
+  // Handler runs host-side (wakes threads, reads device state) and returns
+  // the in-handler cycles to charge.
+  using IrqHandler = std::function<Tick()>;
+
+  BaselineCpu(Simulation& sim, MemorySystem& mem, const BaselineConfig& config, CoreId core);
+  ~BaselineCpu() override;
+
+  const BaselineConfig& config() const { return config_; }
+  CoreId core() const { return core_; }
+
+  // Creates a software thread; it enters the runqueue immediately.
+  SoftThread* Spawn(const std::string& name, SoftThread::Body body,
+                    std::function<void()> on_finish = {});
+
+  // Moves a blocked thread back to the runqueue (kernel wakeup path).
+  void Wake(SoftThread* thread);
+
+  // IrqSink: device interrupt delivery to this logical core.
+  void RaiseIrq(uint32_t vector) override;
+  void SetIrqHandler(uint32_t vector, IrqHandler handler);
+
+  bool idle() const { return current_ == nullptr && runqueue_.empty() && pending_irqs_.empty(); }
+  uint64_t context_switches() const { return stat_switches_; }
+  uint64_t irqs_handled() const { return stat_irqs_; }
+
+ private:
+  void Step();
+  void ScheduleStep(Tick delay);
+  // Charges the full software context-switch path (save + pick + restore)
+  // with real TCB memory traffic; returns its latency.
+  Tick SwitchCost(SoftThread* from, SoftThread* to);
+  Tick StateTraffic(Addr tcb, bool is_write);
+  uint32_t StateBytes() const {
+    return config_.kernel_uses_fp ? config_.state_bytes_fp : config_.state_bytes;
+  }
+  SoftThread* PickNext();
+  void FinishCurrent();
+
+  Simulation& sim_;
+  MemorySystem& mem_;
+  BaselineConfig config_;
+  CoreId core_;
+  std::vector<std::unique_ptr<SoftThread>> threads_;
+  std::deque<SoftThread*> runqueue_;
+  SoftThread* current_ = nullptr;
+  Tick dispatched_at_ = 0;
+  bool was_idle_ = true;
+  std::deque<uint32_t> pending_irqs_;
+  std::vector<std::pair<uint32_t, IrqHandler>> irq_handlers_;
+  LambdaEvent<std::function<void()>> step_event_;
+
+  uint64_t& stat_switches_;
+  uint64_t& stat_irqs_;
+  uint64_t& stat_mode_switches_;
+  uint64_t& stat_busy_cycles_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_BASELINE_BASELINE_H_

@@ -1,0 +1,53 @@
+// BaselineMachine: the conventional-architecture counterpart of Machine —
+// one simulation context, the shared memory system, and N logical cores
+// running the software-threading model.
+#ifndef SRC_BASELINE_BASELINE_MACHINE_H_
+#define SRC_BASELINE_BASELINE_MACHINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baseline/baseline.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulation.h"
+
+namespace casc {
+
+struct BaselineMachineConfig {
+  double ghz = 3.0;
+  uint64_t seed = 1;
+  uint32_t num_cpus = 1;
+  MemConfig mem;
+  BaselineConfig cpu;
+};
+
+class BaselineMachine {
+ public:
+  explicit BaselineMachine(const BaselineMachineConfig& config = BaselineMachineConfig{})
+      : config_(config), sim_(config.ghz, config.seed) {
+    mem_ = std::make_unique<MemorySystem>(sim_, config_.mem, config_.num_cpus);
+    for (uint32_t c = 0; c < config_.num_cpus; c++) {
+      cpus_.push_back(std::make_unique<BaselineCpu>(sim_, *mem_, config_.cpu, c));
+    }
+  }
+
+  Simulation& sim() { return sim_; }
+  MemorySystem& mem() { return *mem_; }
+  BaselineCpu& cpu(CoreId id) { return *cpus_[id]; }
+  uint32_t num_cpus() const { return static_cast<uint32_t>(cpus_.size()); }
+
+  void RunFor(Tick cycles) { sim_.queue().RunUntil(sim_.now() + cycles); }
+  bool RunToQuiescence(uint64_t max_events = 200'000'000) {
+    return sim_.queue().RunAll(max_events) < max_events;
+  }
+
+ private:
+  BaselineMachineConfig config_;
+  Simulation sim_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::vector<std::unique_ptr<BaselineCpu>> cpus_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_BASELINE_BASELINE_MACHINE_H_

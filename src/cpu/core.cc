@@ -1,0 +1,484 @@
+#include "src/cpu/core.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <string>
+
+namespace casc {
+
+Core::Core(Simulation& sim, MemorySystem& mem, ThreadSystem& ts, CoreId id, CoreTimings timings)
+    : sim_(sim),
+      mem_(mem),
+      ts_(ts),
+      id_(id),
+      timings_(timings),
+      tick_event_([this] { Cycle(); }),
+      stat_instructions_(sim.stats().Counter("cpu.core" + std::to_string(id) + ".instructions")),
+      stat_active_cycles_(sim.stats().Counter("cpu.core" + std::to_string(id) + ".active_cycles")),
+      stat_idle_wakeups_(sim.stats().Counter("cpu.core" + std::to_string(id) + ".idle_wakeups")) {
+  picked_.reserve(ts.config().smt_width);
+}
+
+void Core::BindNative(Ptid ptid, NativeProgram program) {
+  assert(ts_.CoreOf(ptid) == id_);
+  NativeState ns;
+  ns.program = std::move(program);
+  native_[ptid] = std::move(ns);
+}
+
+void Core::Kick() {
+  if (ts_.halted()) {
+    return;
+  }
+  SchedQueue& q = ts_.queue(id_);
+  if (q.Empty()) {
+    return;
+  }
+  const Tick next = q.NextWorkTick(sim_.now());
+  if (next == std::numeric_limits<Tick>::max()) {
+    return;
+  }
+  if (!tick_event_.scheduled() || tick_event_.when() > next) {
+    stat_idle_wakeups_++;
+    sim_.queue().Schedule(&tick_event_, std::max(next, sim_.now()));
+  }
+}
+
+void Core::Cycle() {
+  if (ts_.halted()) {
+    return;
+  }
+  SchedQueue& q = ts_.queue(id_);
+  const Tick now = sim_.now();
+  q.PickUpTo(now, ts_.config().smt_width, &picked_);
+  bool active = false;
+  for (HwThread* t : picked_) {
+    if (ts_.NeedsRestore(t->ptid())) {
+      // Prefetch-on-wake disabled: the restore begins only when the
+      // scheduler first reaches the thread (demand restore).
+      ts_.BeginDemandRestore(t->ptid());
+      continue;
+    }
+    Step(*t);
+    active = true;
+    if (ts_.halted()) {
+      return;
+    }
+  }
+  if (active) {
+    stat_active_cycles_++;
+  }
+  // Sleep until the next tick at which some thread can issue.
+  const Tick next = q.NextWorkTick(now + 1);
+  if (next != std::numeric_limits<Tick>::max()) {
+    sim_.queue().Schedule(&tick_event_, next);
+  }
+}
+
+Tick Core::Step(HwThread& t) {
+  Tick latency = 0;
+  auto it = native_.find(t.ptid());
+  if (it != native_.end()) {
+    latency = StepNative(t, it->second);
+  } else {
+    latency = StepInterpreted(t);
+  }
+  stat_instructions_++;
+  if (t.state() == ThreadState::kRunnable) {
+    t.set_ready_at(sim_.now() + std::max<Tick>(1, latency));
+    ts_.store(id_).Touch(t);
+  }
+  return latency;
+}
+
+Tick Core::StepInterpreted(HwThread& t) {
+  uint32_t word = 0;
+  const Tick fetch = mem_.Fetch(id_, t.arch().pc, &word);
+  // Warm fetches are pipelined away; only the miss penalty stalls issue.
+  const Tick l1i_hit = mem_.config().l1i.hit_latency;
+  const Tick fetch_penalty = fetch > l1i_hit ? fetch - l1i_hit : 0;
+  return fetch_penalty + ExecuteInstruction(t, Decode(word));
+}
+
+Tick Core::ExecuteInstruction(HwThread& t, const Instruction& inst) {
+  const Ptid self = t.ptid();
+  const Addr pc = t.arch().pc;
+  Addr next_pc = pc + kInstBytes;
+  Tick lat = timings_.alu;
+
+  const uint64_t rs1 = t.ReadGpr(inst.rs1);
+  const uint64_t rs2 = t.ReadGpr(inst.rs2);
+  const uint64_t rdv = t.ReadGpr(inst.rd);  // store-value / branch lhs
+  const int64_t simm = inst.imm;
+  const uint64_t zimm16 = static_cast<uint16_t>(inst.imm);
+
+  switch (inst.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      // Self-disable; the machine quiesces when nothing remains runnable.
+      t.arch().pc = next_pc;
+      ts_.Disable(self);
+      return lat;
+
+    case Opcode::kAdd:
+      t.WriteGpr(inst.rd, rs1 + rs2);
+      break;
+    case Opcode::kSub:
+      t.WriteGpr(inst.rd, rs1 - rs2);
+      break;
+    case Opcode::kMul:
+      t.WriteGpr(inst.rd, rs1 * rs2);
+      lat = timings_.mul;
+      break;
+    case Opcode::kDiv: {
+      if (rs2 == 0) {
+        ts_.RaiseException(self, ExceptionType::kDivideByZero, pc, 0);
+        return lat;
+      }
+      const int64_t a = static_cast<int64_t>(rs1);
+      const int64_t b = static_cast<int64_t>(rs2);
+      const int64_t q = (a == INT64_MIN && b == -1) ? a : a / b;
+      t.WriteGpr(inst.rd, static_cast<uint64_t>(q));
+      lat = timings_.div;
+      break;
+    }
+    case Opcode::kAnd:
+      t.WriteGpr(inst.rd, rs1 & rs2);
+      break;
+    case Opcode::kOr:
+      t.WriteGpr(inst.rd, rs1 | rs2);
+      break;
+    case Opcode::kXor:
+      t.WriteGpr(inst.rd, rs1 ^ rs2);
+      break;
+    case Opcode::kSll:
+      t.WriteGpr(inst.rd, rs1 << (rs2 & 63));
+      break;
+    case Opcode::kSrl:
+      t.WriteGpr(inst.rd, rs1 >> (rs2 & 63));
+      break;
+    case Opcode::kSra:
+      t.WriteGpr(inst.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (rs2 & 63)));
+      break;
+    case Opcode::kSlt:
+      t.WriteGpr(inst.rd, static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2) ? 1 : 0);
+      break;
+    case Opcode::kSltu:
+      t.WriteGpr(inst.rd, rs1 < rs2 ? 1 : 0);
+      break;
+
+    case Opcode::kAddi:
+      t.WriteGpr(inst.rd, rs1 + static_cast<uint64_t>(simm));
+      break;
+    case Opcode::kAndi:
+      t.WriteGpr(inst.rd, rs1 & zimm16);
+      break;
+    case Opcode::kOri:
+      t.WriteGpr(inst.rd, rs1 | zimm16);
+      break;
+    case Opcode::kXori:
+      t.WriteGpr(inst.rd, rs1 ^ zimm16);
+      break;
+    case Opcode::kSlli:
+      t.WriteGpr(inst.rd, rs1 << (inst.imm & 63));
+      break;
+    case Opcode::kSrli:
+      t.WriteGpr(inst.rd, rs1 >> (inst.imm & 63));
+      break;
+    case Opcode::kSrai:
+      t.WriteGpr(inst.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (inst.imm & 63)));
+      break;
+    case Opcode::kSlti:
+      t.WriteGpr(inst.rd, static_cast<int64_t>(rs1) < simm ? 1 : 0);
+      break;
+    case Opcode::kLui:
+      t.WriteGpr(inst.rd, zimm16 << 16);
+      break;
+
+    case Opcode::kLd:
+    case Opcode::kLw:
+    case Opcode::kLh:
+    case Opcode::kLb: {
+      const uint32_t size = inst.op == Opcode::kLd   ? 8
+                            : inst.op == Opcode::kLw ? 4
+                            : inst.op == Opcode::kLh ? 2
+                                                     : 1;
+      const Addr addr = rs1 + static_cast<uint64_t>(simm);
+      if (!t.arch().is_supervisor() && mem_.IsSupervisorOnly(addr)) {
+        ts_.RaiseException(self, ExceptionType::kPageFault, addr, 0);
+        return lat;
+      }
+      uint64_t value = 0;
+      lat = mem_.Read(id_, addr, size, &value);
+      t.WriteGpr(inst.rd, value);
+      break;
+    }
+    case Opcode::kSd:
+    case Opcode::kSw:
+    case Opcode::kSh:
+    case Opcode::kSb: {
+      const uint32_t size = inst.op == Opcode::kSd   ? 8
+                            : inst.op == Opcode::kSw ? 4
+                            : inst.op == Opcode::kSh ? 2
+                                                     : 1;
+      const Addr addr = rs1 + static_cast<uint64_t>(simm);
+      if (!t.arch().is_supervisor() && mem_.IsSupervisorOnly(addr)) {
+        ts_.RaiseException(self, ExceptionType::kPageFault, addr, 0);
+        return lat;
+      }
+      lat = mem_.Write(id_, addr, size, rdv);
+      break;
+    }
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      bool taken = false;
+      switch (inst.op) {
+        case Opcode::kBeq:
+          taken = rdv == rs1;
+          break;
+        case Opcode::kBne:
+          taken = rdv != rs1;
+          break;
+        case Opcode::kBlt:
+          taken = static_cast<int64_t>(rdv) < static_cast<int64_t>(rs1);
+          break;
+        case Opcode::kBge:
+          taken = static_cast<int64_t>(rdv) >= static_cast<int64_t>(rs1);
+          break;
+        case Opcode::kBltu:
+          taken = rdv < rs1;
+          break;
+        default:
+          taken = rdv >= rs1;
+          break;
+      }
+      if (taken) {
+        next_pc = pc + kInstBytes + static_cast<uint64_t>(static_cast<int64_t>(simm) * 4);
+      }
+      lat = timings_.branch;
+      break;
+    }
+    case Opcode::kJal:
+      t.WriteGpr(31, pc + kInstBytes);
+      next_pc = pc + kInstBytes + static_cast<uint64_t>(static_cast<int64_t>(simm) * 4);
+      lat = timings_.branch;
+      break;
+    case Opcode::kJalr:
+      t.WriteGpr(inst.rd, pc + kInstBytes);
+      next_pc = rs1 + static_cast<uint64_t>(simm);
+      lat = timings_.branch;
+      break;
+
+    case Opcode::kCsrrd: {
+      const OpResult r = ts_.ReadCsr(self, static_cast<Csr>(inst.imm));
+      if (!r.ok) {
+        return r.latency;
+      }
+      t.WriteGpr(inst.rd, r.value);
+      lat = r.latency;
+      break;
+    }
+    case Opcode::kCsrwr: {
+      const OpResult r = ts_.WriteCsr(self, static_cast<Csr>(inst.imm), rdv);
+      if (!r.ok) {
+        return r.latency;
+      }
+      lat = r.latency;
+      break;
+    }
+
+    case Opcode::kMonitor: {
+      const OpResult r = ts_.Monitor(self, rs1);
+      if (!r.ok) {
+        return r.latency;
+      }
+      lat = r.latency;
+      break;
+    }
+    case Opcode::kMwait: {
+      const auto r = ts_.Mwait(self);
+      lat = r.latency;
+      break;  // pc advances either way; wakeup resumes after the mwait
+    }
+    case Opcode::kStart: {
+      const OpResult r = ts_.Start(self, static_cast<Vtid>(rs1));
+      if (!r.ok) {
+        return r.latency;
+      }
+      lat = r.latency;
+      break;
+    }
+    case Opcode::kStop: {
+      // Advance the pc first so a self-stop resumes after the instruction.
+      t.arch().pc = next_pc;
+      const OpResult r = ts_.Stop(self, static_cast<Vtid>(rs1));
+      if (!r.ok) {
+        t.arch().pc = pc;  // fault: descriptor should carry the faulting pc
+        return r.latency;
+      }
+      return r.latency;
+    }
+    case Opcode::kRpull: {
+      const OpResult r = ts_.Rpull(self, static_cast<Vtid>(rs1), static_cast<uint32_t>(inst.imm));
+      if (!r.ok) {
+        return r.latency;
+      }
+      t.WriteGpr(inst.rd, r.value);
+      lat = r.latency;
+      break;
+    }
+    case Opcode::kRpush: {
+      const OpResult r =
+          ts_.Rpush(self, static_cast<Vtid>(rs1), static_cast<uint32_t>(inst.imm), rdv);
+      if (!r.ok) {
+        return r.latency;
+      }
+      lat = r.latency;
+      break;
+    }
+    case Opcode::kInvtid: {
+      const Vtid remote = rs2 == UINT64_MAX ? kInvalidVtid : static_cast<Vtid>(rs2);
+      const OpResult r = ts_.Invtid(self, static_cast<Vtid>(rs1), remote);
+      if (!r.ok) {
+        return r.latency;
+      }
+      lat = r.latency;
+      break;
+    }
+    case Opcode::kAmoadd: {
+      uint64_t old = 0;
+      lat = mem_.AtomicAdd(id_, rs1, rs2, &old);
+      t.WriteGpr(inst.rd, old);
+      break;
+    }
+    case Opcode::kHcall:
+      t.arch().pc = next_pc;  // handlers may disable or redirect the thread
+      if (inst.imm == 0) {
+        ts_.Disable(self);  // hcall 0: exit thread (works at any privilege)
+      } else if (hcall_) {
+        hcall_(*this, t, inst.imm);
+      }
+      return lat;
+
+    default:
+      ts_.RaiseException(self, ExceptionType::kIllegalInstruction, pc,
+                         static_cast<uint64_t>(inst.op));
+      return lat;
+  }
+
+  if (t.state() != ThreadState::kDisabled) {
+    t.arch().pc = next_pc;
+  }
+  return lat;
+}
+
+Tick Core::StepNative(HwThread& t, NativeState& ns) {
+  if (!ns.task.valid() || ns.task.done() || ns.ctx->faulted()) {
+    ns.ctx = std::make_unique<GuestContext>(t.ptid());
+    ns.task = ns.program(*ns.ctx);
+  }
+  if (!ns.ctx->has_pending()) {
+    ns.ctx->ResumeLeaf(ns.task.handle());
+    if (ns.task.done()) {
+      ts_.Disable(t.ptid());
+      return 1;
+    }
+    if (!ns.ctx->has_pending()) {
+      return 1;  // treat a bare suspension as a one-cycle yield
+    }
+  }
+  // Compute ops issue one cycle per pick: the thread competes for SMT slots
+  // cycle by cycle (fine-grain multiplexing, §4), instead of reserving the
+  // whole duration up front.
+  GuestOp& pending = ns.ctx->pending();
+  if (pending.kind == GuestOp::Kind::kCompute) {
+    if (pending.cycles > 1) {
+      pending.cycles--;
+      return 1;
+    }
+    ns.ctx->Complete(0);
+    return 1;
+  }
+  const GuestOp op = ns.ctx->TakePending();
+  return ExecuteNativeOp(t, *ns.ctx, op);
+}
+
+Tick Core::ExecuteNativeOp(HwThread& t, GuestContext& ctx, const GuestOp& op) {
+  const Ptid self = t.ptid();
+  // Memory protection (page-fault analog, §3) applies to native code too.
+  if ((op.kind == GuestOp::Kind::kLoad || op.kind == GuestOp::Kind::kStore ||
+       op.kind == GuestOp::Kind::kAtomicAdd) &&
+      !t.arch().is_supervisor() && mem_.IsSupervisorOnly(op.addr)) {
+    ctx.set_faulted(true);
+    ts_.RaiseException(self, ExceptionType::kPageFault, op.addr, 0);
+    return 1;
+  }
+  auto fail_or = [&ctx](const OpResult& r) {
+    if (!r.ok) {
+      ctx.set_faulted(true);
+    } else {
+      ctx.DeliverResult(r.value);
+    }
+    return r.latency;
+  };
+  switch (op.kind) {
+    case GuestOp::Kind::kCompute:
+      ctx.DeliverResult(0);
+      return std::max<Tick>(1, op.cycles);
+    case GuestOp::Kind::kLoad: {
+      uint64_t value = 0;
+      const Tick lat = mem_.Read(id_, op.addr, op.size, &value);
+      ctx.DeliverResult(value);
+      return lat;
+    }
+    case GuestOp::Kind::kStore: {
+      const Tick lat = mem_.Write(id_, op.addr, op.size, op.value);
+      ctx.DeliverResult(0);
+      return lat;
+    }
+    case GuestOp::Kind::kAtomicAdd: {
+      uint64_t old = 0;
+      const Tick lat = mem_.AtomicAdd(id_, op.addr, op.value, &old);
+      ctx.DeliverResult(old);
+      return lat;
+    }
+    case GuestOp::Kind::kMonitor:
+      return fail_or(ts_.Monitor(self, op.addr));
+    case GuestOp::Kind::kMwait: {
+      const auto r = ts_.Mwait(self);
+      ctx.DeliverResult(0);
+      return r.latency;
+    }
+    case GuestOp::Kind::kStart:
+      return fail_or(ts_.Start(self, op.vtid));
+    case GuestOp::Kind::kStop:
+      return fail_or(ts_.Stop(self, op.vtid));
+    case GuestOp::Kind::kStopSelf:
+      ctx.DeliverResult(0);
+      ts_.Disable(self);
+      return ts_.config().stop_issue_cycles;
+    case GuestOp::Kind::kRpull:
+      return fail_or(ts_.Rpull(self, op.vtid, op.reg));
+    case GuestOp::Kind::kRpush:
+      return fail_or(ts_.Rpush(self, op.vtid, op.reg, op.value));
+    case GuestOp::Kind::kInvtid:
+      return fail_or(ts_.Invtid(self, op.vtid, op.vtid2));
+    case GuestOp::Kind::kCsrRead:
+      return fail_or(ts_.ReadCsr(self, op.csr));
+    case GuestOp::Kind::kCsrWrite:
+      return fail_or(ts_.WriteCsr(self, op.csr, op.value));
+    case GuestOp::Kind::kNone:
+      break;
+  }
+  ctx.DeliverResult(0);
+  return 1;
+}
+
+}  // namespace casc

@@ -1,0 +1,85 @@
+// A physical core: a small number of SMT slots multiplexing the runnable
+// hardware threads selected by the per-core SchedQueue, per §4. Each slot
+// executes either interpreted CASC-ISA instructions (fetched through the
+// I-cache) or one pending native-coroutine operation per pick; both charge
+// costs through the shared memory system and thread system.
+#ifndef SRC_CPU_CORE_H_
+#define SRC_CPU_CORE_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cpu/guest.h"
+#include "src/hwt/thread_system.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/simulation.h"
+
+namespace casc {
+
+// Execution latencies of the simple in-order pipeline (beyond memory).
+struct CoreTimings {
+  Tick alu = 1;
+  Tick mul = 3;
+  Tick div = 20;
+  Tick branch = 1;
+};
+
+class Core {
+ public:
+  // Handler for the `hcall` host-escape instruction / test instrumentation.
+  using HcallHandler = std::function<void(Core& core, HwThread& thread, int64_t code)>;
+
+  Core(Simulation& sim, MemorySystem& mem, ThreadSystem& ts, CoreId id,
+       CoreTimings timings = CoreTimings{});
+
+  CoreId id() const { return id_; }
+
+  // Binds a native coroutine program to a local hardware thread. The
+  // coroutine is (re)instantiated when the thread is started with no live
+  // instance.
+  void BindNative(Ptid ptid, NativeProgram program);
+
+  void SetHcallHandler(HcallHandler handler) { hcall_ = std::move(handler); }
+
+  // Arms the tick event if there is runnable work. Called at boot and by the
+  // ThreadSystem wake hook.
+  void Kick();
+
+  uint64_t instructions_retired() const { return stat_instructions_; }
+
+ private:
+  struct NativeState {
+    NativeProgram program;
+    GuestTask task;
+    std::unique_ptr<GuestContext> ctx;
+  };
+
+  void Cycle();
+  // Executes one step for `t`; returns the latency consumed.
+  Tick Step(HwThread& t);
+  Tick StepInterpreted(HwThread& t);
+  Tick StepNative(HwThread& t, NativeState& ns);
+  Tick ExecuteNativeOp(HwThread& t, GuestContext& ctx, const GuestOp& op);
+  // Instruction semantics; returns execute latency (fetch handled by caller).
+  Tick ExecuteInstruction(HwThread& t, const Instruction& inst);
+
+  Simulation& sim_;
+  MemorySystem& mem_;
+  ThreadSystem& ts_;
+  CoreId id_;
+  CoreTimings timings_;
+  LambdaEvent<std::function<void()>> tick_event_;
+  std::vector<HwThread*> picked_;  // scratch for PickUpTo
+  std::unordered_map<Ptid, NativeState> native_;
+  HcallHandler hcall_;
+  uint64_t& stat_instructions_;
+  uint64_t& stat_active_cycles_;
+  uint64_t& stat_idle_wakeups_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_CPU_CORE_H_

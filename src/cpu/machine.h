@@ -1,0 +1,80 @@
+// Machine: the top-level simulated computer — simulation context, memory
+// system, thread system, and cores — plus convenience helpers for loading
+// programs, binding native coroutines, and driving the simulation.
+#ifndef SRC_CPU_MACHINE_H_
+#define SRC_CPU_MACHINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cpu/core.h"
+#include "src/hwt/thread_system.h"
+#include "src/isa/assembler.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulation.h"
+
+namespace casc {
+
+struct MachineConfig {
+  double ghz = 3.0;
+  uint64_t seed = 1;
+  uint32_t num_cores = 1;
+  MemConfig mem;
+  HwtConfig hwt;
+  CoreTimings timings;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config = MachineConfig{});
+
+  const MachineConfig& config() const { return config_; }
+  Simulation& sim() { return sim_; }
+  MemorySystem& mem() { return *mem_; }
+  ThreadSystem& threads() { return *ts_; }
+  Core& core(CoreId id) { return *cores_[id]; }
+  uint32_t num_cores() const { return static_cast<uint32_t>(cores_.size()); }
+
+  // Loads an assembled program into memory and points a hardware thread at
+  // `entry` (a program symbol, or the program base if empty). The thread
+  // stays disabled until Start().
+  Ptid Load(CoreId core, uint32_t local_thread, const Program& program, bool supervisor,
+            const std::string& entry = "", Addr edp = 0);
+
+  // Assembles `source` and loads it (aborts the test/bench on assembly
+  // errors — convenience for inline assembly snippets).
+  Ptid LoadSource(CoreId core, uint32_t local_thread, const std::string& source, bool supervisor,
+                  const std::string& entry = "", Addr edp = 0, Addr base = 0x1000);
+
+  // Binds a native coroutine program to a hardware thread.
+  Ptid BindNative(CoreId core, uint32_t local_thread, NativeProgram program, bool supervisor,
+                  Addr edp = 0);
+
+  // Makes a thread runnable (host-side boot; models the platform firmware
+  // starting the initial kernel thread).
+  void Start(Ptid ptid);
+
+  void SetHcallHandler(Core::HcallHandler handler);
+
+  // --- driving the simulation ---------------------------------------------
+  void RunFor(Tick cycles) { sim_.queue().RunUntil(sim_.now() + cycles); }
+  void RunUntil(Tick tick) { sim_.queue().RunUntil(tick); }
+  // Runs until the event queue drains or the machine halts. Returns false if
+  // the event cap was hit (runaway guard).
+  bool RunToQuiescence(uint64_t max_events = 200'000'000);
+
+  bool halted() const { return ts_->halted(); }
+  const std::string& halt_reason() const { return ts_->halt_reason(); }
+
+ private:
+  MachineConfig config_;
+  Simulation sim_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::unique_ptr<ThreadSystem> ts_;
+  std::vector<std::unique_ptr<Core>> cores_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_CPU_MACHINE_H_

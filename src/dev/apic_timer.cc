@@ -1,0 +1,27 @@
+#include "src/dev/apic_timer.h"
+
+namespace casc {
+
+ApicTimer::ApicTimer(Simulation& sim, MemorySystem& mem, const ApicTimerConfig& config,
+                     IrqSink* irq_sink)
+    : sim_(sim), mem_(mem), config_(config), irq_sink_(irq_sink), event_([this] { Fire(); }) {}
+
+void ApicTimer::StartTimer() { sim_.queue().ScheduleAfter(&event_, config_.period); }
+
+void ApicTimer::StopTimer() { sim_.queue().Deschedule(&event_); }
+
+void ApicTimer::Fire() {
+  fires_++;
+  if (config_.counter_addr != 0) {
+    // The event trigger is a plain memory write — monitorable by any thread.
+    mem_.DmaWrite64(config_.counter_addr, fires_);
+  }
+  if (config_.raise_irq && irq_sink_ != nullptr) {
+    irq_sink_->RaiseIrq(config_.irq_vector);
+  }
+  if (!config_.one_shot) {
+    sim_.queue().ScheduleAfter(&event_, config_.period);
+  }
+}
+
+}  // namespace casc

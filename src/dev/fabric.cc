@@ -1,0 +1,38 @@
+#include "src/dev/fabric.h"
+
+namespace casc {
+
+void Fabric::Attach(uint64_t node_id, Nic* nic) {
+  nodes_.push_back({node_id, nic});
+  nic->SetTxHandler(
+      [this, node_id](const std::vector<uint8_t>& frame) { Route(node_id, frame); });
+}
+
+void Fabric::Route(uint64_t src_node, const std::vector<uint8_t>& frame) {
+  const FabricHeader header = FabricHeader::ReadFrom(frame);
+  Nic* dst = nullptr;
+  for (const auto& [id, nic] : nodes_) {
+    if (id == header.dst) {
+      dst = nic;
+      break;
+    }
+  }
+  if (dst == nullptr || header.dst == src_node) {
+    frames_dropped_++;
+    return;
+  }
+  if (config_.loss_rate > 0 && sim_.rng().NextBool(config_.loss_rate)) {
+    frames_lost_++;
+    return;
+  }
+  frames_routed_++;
+  const Tick serialize =
+      config_.bytes_per_cycle > 0 ? frame.size() / config_.bytes_per_cycle : 0;
+  std::vector<uint8_t> copy = frame;
+  sim_.queue().ScheduleFnAfter(config_.wire_latency + serialize,
+                               [dst, copy = std::move(copy)]() mutable {
+                                 dst->InjectFrame(std::move(copy));
+                               });
+}
+
+}  // namespace casc

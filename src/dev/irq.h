@@ -1,0 +1,45 @@
+// Interrupt plumbing. In the paper's proposed model devices never interrupt:
+// they write memory and the monitor filter wakes hardware threads. The IRQ
+// path here exists for the *baseline* architecture (and for the MSI-X
+// translation experiment): devices raise vectors into an IrqSink, which the
+// baseline kernel model implements as a trap.
+#ifndef SRC_DEV_IRQ_H_
+#define SRC_DEV_IRQ_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace casc {
+
+class IrqSink {
+ public:
+  virtual ~IrqSink() = default;
+  virtual void RaiseIrq(uint32_t vector) = 0;
+};
+
+// Trivial dispatcher: routes vectors to registered handlers (tests, glue).
+class IrqDispatcher : public IrqSink {
+ public:
+  using Handler = std::function<void(uint32_t vector)>;
+
+  void SetHandler(Handler handler) { handler_ = std::move(handler); }
+  void RaiseIrq(uint32_t vector) override {
+    raised_.push_back(vector);
+    if (handler_) {
+      handler_(vector);
+    }
+  }
+
+  const std::vector<uint32_t>& raised() const { return raised_; }
+
+ private:
+  Handler handler_;
+  std::vector<uint32_t> raised_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_DEV_IRQ_H_

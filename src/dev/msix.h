@@ -1,0 +1,52 @@
+// MSI-X-style bridge (§4: "hardware must translate external interrupts to
+// memory writes (similar to PCIe MSI-x functionality)"). Legacy devices that
+// only know how to pulse an IRQ line are pointed at this bridge, which turns
+// each vector into a monotonically increasing counter write that hardware
+// threads can monitor.
+#ifndef SRC_DEV_MSIX_H_
+#define SRC_DEV_MSIX_H_
+
+#include <unordered_map>
+
+#include "src/dev/irq.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+class MsixBridge : public IrqSink {
+ public:
+  explicit MsixBridge(MemorySystem& mem) : mem_(mem) {}
+
+  // Routes `vector` to a counter at `addr`.
+  void RegisterVector(uint32_t vector, Addr addr) { table_[vector] = Entry{addr, 0}; }
+
+  void RaiseIrq(uint32_t vector) override {
+    auto it = table_.find(vector);
+    if (it == table_.end()) {
+      dropped_++;
+      return;
+    }
+    it->second.count++;
+    mem_.DmaWrite64(it->second.addr, it->second.count);
+  }
+
+  uint64_t CountFor(uint32_t vector) const {
+    auto it = table_.find(vector);
+    return it == table_.end() ? 0 : it->second.count;
+  }
+  uint64_t dropped() const { return dropped_; }
+
+ private:
+  struct Entry {
+    Addr addr;
+    uint64_t count;
+  };
+  MemorySystem& mem_;
+  std::unordered_map<uint32_t, Entry> table_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace casc
+
+#endif  // SRC_DEV_MSIX_H_

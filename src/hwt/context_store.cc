@@ -1,0 +1,179 @@
+#include "src/hwt/context_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace casc {
+
+namespace {
+std::string StatName(CoreId core, const char* suffix) {
+  return "hwt.core" + std::to_string(core) + "." + suffix;
+}
+}  // namespace
+
+ContextStore::ContextStore(Simulation& sim, MemorySystem& mem, const HwtConfig& config,
+                           CoreId core)
+    : sim_(sim),
+      mem_(mem),
+      config_(config),
+      core_(core),
+      stat_restores_rf_(sim.stats().Counter(StatName(core, "restores_rf"))),
+      stat_restores_l2_(sim.stats().Counter(StatName(core, "restores_l2"))),
+      stat_restores_l3_(sim.stats().Counter(StatName(core, "restores_l3"))),
+      stat_restores_dram_(sim.stats().Counter(StatName(core, "restores_dram"))),
+      stat_evictions_(sim.stats().Counter(StatName(core, "evictions"))),
+      stat_evicted_bytes_(sim.stats().Counter(StatName(core, "evicted_bytes"))),
+      stat_restore_latency_(sim.stats().Hist(StatName(core, "restore_latency"))) {}
+
+void ContextStore::AdmitThread(HwThread& thread) {
+  threads_[thread.ptid()] = &thread;
+  if (rf_lru_.size() < config_.rf_slots) {
+    rf_lru_.push_back(thread.ptid());
+    rf_pos_[thread.ptid()] = std::prev(rf_lru_.end());
+    thread.set_tier(StorageTier::kRegFile);
+  } else {
+    thread.set_tier(PickSpillTier());
+  }
+}
+
+uint32_t ContextStore::TransferBytes(const HwThread& thread) const {
+  if (!config_.dirty_register_tracking) {
+    return config_.state_bytes;
+  }
+  const uint32_t regs_bytes = thread.used_reg_count() * 8;
+  return std::min(config_.state_bytes, config_.control_state_bytes + regs_bytes);
+}
+
+Tick ContextStore::RestoreLatency(const HwThread& thread) const {
+  // The bulk state transfer overlaps the pipeline refill; the start cost is
+  // the slower of the two (§4: ~20 cycles from the RF, 10-50 from L2/L3).
+  const Tick refill = config_.pipeline_restore_cycles;
+  switch (thread.tier()) {
+    case StorageTier::kRegFile:
+      return refill;
+    case StorageTier::kL2:
+      return std::max(refill, mem_.BulkLatency(MemLevel::kL2, TransferBytes(thread)));
+    case StorageTier::kL3:
+      return std::max(refill, mem_.BulkLatency(MemLevel::kL3, TransferBytes(thread)));
+    case StorageTier::kDram:
+      return std::max(refill, mem_.BulkLatency(MemLevel::kDram, TransferBytes(thread)));
+  }
+  return refill;
+}
+
+StorageTier ContextStore::PickSpillTier() {
+  if (l2_used_ < config_.l2_slots) {
+    l2_used_++;
+    return StorageTier::kL2;
+  }
+  if (l3_used_ < config_.l3_slots) {
+    l3_used_++;
+    return StorageTier::kL3;
+  }
+  return StorageTier::kDram;
+}
+
+void ContextStore::ReleaseTierSlot(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::kL2:
+      assert(l2_used_ > 0);
+      l2_used_--;
+      break;
+    case StorageTier::kL3:
+      assert(l3_used_ > 0);
+      l3_used_--;
+      break;
+    default:
+      break;
+  }
+}
+
+bool ContextStore::EvictOne(Ptid except) {
+  for (auto it = rf_lru_.begin(); it != rf_lru_.end(); ++it) {
+    HwThread* victim = threads_.at(*it);
+    if (victim->ptid() == except || victim->pinned() ||
+        victim->state() == ThreadState::kRunnable) {
+      continue;
+    }
+    // Write-back happens in the background over the wide links; count it
+    // but do not charge the waker.
+    stat_evictions_++;
+    stat_evicted_bytes_ += TransferBytes(*victim);
+    victim->set_tier(PickSpillTier());
+    victim->ResetUsedRegs();
+    rf_pos_.erase(*it);
+    rf_lru_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+Tick ContextStore::EnsureResident(HwThread& thread) {
+  const Tick latency = RestoreLatency(thread);
+  stat_restore_latency_.Record(latency);
+  switch (thread.tier()) {
+    case StorageTier::kRegFile:
+      stat_restores_rf_++;
+      Touch(thread);
+      return latency;
+    case StorageTier::kL2:
+      stat_restores_l2_++;
+      break;
+    case StorageTier::kL3:
+      stat_restores_l3_++;
+      break;
+    case StorageTier::kDram:
+      stat_restores_dram_++;
+      break;
+  }
+  // Promote into the register file.
+  if (rf_lru_.size() >= config_.rf_slots) {
+    if (!EvictOne(thread.ptid())) {
+      // Everything is pinned or running; execute from the lower tier and pay
+      // its latency each wake (degenerate but safe).
+      return latency;
+    }
+  }
+  ReleaseTierSlot(thread.tier());
+  thread.set_tier(StorageTier::kRegFile);
+  rf_lru_.push_back(thread.ptid());
+  rf_pos_[thread.ptid()] = std::prev(rf_lru_.end());
+  return latency;
+}
+
+void ContextStore::ForceTier(HwThread& thread, StorageTier tier) {
+  auto it = rf_pos_.find(thread.ptid());
+  if (it != rf_pos_.end()) {
+    rf_lru_.erase(it->second);
+    rf_pos_.erase(it);
+  } else {
+    ReleaseTierSlot(thread.tier());
+  }
+  switch (tier) {
+    case StorageTier::kRegFile:
+      rf_lru_.push_back(thread.ptid());
+      rf_pos_[thread.ptid()] = std::prev(rf_lru_.end());
+      break;
+    case StorageTier::kL2:
+      l2_used_++;
+      break;
+    case StorageTier::kL3:
+      l3_used_++;
+      break;
+    case StorageTier::kDram:
+      break;
+  }
+  thread.set_tier(tier);
+}
+
+void ContextStore::Touch(HwThread& thread) {
+  auto it = rf_pos_.find(thread.ptid());
+  if (it == rf_pos_.end()) {
+    return;
+  }
+  rf_lru_.splice(rf_lru_.end(), rf_lru_, it->second);
+  it->second = std::prev(rf_lru_.end());
+}
+
+}  // namespace casc

@@ -1,0 +1,81 @@
+// Per-core tiered storage for hardware-thread register state (§4 "Storage
+// for Thread State"): a large on-core register file backed by L2/L3 slots
+// and DRAM spill. Restores are charged on the woken thread's critical path;
+// eviction write-backs ride the wide cache links in the background and are
+// only counted.
+#ifndef SRC_HWT_CONTEXT_STORE_H_
+#define SRC_HWT_CONTEXT_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hwt/hw_thread.h"
+#include "src/hwt/hwt_config.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulation.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+class ContextStore {
+ public:
+  ContextStore(Simulation& sim, MemorySystem& mem, const HwtConfig& config, CoreId core);
+
+  // Registers a thread as resident in the register file if a slot is free,
+  // otherwise in the lowest tier with space. Called once per ptid at reset.
+  void AdmitThread(HwThread& thread);
+
+  // Ensures `thread` is register-file resident, evicting the LRU unpinned
+  // RF thread if needed. Returns the restore latency to charge (0 if it was
+  // already in the RF).
+  Tick EnsureResident(HwThread& thread);
+
+  // Marks a use (keeps the thread warm in the RF LRU order).
+  void Touch(HwThread& thread);
+
+  // Restore latency if the thread had to be fetched from its current tier
+  // right now, without side effects.
+  Tick RestoreLatency(const HwThread& thread) const;
+
+  uint32_t rf_occupancy() const { return static_cast<uint32_t>(rf_lru_.size()); }
+
+  // Test/bench support: forcibly places a thread's saved state in `tier`,
+  // releasing any slot it held (so e.g. repeated DRAM-tier wakes can be
+  // measured without reconstructing the machine).
+  void ForceTier(HwThread& thread, StorageTier tier);
+
+ private:
+  // Transfer size honoring dirty-register tracking (§4 optimization).
+  uint32_t TransferBytes(const HwThread& thread) const;
+  // Demotes the LRU unpinned RF-resident thread one level down. Returns
+  // false if every RF thread is pinned (caller then pays RF latency anyway).
+  bool EvictOne(Ptid except);
+  StorageTier PickSpillTier();
+  void ReleaseTierSlot(StorageTier tier);
+
+  Simulation& sim_;
+  MemorySystem& mem_;
+  const HwtConfig& config_;
+  CoreId core_;
+
+  // RF residency in LRU order (front = least recently used).
+  std::list<Ptid> rf_lru_;
+  std::unordered_map<Ptid, std::list<Ptid>::iterator> rf_pos_;
+  std::unordered_map<Ptid, HwThread*> threads_;
+  uint32_t l2_used_ = 0;
+  uint32_t l3_used_ = 0;
+
+  uint64_t& stat_restores_rf_;
+  uint64_t& stat_restores_l2_;
+  uint64_t& stat_restores_l3_;
+  uint64_t& stat_restores_dram_;
+  uint64_t& stat_evictions_;
+  uint64_t& stat_evicted_bytes_;
+  Histogram& stat_restore_latency_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_HWT_CONTEXT_STORE_H_

@@ -1,0 +1,35 @@
+#include "src/hwt/exception.h"
+
+namespace casc {
+
+const char* ExceptionTypeName(ExceptionType type) {
+  switch (type) {
+    case ExceptionType::kNone: return "none";
+    case ExceptionType::kDivideByZero: return "divide-by-zero";
+    case ExceptionType::kPageFault: return "page-fault";
+    case ExceptionType::kPrivilegedInstruction: return "privileged-instruction";
+    case ExceptionType::kIllegalInstruction: return "illegal-instruction";
+    case ExceptionType::kInvalidVtid: return "invalid-vtid";
+    case ExceptionType::kPermissionDenied: return "permission-denied";
+    case ExceptionType::kTargetNotDisabled: return "target-not-disabled";
+    case ExceptionType::kMonitorOverflow: return "monitor-overflow";
+    case ExceptionType::kSyscall: return "syscall";
+    case ExceptionType::kHypercall: return "hypercall";
+  }
+  return "?";
+}
+
+void ExceptionDescriptor::WriteTo(MemorySystem& mem, Addr edp) const {
+  // The descriptor store is performed by the exception hardware, not by a
+  // load/store unit; DmaWrite gives it the right visibility: functional
+  // update, cache invalidation, and monitor-filter notification.
+  mem.DmaWrite(edp, this, kBytes);
+}
+
+ExceptionDescriptor ExceptionDescriptor::ReadFrom(MemorySystem& mem, Addr edp) {
+  ExceptionDescriptor d;
+  mem.DmaRead(edp, &d, kBytes);
+  return d;
+}
+
+}  // namespace casc

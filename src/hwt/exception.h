@@ -1,0 +1,51 @@
+// Exception descriptors (§3): instead of trapping, hardware writes a
+// descriptor to the faulting thread's exception-descriptor-pointer (EDP)
+// address and disables the thread. A handler thread monitors that address.
+#ifndef SRC_HWT_EXCEPTION_H_
+#define SRC_HWT_EXCEPTION_H_
+
+#include <cstdint>
+
+#include "src/mem/memory_system.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+enum class ExceptionType : uint32_t {
+  kNone = 0,
+  kDivideByZero = 1,
+  kPageFault = 2,
+  kPrivilegedInstruction = 3,  // privileged op attempted from user mode
+  kIllegalInstruction = 4,
+  kInvalidVtid = 5,            // TDT walk hit an invalid entry
+  kPermissionDenied = 6,       // TDT perms do not allow the operation
+  kTargetNotDisabled = 7,      // rpull/rpush on a non-disabled ptid
+  kMonitorOverflow = 8,        // monitor filter out of capacity
+  kSyscall = 9,                // software-raised (used by baseline-style traps)
+  kHypercall = 10,             // software-raised by guest code
+};
+
+const char* ExceptionTypeName(ExceptionType type);
+
+// 64-byte record written by hardware at the faulting thread's EDP.
+struct ExceptionDescriptor {
+  uint32_t type = 0;      // ExceptionType
+  uint32_t ptid = 0;      // faulting physical thread
+  uint64_t pc = 0;        // faulting program counter
+  uint64_t addr = 0;      // faulting address / operand, if any
+  uint64_t errcode = 0;   // op-specific detail (e.g. vtid, remote reg index)
+  uint64_t tick = 0;      // time of the fault
+  uint64_t seq = 0;       // monotonically increasing per machine
+  uint64_t pad[2] = {};   // pad to one cache line
+
+  static constexpr uint32_t kBytes = 64;
+
+  // Serializes into guest memory via DMA semantics so monitor watchers fire.
+  void WriteTo(MemorySystem& mem, Addr edp) const;
+  static ExceptionDescriptor ReadFrom(MemorySystem& mem, Addr edp);
+};
+static_assert(sizeof(ExceptionDescriptor) == ExceptionDescriptor::kBytes);
+
+}  // namespace casc
+
+#endif  // SRC_HWT_EXCEPTION_H_

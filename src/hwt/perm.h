@@ -1,0 +1,23 @@
+// TDT permission bits (§3.2, Table 1): "The 4 permission bits allow the
+// caller to start - stop - modify some registers - modify most registers of
+// the callee." An entry with no bits set is invalid (Table 1 row 0x1).
+#ifndef SRC_HWT_PERM_H_
+#define SRC_HWT_PERM_H_
+
+#include <cstdint>
+
+namespace casc {
+
+inline constexpr uint8_t kPermStart = 0b1000;       // may start the callee
+inline constexpr uint8_t kPermStop = 0b0100;        // may stop the callee
+inline constexpr uint8_t kPermModifySome = 0b0010;  // may read/write callee GPRs
+inline constexpr uint8_t kPermModifyMost = 0b0001;  // may also write PC, EDP, PRIO
+inline constexpr uint8_t kPermAll = 0b1111;
+
+inline bool PermAllows(uint8_t perms, uint8_t required) {
+  return (perms & required) == required;
+}
+
+}  // namespace casc
+
+#endif  // SRC_HWT_PERM_H_

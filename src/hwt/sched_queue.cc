@@ -1,0 +1,102 @@
+#include "src/hwt/sched_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace casc {
+
+namespace {
+uint64_t FullCredits(const HwThread& t) { return std::max<uint64_t>(1, t.arch().prio); }
+
+bool Ready(const HwThread& t, Tick now) {
+  return t.state() == ThreadState::kRunnable && t.ready_at() <= now;
+}
+}  // namespace
+
+void SchedQueue::Add(HwThread* thread, bool front) {
+  assert(thread != nullptr);
+  for (const Slot& s : rotation_) {
+    if (s.thread->ptid() == thread->ptid()) {
+      return;  // already queued
+    }
+  }
+  const Slot slot{thread, FullCredits(*thread)};
+  if (front && cursor_ <= rotation_.size()) {
+    rotation_.insert(rotation_.begin() + static_cast<ptrdiff_t>(cursor_), slot);
+  } else {
+    rotation_.push_back(slot);
+  }
+}
+
+void SchedQueue::Remove(Ptid ptid) {
+  for (size_t i = 0; i < rotation_.size(); i++) {
+    if (rotation_[i].thread->ptid() == ptid) {
+      rotation_.erase(rotation_.begin() + static_cast<ptrdiff_t>(i));
+      if (cursor_ > i) {
+        cursor_--;
+      }
+      if (cursor_ >= rotation_.size()) {
+        cursor_ = 0;
+      }
+      return;
+    }
+  }
+}
+
+void SchedQueue::PickUpTo(Tick now, uint32_t width, std::vector<HwThread*>* out) {
+  out->clear();
+  const size_t n = rotation_.size();
+  if (n == 0) {
+    return;
+  }
+  // Move the cursor to the next ready thread (skipping blocked/restoring).
+  size_t scanned = 0;
+  while (scanned < n && !Ready(*rotation_[cursor_].thread, now)) {
+    cursor_ = (cursor_ + 1) % n;
+    scanned++;
+  }
+  if (scanned == n) {
+    return;  // nothing ready this cycle
+  }
+  // Fill the SMT slots with distinct ready threads, rotation order.
+  size_t idx = cursor_;
+  for (size_t s = 0; s < n && out->size() < width; s++) {
+    if (Ready(*rotation_[idx].thread, now)) {
+      out->push_back(rotation_[idx].thread);
+    }
+    idx = (idx + 1) % n;
+  }
+  // Weighted RR: the head thread holds the cursor for `prio` picks.
+  Slot& head = rotation_[cursor_];
+  if (head.credits > 0) {
+    head.credits--;
+  }
+  if (head.credits == 0) {
+    head.credits = FullCredits(*head.thread);
+    cursor_ = (cursor_ + 1) % n;
+  }
+}
+
+Tick SchedQueue::NextWorkTick(Tick after) const {
+  Tick best = std::numeric_limits<Tick>::max();
+  for (const Slot& s : rotation_) {
+    if (s.thread->state() == ThreadState::kRunnable) {
+      best = std::min(best, std::max(s.thread->ready_at(), after));
+    }
+  }
+  return best;
+}
+
+Tick SchedQueue::NextReadyTick(Tick now) const {
+  Tick best = std::numeric_limits<Tick>::max();
+  for (const Slot& s : rotation_) {
+    if (s.thread->state() == ThreadState::kRunnable && s.thread->ready_at() > now) {
+      best = std::min(best, s.thread->ready_at());
+    }
+  }
+  return best;
+}
+
+}  // namespace casc

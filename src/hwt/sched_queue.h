@@ -1,0 +1,54 @@
+// Per-core hardware scheduling of runnable ptids onto SMT slots (§4 "Support
+// for Thread Scheduling"): fine-grain weighted round robin, which emulates
+// processor sharing, plus optional preemptive insertion of woken
+// time-critical threads.
+#ifndef SRC_HWT_SCHED_QUEUE_H_
+#define SRC_HWT_SCHED_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hwt/hw_thread.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+class SchedQueue {
+ public:
+  // Adds a ptid to the rotation. If `front` is true the thread is inserted
+  // at the cursor (time-critical preemptive wake, §4).
+  void Add(HwThread* thread, bool front = false);
+
+  // Removes a ptid (thread stopped / blocked).
+  void Remove(Ptid ptid);
+
+  // Selects up to `width` distinct threads that may issue one instruction at
+  // `now` (runnable and restore complete). Weighted RR: a thread keeps its
+  // slot for `prio` consecutive picks before the cursor advances past it.
+  void PickUpTo(Tick now, uint32_t width, std::vector<HwThread*>* out);
+
+  bool Empty() const { return rotation_.empty(); }
+  size_t Size() const { return rotation_.size(); }
+
+  // Earliest ready_at among queued threads that are not yet ready at `now`;
+  // Tick max if all are ready or the queue is empty. Used by the core to
+  // sleep precisely while restores are in flight.
+  Tick NextReadyTick(Tick now) const;
+
+  // Earliest tick >= `after` at which some runnable thread can issue; Tick
+  // max if the rotation holds no runnable threads.
+  Tick NextWorkTick(Tick after) const;
+
+ private:
+  struct Slot {
+    HwThread* thread;
+    uint64_t credits;  // remaining consecutive picks this turn
+  };
+
+  std::vector<Slot> rotation_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace casc
+
+#endif  // SRC_HWT_SCHED_QUEUE_H_

@@ -1,0 +1,60 @@
+#include "src/hwt/tdt.h"
+
+#include <algorithm>
+
+namespace casc {
+
+TdtEntry TdtEntry::ReadFrom(MemorySystem& mem, Addr table, Vtid vtid) {
+  const Addr addr = table + static_cast<Addr>(vtid) * kBytes;
+  TdtEntry e;
+  uint8_t raw[kBytes];
+  mem.DmaRead(addr, raw, kBytes);
+  e.ptid = static_cast<Ptid>(raw[0]) | static_cast<Ptid>(raw[1]) << 8 |
+           static_cast<Ptid>(raw[2]) << 16 | static_cast<Ptid>(raw[3]) << 24;
+  e.perms = raw[4];
+  return e;
+}
+
+void TdtEntry::WriteTo(MemorySystem& mem, Addr table, Vtid vtid) const {
+  const Addr addr = table + static_cast<Addr>(vtid) * kBytes;
+  uint8_t raw[kBytes] = {};
+  raw[0] = static_cast<uint8_t>(ptid);
+  raw[1] = static_cast<uint8_t>(ptid >> 8);
+  raw[2] = static_cast<uint8_t>(ptid >> 16);
+  raw[3] = static_cast<uint8_t>(ptid >> 24);
+  raw[4] = perms;
+  // Software writes the table through normal stores; tests use this helper
+  // which performs a functional write with coherence side effects.
+  mem.DmaWrite(addr, raw, kBytes);
+}
+
+const Translation* VtidCache::Lookup(Vtid vtid) const {
+  auto it = entries_.find(vtid);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void VtidCache::Insert(Vtid vtid, const Translation& t) {
+  if (capacity_ == 0) {
+    return;
+  }
+  if (entries_.count(vtid) == 0) {
+    if (entries_.size() >= capacity_ && !fifo_.empty()) {
+      entries_.erase(fifo_.front());
+      fifo_.erase(fifo_.begin());
+    }
+    fifo_.push_back(vtid);
+  }
+  entries_[vtid] = t;
+}
+
+void VtidCache::Invalidate(Vtid vtid) {
+  entries_.erase(vtid);
+  fifo_.erase(std::remove(fifo_.begin(), fifo_.end(), vtid), fifo_.end());
+}
+
+void VtidCache::InvalidateAll() {
+  entries_.clear();
+  fifo_.clear();
+}
+
+}  // namespace casc

@@ -1,0 +1,63 @@
+// Thread descriptor table (§3.2): an in-memory table, pointed to by the TDTR
+// control register, mapping vtids to (ptid, permissions). Plus the per-thread
+// translation cache whose entries are invalidated by `invtid`.
+#ifndef SRC_HWT_TDT_H_
+#define SRC_HWT_TDT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hwt/perm.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+// One 16-byte TDT entry in guest memory.
+//   [0..3]  ptid
+//   [4]     permission bits (kPerm*); 0 = invalid entry
+//   [5..15] reserved
+struct TdtEntry {
+  Ptid ptid = kInvalidPtid;
+  uint8_t perms = 0;
+
+  bool valid() const { return perms != 0; }
+
+  static constexpr uint32_t kBytes = 16;
+
+  static TdtEntry ReadFrom(MemorySystem& mem, Addr table, Vtid vtid);
+  void WriteTo(MemorySystem& mem, Addr table, Vtid vtid) const;
+};
+
+// Result of translating a vtid through a TDT.
+struct Translation {
+  bool valid = false;
+  Ptid ptid = kInvalidPtid;
+  uint8_t perms = 0;
+  bool cache_hit = false;
+};
+
+// Per-ptid vtid translation cache. Explicit invalidation via invtid
+// "facilitates hardware caching and virtualization" (§3.1).
+class VtidCache {
+ public:
+  explicit VtidCache(uint32_t capacity) : capacity_(capacity) {}
+
+  // Returns nullptr on miss.
+  const Translation* Lookup(Vtid vtid) const;
+  void Insert(Vtid vtid, const Translation& t);
+  void Invalidate(Vtid vtid);
+  void InvalidateAll();
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  uint32_t capacity_;
+  std::unordered_map<Vtid, Translation> entries_;
+  std::vector<Vtid> fifo_;  // insertion order for eviction
+};
+
+}  // namespace casc
+
+#endif  // SRC_HWT_TDT_H_

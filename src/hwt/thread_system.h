@@ -1,0 +1,139 @@
+// ThreadSystem: the machine-wide implementation of the paper's hardware
+// threading model (§3). It owns every hardware thread context, the per-core
+// scheduling rotations and context stores, and implements the semantics of
+// the proposed instructions (start/stop, rpull/rpush, invtid, monitor/mwait),
+// the TDT security model (§3.2), and descriptor-based exceptions.
+#ifndef SRC_HWT_THREAD_SYSTEM_H_
+#define SRC_HWT_THREAD_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/hwt/context_store.h"
+#include "src/hwt/exception.h"
+#include "src/hwt/hw_thread.h"
+#include "src/hwt/hwt_config.h"
+#include "src/hwt/perm.h"
+#include "src/hwt/sched_queue.h"
+#include "src/hwt/tracer.h"
+#include "src/hwt/tdt.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulation.h"
+
+namespace casc {
+
+// Outcome of one ISA-level thread-management operation.
+struct OpResult {
+  bool ok = true;       // false: an exception was raised and the issuer disabled
+  Tick latency = 0;     // cycles charged to the issuing thread
+  uint64_t value = 0;   // rpull result / csr read value
+};
+
+class ThreadSystem {
+ public:
+  ThreadSystem(Simulation& sim, MemorySystem& mem, const HwtConfig& config, uint32_t num_cores);
+
+  const HwtConfig& config() const { return config_; }
+  uint32_t num_cores() const { return num_cores_; }
+  uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
+  Ptid PtidOf(CoreId core, uint32_t local) const { return core * config_.threads_per_core + local; }
+  CoreId CoreOf(Ptid ptid) const { return ptid / config_.threads_per_core; }
+
+  HwThread& thread(Ptid ptid) { return *threads_[ptid]; }
+  const HwThread& thread(Ptid ptid) const { return *threads_[ptid]; }
+  SchedQueue& queue(CoreId core) { return queues_[core]; }
+  ContextStore& store(CoreId core) { return *stores_[core]; }
+
+  // Invoked whenever a thread on `core` becomes runnable; lets an idle core
+  // re-arm its tick event.
+  void SetWakeHook(CoreId core, std::function<void()> hook) {
+    wake_hooks_[core] = std::move(hook);
+  }
+
+  // ---- Proposed-instruction semantics (issued by `issuer`) ---------------
+  OpResult Start(Ptid issuer, Vtid vtid);
+  OpResult Stop(Ptid issuer, Vtid vtid);
+  OpResult Rpull(Ptid issuer, Vtid vtid, uint32_t remote_reg);
+  OpResult Rpush(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64_t value);
+  OpResult Invtid(Ptid issuer, Vtid vtid, Vtid remote_vtid);
+  OpResult Monitor(Ptid issuer, Addr addr);
+
+  struct MwaitResult {
+    bool blocked = false;  // true: thread is now kWaiting
+    Tick latency = 0;
+  };
+  MwaitResult Mwait(Ptid issuer);
+
+  // ---- Control registers --------------------------------------------------
+  OpResult ReadCsr(Ptid issuer, Csr csr);
+  OpResult WriteCsr(Ptid issuer, Csr csr, uint64_t value);
+
+  // ---- Exceptions (§3: descriptor write + disable; no trap) ---------------
+  void RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode);
+
+  // ---- Direct transitions (hardware events, runtime setup) ----------------
+  // Wake path including context-restore cost; `extra_delay` models e.g. the
+  // interconnect hop of a cross-core start.
+  void MakeRunnable(Ptid ptid, Tick extra_delay = 0, TraceCause cause = TraceCause::kStart);
+  void Disable(Ptid ptid, TraceCause cause = TraceCause::kStop);
+
+  // Optional state-transition observer (not owned; nullptr disables).
+  void SetTracer(ThreadTracer* tracer) { tracer_ = tracer; }
+
+  // Called by the core when it picks a thread that still needs its state
+  // restored (prefetch-on-wake disabled). Sets ready_at; the thread will not
+  // issue until the restore completes.
+  bool NeedsRestore(Ptid ptid) const { return needs_restore_[ptid]; }
+  void BeginDemandRestore(Ptid ptid);
+
+  // vtid -> (ptid, perms) translation, through the issuer's TDT and vtid
+  // cache. Public for tests and for the runtime.
+  Translation Translate(Ptid issuer, Vtid vtid, Tick* latency);
+
+  // ---- Machine halt (triple-fault analog, §3.2) ---------------------------
+  bool halted() const { return halted_; }
+  const std::string& halt_reason() const { return halt_reason_; }
+  void Halt(const std::string& reason);
+
+  // Convenience for runtime/tests: initialize a thread's state in place.
+  void InitThread(Ptid ptid, Addr pc, bool supervisor, Addr edp = 0, Addr tdtr = 0,
+                  uint64_t tdt_size = 0);
+
+ private:
+  // Returns true if `issuer` may perform an op requiring `required_perms` on
+  // the translated target; raises the appropriate exception otherwise.
+  bool CheckTranslated(Ptid issuer, Vtid vtid, const Translation& t, uint8_t required_perms,
+                       Tick latency, OpResult* result);
+  void NotifyWake(CoreId core);
+  void OnMonitorWake(Ptid ptid);
+  uint64_t* RemoteRegSlot(HwThread& t, uint32_t remote_reg);
+
+  Simulation& sim_;
+  MemorySystem& mem_;
+  HwtConfig config_;
+  uint32_t num_cores_;
+  std::vector<std::unique_ptr<HwThread>> threads_;
+  std::vector<SchedQueue> queues_;
+  std::vector<std::unique_ptr<ContextStore>> stores_;
+  std::vector<VtidCache> vtid_caches_;  // per ptid
+  std::vector<std::function<void()>> wake_hooks_;
+  std::vector<uint8_t> needs_restore_;  // per ptid (bool)
+  ThreadTracer* tracer_ = nullptr;
+  bool halted_ = false;
+  std::string halt_reason_;
+  uint64_t exception_seq_ = 0;
+
+  uint64_t& stat_starts_;
+  uint64_t& stat_stops_;
+  uint64_t& stat_exceptions_;
+  uint64_t& stat_mwait_blocks_;
+  uint64_t& stat_mwait_immediate_;
+  uint64_t& stat_vtid_hits_;
+  uint64_t& stat_vtid_misses_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_HWT_THREAD_SYSTEM_H_

@@ -1,0 +1,70 @@
+#include "src/hwt/tracer.h"
+
+#include <map>
+
+namespace casc {
+
+const char* TraceCauseName(TraceCause cause) {
+  switch (cause) {
+    case TraceCause::kStart:
+      return "start";
+    case TraceCause::kStop:
+      return "stop";
+    case TraceCause::kMwait:
+      return "mwait";
+    case TraceCause::kMonitorWake:
+      return "monitor-wake";
+    case TraceCause::kException:
+      return "exception";
+  }
+  return "?";
+}
+
+void ThreadTracer::DumpTimeline(std::ostream& os, Tick from, Tick to, uint32_t width) const {
+  if (to <= from || width == 0) {
+    return;
+  }
+  // Reconstruct per-thread state as a function of time.
+  std::map<Ptid, std::vector<Event>> per_thread;
+  for (const Event& e : events_) {
+    per_thread[e.ptid].push_back(e);
+  }
+  const double bucket = static_cast<double>(to - from) / width;
+  for (const auto& [ptid, evs] : per_thread) {
+    std::string line(width, ' ');
+    size_t idx = 0;
+    // State entering the window: walk events before `from`.
+    ThreadState state = ThreadState::kDisabled;
+    while (idx < evs.size() && evs[idx].tick < from) {
+      state = evs[idx].to;
+      idx++;
+    }
+    for (uint32_t b = 0; b < width; b++) {
+      const Tick bucket_end = from + static_cast<Tick>((b + 1) * bucket);
+      // Prefer showing activity: if any event lands in this bucket, show the
+      // "most active" state touched.
+      ThreadState shown = state;
+      while (idx < evs.size() && evs[idx].tick < bucket_end) {
+        state = evs[idx].to;
+        if (state == ThreadState::kRunnable || shown == ThreadState::kDisabled) {
+          shown = state;
+        }
+        idx++;
+      }
+      switch (shown) {
+        case ThreadState::kRunnable:
+          line[b] = 'R';
+          break;
+        case ThreadState::kWaiting:
+          line[b] = 'w';
+          break;
+        case ThreadState::kDisabled:
+          line[b] = '.';
+          break;
+      }
+    }
+    os << "ptid " << ptid << " |" << line << "|\n";
+  }
+}
+
+}  // namespace casc

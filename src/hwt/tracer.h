@@ -1,0 +1,70 @@
+// Thread-state tracing: an optional observer recording every
+// runnable/waiting/disabled transition with its cause, plus a compact text
+// timeline renderer. Used for debugging guest software and for the examples'
+// `--trace` flags; zero overhead when no tracer is installed.
+#ifndef SRC_HWT_TRACER_H_
+#define SRC_HWT_TRACER_H_
+
+#include <algorithm>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/hwt/hw_thread.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+enum class TraceCause : uint8_t {
+  kStart = 0,       // start instruction / host boot
+  kStop = 1,        // stop instruction / halt / hcall 0
+  kMwait = 2,       // blocked in mwait
+  kMonitorWake = 3, // monitor filter fired
+  kException = 4,   // fault disabled the thread
+};
+
+const char* TraceCauseName(TraceCause cause);
+
+class ThreadTracer {
+ public:
+  struct Event {
+    Tick tick;
+    Ptid ptid;
+    ThreadState from;
+    ThreadState to;
+    TraceCause cause;
+  };
+
+  void Record(Tick tick, Ptid ptid, ThreadState from, ThreadState to, TraceCause cause) {
+    if (events_.size() < max_events_) {
+      events_.push_back({tick, ptid, from, to, cause});
+    }
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  void Clear() { events_.clear(); }
+  void set_max_events(size_t n) { max_events_ = n; }
+
+  // Events touching one thread, in order.
+  std::vector<Event> ForThread(Ptid ptid) const {
+    std::vector<Event> out;
+    for (const Event& e : events_) {
+      if (e.ptid == ptid) {
+        out.push_back(e);
+      }
+    }
+    return out;
+  }
+
+  // Renders one line per thread over [from, to): 'R' runnable, 'w' waiting,
+  // '.' disabled, sampled into `width` buckets.
+  void DumpTimeline(std::ostream& os, Tick from, Tick to, uint32_t width = 80) const;
+
+ private:
+  std::vector<Event> events_;
+  size_t max_events_ = 1 << 20;
+};
+
+}  // namespace casc
+
+#endif  // SRC_HWT_TRACER_H_

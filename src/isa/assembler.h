@@ -1,0 +1,43 @@
+// Two-pass assembler for the CASC ISA. Supports labels, the directives
+// `.org`, `.word`, `.word32`, `.space`, `.align`, pseudo-instructions
+// (li, la, mv, j, call, ret, bgt, ble), named CSRs and named remote registers.
+#ifndef SRC_ISA_ASSEMBLER_H_
+#define SRC_ISA_ASSEMBLER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+#include "src/mem/phys_mem.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+// An assembled image: bytes starting at `base`, plus the symbol table.
+struct Program {
+  Addr base = 0;
+  std::vector<uint8_t> bytes;
+  std::map<std::string, Addr> symbols;
+
+  Addr Symbol(const std::string& name) const;
+  Addr end() const { return base + bytes.size(); }
+  void LoadInto(PhysicalMemory& mem) const;
+};
+
+struct AssembleResult {
+  bool ok = false;
+  std::string error;  // includes the 1-based source line on failure
+  Program program;
+};
+
+class Assembler {
+ public:
+  // Assembles `source` with the first instruction at `base`.
+  static AssembleResult Assemble(const std::string& source, Addr base = 0x1000);
+};
+
+}  // namespace casc
+
+#endif  // SRC_ISA_ASSEMBLER_H_

@@ -1,0 +1,83 @@
+// Timing-only set-associative cache model with true-LRU replacement and
+// write-back/write-allocate policy. Holds tags only; data lives in
+// PhysicalMemory (the classic decoupled functional/timing split).
+#ifndef SRC_MEM_CACHE_H_
+#define SRC_MEM_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace casc {
+
+struct CacheConfig {
+  std::string name = "cache";
+  uint64_t size_bytes = 32 * 1024;
+  uint32_t ways = 8;
+  Tick hit_latency = 4;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  // Tag lookup with fill-on-miss. Returns true on hit. On miss the line is
+  // installed; `evicted_dirty` (if non-null) reports whether a dirty victim
+  // was written back.
+  bool Access(Addr addr, bool is_write, bool* evicted_dirty = nullptr);
+
+  // Lookup without side effects.
+  bool Probe(Addr addr) const;
+
+  // Drops the line if present; returns true if it was present and dirty.
+  bool Invalidate(Addr addr);
+
+  void InvalidateAll();
+
+  // §4: "pin the most critical instructions/data/translations ... in caches,
+  // using fine-grain cache partitioning". Lines within a pinned range are
+  // never chosen as victims by fills of unpinned addresses; if a set fills
+  // up entirely with pinned lines, unpinned fills bypass the cache (counted).
+  void PinRange(Addr base, uint64_t size);
+  void ClearPins() { pinned_ranges_.clear(); }
+  bool IsPinnedAddr(Addr addr) const;
+  uint64_t bypasses() const { return bypasses_; }
+
+  const CacheConfig& config() const { return config_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t writebacks() const { return writebacks_; }
+
+  // Capacity in lines (for tier-sizing by the context store).
+  uint64_t num_lines() const { return static_cast<uint64_t>(num_sets_) * config_.ways; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    bool pinned = false;
+    uint64_t lru = 0;  // higher = more recently used
+  };
+
+  uint32_t SetIndex(Addr addr) const {
+    return static_cast<uint32_t>((addr / kLineSize) % num_sets_);
+  }
+  Addr TagOf(Addr addr) const { return addr / kLineSize / num_sets_; }
+
+  CacheConfig config_;
+  uint32_t num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways, set-major
+  std::vector<std::pair<Addr, Addr>> pinned_ranges_;  // [base, end)
+  uint64_t lru_clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t writebacks_ = 0;
+  uint64_t bypasses_ = 0;
+};
+
+}  // namespace casc
+
+#endif  // SRC_MEM_CACHE_H_

@@ -1,0 +1,177 @@
+#include "src/mem/memory_system.h"
+
+#include <cassert>
+
+namespace casc {
+
+MemorySystem::MemorySystem(Simulation& sim, const MemConfig& config, uint32_t num_cores)
+    : sim_(sim),
+      config_(config),
+      monitors_(config.monitor, sim.stats()),
+      stat_reads_(sim.stats().Counter("mem.reads")),
+      stat_writes_(sim.stats().Counter("mem.writes")),
+      stat_fetches_(sim.stats().Counter("mem.fetches")),
+      stat_dma_writes_(sim.stats().Counter("mem.dma_writes")) {
+  core_caches_.reserve(num_cores);
+  for (uint32_t i = 0; i < num_cores; i++) {
+    CoreCaches cc;
+    cc.l1i = std::make_unique<Cache>(config_.l1i);
+    cc.l1d = std::make_unique<Cache>(config_.l1d);
+    cc.l2 = std::make_unique<Cache>(config_.l2);
+    core_caches_.push_back(std::move(cc));
+  }
+  l3_ = std::make_unique<Cache>(config_.l3);
+}
+
+const MemorySystem::MmioRegion* MemorySystem::FindMmio(Addr addr) const {
+  for (const MmioRegion& r : mmio_) {
+    if (addr >= r.base && addr < r.base + r.size) {
+      return &r;
+    }
+  }
+  return nullptr;
+}
+
+void MemorySystem::RegisterMmio(Addr base, uint64_t size, MmioDevice* device) {
+  assert(device != nullptr);
+  assert(FindMmio(base) == nullptr && FindMmio(base + size - 1) == nullptr);
+  mmio_.push_back(MmioRegion{base, size, device});
+}
+
+Tick MemorySystem::AccessLatency(CoreId core, Addr addr, bool is_write, bool is_fetch) {
+  assert(core < core_caches_.size());
+  CoreCaches& cc = core_caches_[core];
+  Cache& l1 = is_fetch ? *cc.l1i : *cc.l1d;
+  Tick lat = l1.config().hit_latency;
+  if (l1.Access(addr, is_write)) {
+    return lat;
+  }
+  lat += cc.l2->config().hit_latency;
+  if (cc.l2->Access(addr, is_write)) {
+    return lat;
+  }
+  lat += l3_->config().hit_latency;
+  if (l3_->Access(addr, is_write)) {
+    return lat;
+  }
+  return lat + config_.dram_latency;
+}
+
+void MemorySystem::InvalidateForWrite(Addr addr, size_t len, CoreId writer) {
+  const Addr first = LineBase(addr);
+  const Addr last = LineBase(addr + (len > 0 ? len - 1 : 0));
+  for (Addr line = first; line <= last; line += kLineSize) {
+    for (uint32_t c = 0; c < core_caches_.size(); c++) {
+      if (c == writer) {
+        continue;
+      }
+      core_caches_[c].l1i->Invalidate(line);
+      core_caches_[c].l1d->Invalidate(line);
+      core_caches_[c].l2->Invalidate(line);
+    }
+  }
+}
+
+Tick MemorySystem::Read(CoreId core, Addr addr, size_t len, uint64_t* out) {
+  stat_reads_++;
+  const MmioRegion* mmio = FindMmio(addr);
+  if (mmio != nullptr) {
+    const uint64_t v = mmio->device->MmioRead(addr - mmio->base, len);
+    if (out != nullptr) {
+      *out = v;
+    }
+    return config_.mmio_latency;
+  }
+  if (out != nullptr) {
+    *out = phys_.ReadUint(addr, len);
+  }
+  return AccessLatency(core, addr, /*is_write=*/false, /*is_fetch=*/false);
+}
+
+Tick MemorySystem::Write(CoreId core, Addr addr, size_t len, uint64_t value) {
+  stat_writes_++;
+  const MmioRegion* mmio = FindMmio(addr);
+  if (mmio != nullptr) {
+    mmio->device->MmioWrite(addr - mmio->base, len, value);
+    // MMIO registers are monitorable too (§3.1: "one can monitor uncachable
+    // addresses such as device memory or memory-mapped I/O registers").
+    monitors_.OnWrite(addr, len);
+    return config_.mmio_latency;
+  }
+  phys_.WriteUint(addr, value, len);
+  InvalidateForWrite(addr, len, core);
+  monitors_.OnWrite(addr, len);
+  return AccessLatency(core, addr, /*is_write=*/true, /*is_fetch=*/false);
+}
+
+Tick MemorySystem::AtomicAdd(CoreId core, Addr addr, uint64_t delta, uint64_t* old) {
+  const uint64_t prev = phys_.Read64(addr);
+  if (old != nullptr) {
+    *old = prev;
+  }
+  const Tick lat = Write(core, addr, 8, prev + delta);
+  return lat + 4;  // lock/RMW penalty
+}
+
+Tick MemorySystem::Fetch(CoreId core, Addr addr, uint32_t* inst) {
+  stat_fetches_++;
+  if (inst != nullptr) {
+    *inst = phys_.Read32(addr);
+  }
+  return AccessLatency(core, addr, /*is_write=*/false, /*is_fetch=*/true);
+}
+
+void MemorySystem::DmaWrite(Addr addr, const void* data, size_t len) {
+  stat_dma_writes_++;
+  phys_.Write(addr, data, len);
+  // DMA invalidates every core's private lines; optionally allocates into the
+  // shared L3 (DDIO-style) so the woken consumer hits on-chip.
+  const Addr first = LineBase(addr);
+  const Addr last = LineBase(addr + (len > 0 ? len - 1 : 0));
+  for (Addr line = first; line <= last; line += kLineSize) {
+    for (auto& cc : core_caches_) {
+      cc.l1i->Invalidate(line);
+      cc.l1d->Invalidate(line);
+      cc.l2->Invalidate(line);
+    }
+    if (config_.dma_allocate_l3) {
+      l3_->Access(line, /*is_write=*/true);
+    } else {
+      l3_->Invalidate(line);
+    }
+  }
+  monitors_.OnWrite(addr, len);
+}
+
+void MemorySystem::DmaRead(Addr addr, void* out, size_t len) { phys_.Read(addr, out, len); }
+
+Tick MemorySystem::BulkLatency(MemLevel level, uint32_t bytes) const {
+  const Tick transfer = (bytes + config_.link_bytes_per_cycle - 1) / config_.link_bytes_per_cycle;
+  switch (level) {
+    case MemLevel::kL1:
+      return config_.l1d.hit_latency + transfer;
+    case MemLevel::kL2:
+      return config_.l2.hit_latency + transfer;
+    case MemLevel::kL3:
+      return config_.l3.hit_latency + transfer;
+    case MemLevel::kDram:
+      return config_.dram_latency + transfer;
+  }
+  return config_.dram_latency + transfer;
+}
+
+uint64_t MemorySystem::LevelCapacity(MemLevel level) const {
+  switch (level) {
+    case MemLevel::kL1:
+      return config_.l1d.size_bytes;
+    case MemLevel::kL2:
+      return config_.l2.size_bytes;
+    case MemLevel::kL3:
+      return config_.l3.size_bytes;
+    case MemLevel::kDram:
+      return UINT64_MAX;
+  }
+  return UINT64_MAX;
+}
+
+}  // namespace casc

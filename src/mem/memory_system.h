@@ -1,0 +1,145 @@
+// The machine's memory front-end: per-core L1I/L1D/L2 stacks, a shared L3,
+// DRAM, MMIO regions, a DMA port for devices, and the generalized monitor
+// filter. Every write — CPU store, MMIO doorbell, or DMA — funnels through
+// here, which is what makes the paper's "monitor any write by any source"
+// semantics implementable.
+#ifndef SRC_MEM_MEMORY_SYSTEM_H_
+#define SRC_MEM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/mem/cache.h"
+#include "src/mem/monitor_filter.h"
+#include "src/mem/phys_mem.h"
+#include "src/sim/simulation.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+// Memory hierarchy levels, used for bulk context-state transfers (§4).
+enum class MemLevel : uint8_t { kL1 = 0, kL2 = 1, kL3 = 2, kDram = 3 };
+
+struct MemConfig {
+  CacheConfig l1i{"l1i", 32 * 1024, 8, 4};
+  CacheConfig l1d{"l1d", 32 * 1024, 8, 4};
+  CacheConfig l2{"l2", 512 * 1024, 8, 14};
+  CacheConfig l3{"l3", 8 * 1024 * 1024, 16, 42};
+  Tick dram_latency = 200;
+  Tick mmio_latency = 40;
+  uint32_t link_bytes_per_cycle = 32;  // §4: "32-byte or wider" links
+  bool dma_allocate_l3 = true;         // DDIO-style DMA fill into L3
+  MonitorFilterConfig monitor;
+};
+
+// Devices expose register windows through this interface.
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+  virtual uint64_t MmioRead(Addr offset, size_t len) = 0;
+  virtual void MmioWrite(Addr offset, size_t len, uint64_t value) = 0;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(Simulation& sim, const MemConfig& config, uint32_t num_cores);
+
+  PhysicalMemory& phys() { return phys_; }
+  MonitorFilter& monitors() { return monitors_; }
+  const MemConfig& config() const { return config_; }
+  uint32_t num_cores() const { return static_cast<uint32_t>(core_caches_.size()); }
+
+  // --- CPU-side timed + functional accesses ------------------------------
+  // Each returns the access latency in cycles and performs the functional
+  // read/write (including MMIO dispatch and monitor notification).
+  Tick Read(CoreId core, Addr addr, size_t len, uint64_t* out);
+  Tick Write(CoreId core, Addr addr, size_t len, uint64_t value);
+  Tick Fetch(CoreId core, Addr addr, uint32_t* inst);
+  // Atomic fetch-add (8 bytes): returns the old value via `old`. Charged as
+  // a write plus a small RMW penalty; visible to the monitor filter.
+  Tick AtomicAdd(CoreId core, Addr addr, uint64_t delta, uint64_t* old);
+
+  // Timing-only probe used by bulk movers; does not touch functional state.
+  Tick AccessLatency(CoreId core, Addr addr, bool is_write, bool is_fetch);
+
+  // --- Device-side (DMA) accesses ----------------------------------------
+  // Functional effect + cache invalidation + monitor notification. DMA does
+  // not consume CPU cycles (it rides the I/O fabric).
+  void DmaWrite(Addr addr, const void* data, size_t len);
+  void DmaRead(Addr addr, void* out, size_t len);
+  void DmaWrite64(Addr addr, uint64_t value) { DmaWrite(addr, &value, 8); }
+
+  // --- MMIO ---------------------------------------------------------------
+  void RegisterMmio(Addr base, uint64_t size, MmioDevice* device);
+  bool IsMmio(Addr addr) const { return FindMmio(addr) != nullptr; }
+
+  // --- Protection ----------------------------------------------------------
+  // Minimal memory protection (stands in for paging): user-mode accesses to
+  // a supervisor-only range raise the §3 page-fault exception — a descriptor
+  // write plus thread disable, never a trap. Checked by the cores.
+  void AddSupervisorOnlyRange(Addr base, uint64_t size) {
+    supervisor_only_.push_back({base, base + size});
+  }
+  bool IsSupervisorOnly(Addr addr) const {
+    for (const auto& [lo, hi] : supervisor_only_) {
+      if (addr >= lo && addr < hi) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // --- Bulk transfers (context-state moves, §4) ---------------------------
+  // Latency to move `bytes` of contiguous state to/from the given level:
+  // level base latency + ceil(bytes / link width).
+  Tick BulkLatency(MemLevel level, uint32_t bytes) const;
+
+  // Capacity of a level in bytes (for context-store tier sizing).
+  uint64_t LevelCapacity(MemLevel level) const;
+
+  // §4 criticality pinning: protect `size` bytes at `base` from eviction in
+  // `core`'s private caches (fine-grain partitioning).
+  void PinRange(CoreId core, Addr base, uint64_t size) {
+    core_caches_[core].l1d->PinRange(base, size);
+    core_caches_[core].l2->PinRange(base, size);
+  }
+
+  // Per-core cache access (tests, warmup helpers).
+  Cache& l1d(CoreId core) { return *core_caches_[core].l1d; }
+  Cache& l1i(CoreId core) { return *core_caches_[core].l1i; }
+  Cache& l2(CoreId core) { return *core_caches_[core].l2; }
+  Cache& l3() { return *l3_; }
+
+ private:
+  struct CoreCaches {
+    std::unique_ptr<Cache> l1i;
+    std::unique_ptr<Cache> l1d;
+    std::unique_ptr<Cache> l2;
+  };
+  struct MmioRegion {
+    Addr base;
+    uint64_t size;
+    MmioDevice* device;
+  };
+
+  const MmioRegion* FindMmio(Addr addr) const;
+  void InvalidateForWrite(Addr addr, size_t len, CoreId writer);
+
+  Simulation& sim_;
+  MemConfig config_;
+  PhysicalMemory phys_;
+  MonitorFilter monitors_;
+  std::vector<CoreCaches> core_caches_;
+  std::unique_ptr<Cache> l3_;
+  std::vector<MmioRegion> mmio_;
+  std::vector<std::pair<Addr, Addr>> supervisor_only_;  // [base, end)
+  uint64_t& stat_reads_;
+  uint64_t& stat_writes_;
+  uint64_t& stat_fetches_;
+  uint64_t& stat_dma_writes_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_MEM_MEMORY_SYSTEM_H_

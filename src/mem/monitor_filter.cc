@@ -1,0 +1,121 @@
+#include "src/mem/monitor_filter.h"
+
+#include <algorithm>
+
+namespace casc {
+
+MonitorFilter::MonitorFilter(const MonitorFilterConfig& config, StatsRegistry& stats)
+    : config_(config),
+      stat_watch_adds_(stats.Counter("monitor.watch_adds")),
+      stat_triggers_(stats.Counter("monitor.triggers")),
+      stat_wakes_(stats.Counter("monitor.wakes")),
+      stat_overflows_(stats.Counter("monitor.overflows")) {}
+
+bool MonitorFilter::AddWatch(Ptid ptid, Addr addr) {
+  const Addr line = LineBase(addr);
+  ThreadState& ts = threads_[ptid];
+  if (std::find(ts.lines.begin(), ts.lines.end(), line) != ts.lines.end()) {
+    return true;  // already watching this line
+  }
+  if (ts.lines.size() >= config_.max_watches_per_thread) {
+    stat_overflows_++;
+    return false;
+  }
+  auto it = watchers_.find(line);
+  if (it == watchers_.end() && watchers_.size() >= config_.max_watch_lines) {
+    stat_overflows_++;
+    return false;
+  }
+  watchers_[line].push_back(ptid);
+  ts.lines.push_back(line);
+  stat_watch_adds_++;
+  return true;
+}
+
+void MonitorFilter::ClearWatches(Ptid ptid) {
+  auto it = threads_.find(ptid);
+  if (it == threads_.end()) {
+    return;
+  }
+  for (Addr line : it->second.lines) {
+    auto wit = watchers_.find(line);
+    if (wit == watchers_.end()) {
+      continue;
+    }
+    auto& vec = wit->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), ptid), vec.end());
+    if (vec.empty()) {
+      watchers_.erase(wit);
+    }
+  }
+  threads_.erase(it);
+}
+
+bool MonitorFilter::ConsumePending(Ptid ptid) {
+  auto it = threads_.find(ptid);
+  if (it == threads_.end()) {
+    return false;
+  }
+  const bool pending = it->second.pending;
+  it->second.pending = false;
+  return pending;
+}
+
+void MonitorFilter::SetWaiting(Ptid ptid, bool waiting) {
+  auto it = threads_.find(ptid);
+  if (it != threads_.end()) {
+    it->second.waiting = waiting;
+  }
+}
+
+void MonitorFilter::OnWrite(Addr addr, uint64_t len) {
+  if (watchers_.empty()) {
+    return;
+  }
+  const Addr first = LineBase(addr);
+  const Addr last = LineBase(addr + (len > 0 ? len - 1 : 0));
+  for (Addr line = first; line <= last; line += kLineSize) {
+    TriggerLine(line);
+  }
+}
+
+void MonitorFilter::TriggerLine(Addr line) {
+  auto it = watchers_.find(line);
+  if (it == watchers_.end()) {
+    return;
+  }
+  stat_triggers_++;
+  // Copy: the wake handler may re-arm watches and mutate the map.
+  const std::vector<Ptid> ptids = it->second;
+  for (Ptid ptid : ptids) {
+    auto tit = threads_.find(ptid);
+    if (tit == threads_.end()) {
+      continue;
+    }
+    if (tit->second.waiting) {
+      // The wakeup itself delivers this notification; do not also leave the
+      // pending flag set or the next mwait would spuriously return.
+      tit->second.waiting = false;  // wake exactly once
+      stat_wakes_++;
+      if (wake_handler_) {
+        wake_handler_(ptid, line);
+      }
+    } else {
+      // Not blocked right now: remember the write so the monitor->write->
+      // mwait race never loses an event.
+      tit->second.pending = true;
+    }
+  }
+}
+
+bool MonitorFilter::IsWatching(Ptid ptid, Addr addr) const {
+  auto it = threads_.find(ptid);
+  if (it == threads_.end()) {
+    return false;
+  }
+  const Addr line = LineBase(addr);
+  return std::find(it->second.lines.begin(), it->second.lines.end(), line) !=
+         it->second.lines.end();
+}
+
+}  // namespace casc

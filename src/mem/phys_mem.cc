@@ -1,0 +1,64 @@
+#include "src/mem/phys_mem.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace casc {
+
+const PhysicalMemory::Page* PhysicalMemory::FindPage(Addr addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+PhysicalMemory::Page& PhysicalMemory::EnsurePage(Addr addr) {
+  auto& slot = pages_[addr >> kPageBits];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    std::memset(slot->bytes, 0, sizeof(slot->bytes));
+  }
+  return *slot;
+}
+
+void PhysicalMemory::Read(Addr addr, void* out, size_t len) const {
+  uint8_t* dst = static_cast<uint8_t*>(out);
+  while (len > 0) {
+    const Addr off = addr & (kPageSize - 1);
+    const size_t chunk = std::min<size_t>(len, kPageSize - off);
+    const Page* page = FindPage(addr);
+    if (page != nullptr) {
+      std::memcpy(dst, page->bytes + off, chunk);
+    } else {
+      std::memset(dst, 0, chunk);
+    }
+    addr += chunk;
+    dst += chunk;
+    len -= chunk;
+  }
+}
+
+void PhysicalMemory::Write(Addr addr, const void* data, size_t len) {
+  const uint8_t* src = static_cast<const uint8_t*>(data);
+  while (len > 0) {
+    const Addr off = addr & (kPageSize - 1);
+    const size_t chunk = std::min<size_t>(len, kPageSize - off);
+    Page& page = EnsurePage(addr);
+    std::memcpy(page.bytes + off, src, chunk);
+    addr += chunk;
+    src += chunk;
+    len -= chunk;
+  }
+}
+
+uint64_t PhysicalMemory::ReadUint(Addr addr, size_t len) const {
+  assert(len <= 8);
+  uint64_t v = 0;
+  Read(addr, &v, len);  // little-endian host assumed (x86-64 / aarch64-le)
+  return v;
+}
+
+void PhysicalMemory::WriteUint(Addr addr, uint64_t value, size_t len) {
+  assert(len <= 8);
+  Write(addr, &value, len);
+}
+
+}  // namespace casc

@@ -1,0 +1,51 @@
+// Functional (contents-only) physical memory: a sparse, page-granular flat
+// byte store. Timing is modeled separately by the cache hierarchy.
+#ifndef SRC_MEM_PHYS_MEM_H_
+#define SRC_MEM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "src/sim/types.h"
+
+namespace casc {
+
+class PhysicalMemory {
+ public:
+  static constexpr uint32_t kPageBits = 12;
+  static constexpr Addr kPageSize = 1ull << kPageBits;
+
+  void Read(Addr addr, void* out, size_t len) const;
+  void Write(Addr addr, const void* data, size_t len);
+
+  uint64_t ReadUint(Addr addr, size_t len) const;
+  void WriteUint(Addr addr, uint64_t value, size_t len);
+
+  uint8_t Read8(Addr a) const { return static_cast<uint8_t>(ReadUint(a, 1)); }
+  uint16_t Read16(Addr a) const { return static_cast<uint16_t>(ReadUint(a, 2)); }
+  uint32_t Read32(Addr a) const { return static_cast<uint32_t>(ReadUint(a, 4)); }
+  uint64_t Read64(Addr a) const { return ReadUint(a, 8); }
+  void Write8(Addr a, uint8_t v) { WriteUint(a, v, 1); }
+  void Write16(Addr a, uint16_t v) { WriteUint(a, v, 2); }
+  void Write32(Addr a, uint32_t v) { WriteUint(a, v, 4); }
+  void Write64(Addr a, uint64_t v) { WriteUint(a, v, 8); }
+
+  // Number of materialized pages (for tests / footprint checks).
+  size_t PageCount() const { return pages_.size(); }
+
+ private:
+  struct Page {
+    uint8_t bytes[kPageSize];
+  };
+
+  const Page* FindPage(Addr addr) const;
+  Page& EnsurePage(Addr addr);
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_MEM_PHYS_MEM_H_

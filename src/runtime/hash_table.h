@@ -1,0 +1,111 @@
+// An open-addressing hash table stored in *simulated* memory, so every probe
+// is a real timed load and service code pays honest cache costs. Works from
+// both execution models: the subtasks are templated over the context type
+// (GuestContext for hardware threads, SoftContext for baseline software
+// threads).
+//
+// Slot layout: 16 bytes { key (u64, 0 = empty), value (u64) }. Key 0 is
+// reserved. Linear probing, no deletion (services in this repo never erase).
+#ifndef SRC_RUNTIME_HASH_TABLE_H_
+#define SRC_RUNTIME_HASH_TABLE_H_
+
+#include <cassert>
+
+#include "src/cpu/guest.h"
+#include "src/mem/phys_mem.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+struct HashTableRef {
+  Addr base = 0;
+  uint64_t capacity = 0;  // power of two
+
+  uint64_t Mask() const { return capacity - 1; }
+  Addr SlotAddr(uint64_t slot) const { return base + (slot & Mask()) * 16; }
+
+  static uint64_t HashKey(uint64_t key) {
+    uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Host-side population for benchmark setup (no simulated cost).
+  void HostPut(PhysicalMemory& mem, uint64_t key, uint64_t value) const {
+    assert(key != 0);
+    uint64_t slot = HashKey(key);
+    for (uint64_t i = 0; i < capacity; i++, slot++) {
+      const Addr addr = SlotAddr(slot);
+      const uint64_t existing = mem.Read64(addr);
+      if (existing == 0 || existing == key) {
+        mem.Write64(addr, key);
+        mem.Write64(addr + 8, value);
+        return;
+      }
+    }
+    assert(false && "hash table full");
+  }
+
+  uint64_t HostGet(PhysicalMemory& mem, uint64_t key) const {
+    uint64_t slot = HashKey(key);
+    for (uint64_t i = 0; i < capacity; i++, slot++) {
+      const Addr addr = SlotAddr(slot);
+      const uint64_t existing = mem.Read64(addr);
+      if (existing == key) {
+        return mem.Read64(addr + 8);
+      }
+      if (existing == 0) {
+        return 0;
+      }
+    }
+    return 0;
+  }
+};
+
+// Timed lookup. `*value` receives the stored value or 0; `*found` the hit
+// status. ~30 cycles of hash arithmetic plus one load per probe.
+template <typename Ctx>
+GuestTask HashGet(Ctx& ctx, HashTableRef table, uint64_t key, uint64_t* value, bool* found) {
+  co_await ctx.Compute(30);  // hash + index arithmetic
+  *value = 0;
+  *found = false;
+  uint64_t slot = HashTableRef::HashKey(key);
+  for (uint64_t i = 0; i < table.capacity; i++, slot++) {
+    const Addr addr = table.SlotAddr(slot);
+    const uint64_t stored_key = co_await ctx.Load(addr);
+    if (stored_key == key) {
+      *value = co_await ctx.Load(addr + 8);
+      *found = true;
+      co_return;
+    }
+    if (stored_key == 0) {
+      co_return;
+    }
+  }
+}
+
+// Timed insert/update. `*ok` is false if the table is full.
+template <typename Ctx>
+GuestTask HashPut(Ctx& ctx, HashTableRef table, uint64_t key, uint64_t value, bool* ok) {
+  co_await ctx.Compute(30);
+  *ok = false;
+  if (key == 0) {
+    co_return;
+  }
+  uint64_t slot = HashTableRef::HashKey(key);
+  for (uint64_t i = 0; i < table.capacity; i++, slot++) {
+    const Addr addr = table.SlotAddr(slot);
+    const uint64_t stored_key = co_await ctx.Load(addr);
+    if (stored_key == 0 || stored_key == key) {
+      co_await ctx.Store(addr, key);
+      co_await ctx.Store(addr + 8, value);
+      *ok = true;
+      co_return;
+    }
+  }
+}
+
+}  // namespace casc
+
+#endif  // SRC_RUNTIME_HASH_TABLE_H_

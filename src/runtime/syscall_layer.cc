@@ -1,0 +1,88 @@
+#include "src/runtime/syscall_layer.h"
+
+namespace casc {
+
+GuestTask SyscallCall(GuestContext& ctx, Channel ch, SyscallRequest req, uint64_t* ret) {
+  // Arm the response watch before ringing the doorbell so the wakeup can
+  // never be lost.
+  co_await ctx.Monitor(ch.resp());
+  co_await ctx.Store(ch.arg(0), req.nr);
+  co_await ctx.Store(ch.arg(1), req.a0);
+  co_await ctx.Store(ch.arg(2), req.a1);
+  co_await ctx.Store(ch.arg(3), req.a2);
+  const uint64_t seq = co_await ctx.Load(ch.req());
+  co_await ctx.Store(ch.req(), seq + 1);  // wakes the server thread
+  for (;;) {
+    const uint64_t done = co_await ctx.Load(ch.resp());
+    if (done >= seq + 1) {
+      break;
+    }
+    co_await ctx.Mwait();
+  }
+  *ret = co_await ctx.Load(ch.ret());
+}
+
+GuestTask IpcCall(GuestContext& ctx, Channel ch, Vtid callee_vtid, SyscallRequest req,
+                  uint64_t* ret) {
+  co_await ctx.Monitor(ch.resp());
+  co_await ctx.Store(ch.arg(0), req.nr);
+  co_await ctx.Store(ch.arg(1), req.a0);
+  co_await ctx.Store(ch.arg(2), req.a1);
+  co_await ctx.Store(ch.arg(3), req.a2);
+  const uint64_t seq = co_await ctx.Load(ch.req());
+  co_await ctx.Store(ch.req(), seq + 1);
+  // The direct hand-off: no kernel, no scheduler — just `start`.
+  co_await ctx.Start(callee_vtid);
+  for (;;) {
+    const uint64_t done = co_await ctx.Load(ch.resp());
+    if (done >= seq + 1) {
+      break;
+    }
+    co_await ctx.Mwait();
+  }
+  *ret = co_await ctx.Load(ch.ret());
+}
+
+NativeProgram MakeSyscallServer(Channel ch, SyscallHandler handler) {
+  return [ch, handler](GuestContext& ctx) -> GuestTask {
+    co_await ctx.Monitor(ch.req());
+    uint64_t handled = co_await ctx.Load(ch.resp());
+    for (;;) {
+      uint64_t requested = co_await ctx.Load(ch.req());
+      while (handled < requested) {
+        SyscallRequest req;
+        req.nr = co_await ctx.Load(ch.arg(0));
+        req.a0 = co_await ctx.Load(ch.arg(1));
+        req.a1 = co_await ctx.Load(ch.arg(2));
+        req.a2 = co_await ctx.Load(ch.arg(3));
+        uint64_t ret = 0;
+        co_await ctx.Call(handler(ctx, req, &ret));
+        co_await ctx.Store(ch.ret(), ret);
+        handled++;
+        co_await ctx.Store(ch.resp(), handled);  // wakes the caller
+        requested = co_await ctx.Load(ch.req());
+      }
+      co_await ctx.Mwait();
+    }
+  };
+}
+
+NativeProgram MakeIpcCallee(Channel ch, SyscallHandler handler) {
+  return [ch, handler](GuestContext& ctx) -> GuestTask {
+    for (;;) {
+      SyscallRequest req;
+      req.nr = co_await ctx.Load(ch.arg(0));
+      req.a0 = co_await ctx.Load(ch.arg(1));
+      req.a1 = co_await ctx.Load(ch.arg(2));
+      req.a2 = co_await ctx.Load(ch.arg(3));
+      uint64_t ret = 0;
+      co_await ctx.Call(handler(ctx, req, &ret));
+      co_await ctx.Store(ch.ret(), ret);
+      const uint64_t handled = co_await ctx.Load(ch.resp());
+      co_await ctx.Store(ch.resp(), handled + 1);
+      co_await ctx.StopSelf();  // disabled until the next caller starts us
+    }
+  };
+}
+
+}  // namespace casc

@@ -1,0 +1,57 @@
+// Exception-less system calls and direct IPC (§2 "Exception-less System
+// Calls and No VM-Exits", "Faster Microkernels and Container Proxies").
+//
+// Two flavors over the same Channel:
+//  * Server-waits (syscall style): a dedicated kernel hardware thread blocks
+//    in mwait on the request doorbell; the app's doorbell store wakes it. No
+//    mode switch ever happens on the app thread.
+//  * Callee-start (XPC style): the callee thread is disabled between calls;
+//    the caller writes arguments and executes `start` on it directly —
+//    "there is no need to move into kernel space and invoke the scheduler".
+#ifndef SRC_RUNTIME_SYSCALL_LAYER_H_
+#define SRC_RUNTIME_SYSCALL_LAYER_H_
+
+#include <functional>
+
+#include "src/cpu/guest.h"
+#include "src/runtime/channel.h"
+
+namespace casc {
+
+struct SyscallRequest {
+  uint64_t nr = 0;
+  uint64_t a0 = 0;
+  uint64_t a1 = 0;
+  uint64_t a2 = 0;
+};
+
+// Kernel-side handler for one request; runs as a subtask on the server
+// hardware thread and writes its result through `*ret`.
+using SyscallHandler =
+    std::function<GuestTask(GuestContext& ctx, const SyscallRequest& req, uint64_t* ret)>;
+
+// --- client side (subtasks to co_await ctx.Call(...) on) -------------------
+
+// One syscall over a server-waits channel. Blocks (mwait) until the response
+// doorbell advances past this request.
+GuestTask SyscallCall(GuestContext& ctx, Channel ch, SyscallRequest req, uint64_t* ret);
+
+// One direct IPC: writes arguments, `start`s the callee vtid, blocks on the
+// response doorbell. The callee must be a MakeIpcCallee program on a thread
+// the caller's TDT lets it start.
+GuestTask IpcCall(GuestContext& ctx, Channel ch, Vtid callee_vtid, SyscallRequest req,
+                  uint64_t* ret);
+
+// --- server side (NativeProgram factories) ---------------------------------
+
+// Dedicated kernel thread: serves `ch` forever, waking on the request
+// doorbell. Batches naturally if multiple requests arrived.
+NativeProgram MakeSyscallServer(Channel ch, SyscallHandler handler);
+
+// Callee-start server: handles exactly one request per activation, then
+// disables itself (the caller's `start` is the scheduling act).
+NativeProgram MakeIpcCallee(Channel ch, SyscallHandler handler);
+
+}  // namespace casc
+
+#endif  // SRC_RUNTIME_SYSCALL_LAYER_H_

@@ -1,0 +1,55 @@
+#include "src/sim/config.h"
+
+#include <cstdlib>
+
+namespace casc {
+
+bool Config::ParseArgs(int argc, const char* const* argv, std::string* error) {
+  for (int i = 1; i < argc; i++) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (error != nullptr) {
+        *error = "expected --key=value, got: " + arg;
+      }
+      return false;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+  return true;
+}
+
+std::string Config::GetString(const std::string& key, const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Config::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+uint64_t Config::GetUint(const std::string& key, uint64_t def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double Config::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Config::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes" || it->second == "on";
+}
+
+}  // namespace casc

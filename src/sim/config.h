@@ -1,0 +1,39 @@
+// Key/value run configuration with typed accessors, parsed from
+// `--key=value` command-line flags. Bench and example binaries use this to
+// expose every machine knob without per-binary flag plumbing.
+#ifndef SRC_SIM_CONFIG_H_
+#define SRC_SIM_CONFIG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace casc {
+
+class Config {
+ public:
+  Config() = default;
+
+  // Parses argv entries of the form --key=value (or --flag for booleans).
+  // Returns false and sets `error` on malformed input.
+  bool ParseArgs(int argc, const char* const* argv, std::string* error = nullptr);
+
+  void Set(const std::string& key, const std::string& value) { values_[key] = value; }
+
+  bool Has(const std::string& key) const { return values_.count(key) != 0; }
+
+  std::string GetString(const std::string& key, const std::string& def = "") const;
+  int64_t GetInt(const std::string& key, int64_t def) const;
+  uint64_t GetUint(const std::string& key, uint64_t def) const;
+  double GetDouble(const std::string& key, double def) const;
+  bool GetBool(const std::string& key, bool def) const;
+
+  const std::map<std::string, std::string>& values() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_SIM_CONFIG_H_

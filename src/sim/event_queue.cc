@@ -1,0 +1,94 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace casc {
+
+void EventQueue::Schedule(Event* ev, Tick when) {
+  assert(ev != nullptr);
+  assert(when >= now_);
+  if (ev->scheduled_) {
+    // Reschedule: invalidate the old heap entry via a new generation.
+    live_count_--;
+  }
+  ev->scheduled_ = true;
+  ev->when_ = when;
+  ev->generation_ = ++generation_counter_;
+  heap_.push_back(HeapEntry{when, next_seq_++, ev, ev->generation_, nullptr});
+  std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
+  live_count_++;
+}
+
+void EventQueue::Deschedule(Event* ev) {
+  assert(ev != nullptr);
+  if (!ev->scheduled_) {
+    return;
+  }
+  ev->scheduled_ = false;
+  ev->generation_ = ++generation_counter_;
+  live_count_--;
+}
+
+void EventQueue::ScheduleFn(Tick when, std::function<void()> fn) {
+  assert(when >= now_);
+  heap_.push_back(HeapEntry{when, next_seq_++, nullptr, 0, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), HeapCmp{});
+  live_count_++;
+}
+
+void EventQueue::PopDead() {
+  while (!heap_.empty() && !IsLive(heap_.front())) {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+    heap_.pop_back();
+  }
+}
+
+Tick EventQueue::NextTick() const {
+  // const_cast-free scan: the front may be dead; find the earliest live entry
+  // lazily without mutating (cheap in practice because dead entries cluster at
+  // the front and RunOne purges them).
+  const_cast<EventQueue*>(this)->PopDead();
+  if (heap_.empty()) {
+    return std::numeric_limits<Tick>::max();
+  }
+  return heap_.front().when;
+}
+
+bool EventQueue::RunOne() {
+  PopDead();
+  if (heap_.empty()) {
+    return false;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), HeapCmp{});
+  HeapEntry entry = std::move(heap_.back());
+  heap_.pop_back();
+  live_count_--;
+  assert(entry.when >= now_);
+  now_ = entry.when;
+  if (entry.ev != nullptr) {
+    entry.ev->scheduled_ = false;
+    entry.ev->Fire();
+  } else {
+    entry.fn();
+  }
+  return true;
+}
+
+void EventQueue::RunUntil(Tick limit) {
+  while (NextTick() <= limit) {
+    RunOne();
+  }
+  now_ = std::max(now_, limit);
+}
+
+uint64_t EventQueue::RunAll(uint64_t max_events) {
+  uint64_t fired = 0;
+  while (fired < max_events && RunOne()) {
+    fired++;
+  }
+  return fired;
+}
+
+}  // namespace casc

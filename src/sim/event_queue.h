@@ -1,0 +1,124 @@
+// Discrete-event simulation core: a tick-ordered event queue.
+//
+// Two kinds of events are supported:
+//  * Reusable `Event` objects owned by the caller (no allocation per schedule;
+//    used for hot paths such as per-cycle core ticks).
+//  * One-shot callbacks scheduled with `ScheduleFn` (owned by the queue).
+//
+// Events scheduled for the same tick fire in FIFO order of scheduling.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace casc {
+
+class EventQueue;
+
+// A reusable event. The owner keeps the object alive while it is scheduled.
+// An Event can be scheduled on at most one queue at a time.
+class Event {
+ public:
+  Event() = default;
+  virtual ~Event() = default;
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  virtual void Fire() = 0;
+
+  bool scheduled() const { return scheduled_; }
+  Tick when() const { return when_; }
+
+ private:
+  friend class EventQueue;
+  Tick when_ = 0;
+  uint64_t generation_ = 0;  // bumped on every (de)schedule to invalidate stale heap entries
+  bool scheduled_ = false;
+};
+
+// Adapts a callable into a reusable Event.
+template <typename Fn>
+class LambdaEvent final : public Event {
+ public:
+  explicit LambdaEvent(Fn fn) : fn_(std::move(fn)) {}
+  void Fire() override { fn_(); }
+
+ private:
+  Fn fn_;
+};
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  Tick now() const { return now_; }
+
+  // Schedules `ev` to fire at absolute tick `when` (>= now). If `ev` is
+  // already scheduled it is rescheduled.
+  void Schedule(Event* ev, Tick when);
+
+  // Convenience: schedule relative to now.
+  void ScheduleAfter(Event* ev, Tick delta) { Schedule(ev, now_ + delta); }
+
+  // Removes `ev` from the queue if scheduled. Safe to call on an unscheduled event.
+  void Deschedule(Event* ev);
+
+  // Schedules a one-shot callback at absolute tick `when`; the queue owns it.
+  void ScheduleFn(Tick when, std::function<void()> fn);
+  void ScheduleFnAfter(Tick delta, std::function<void()> fn) {
+    ScheduleFn(now_ + delta, std::move(fn));
+  }
+
+  bool Empty() const { return live_count_ == 0; }
+  size_t LiveCount() const { return live_count_; }
+
+  // Tick of the earliest live event, or Tick max if empty.
+  Tick NextTick() const;
+
+  // Fires the earliest event. Returns false if the queue is empty.
+  bool RunOne();
+
+  // Runs events with when <= limit; afterwards now() == max(now, limit).
+  void RunUntil(Tick limit);
+
+  // Runs until the queue drains or `max_events` have fired. Returns the number fired.
+  uint64_t RunAll(uint64_t max_events = UINT64_MAX);
+
+ private:
+  struct HeapEntry {
+    Tick when;
+    uint64_t seq;                // tie-break for FIFO order within a tick
+    Event* ev;                   // nullptr for one-shot fn entries
+    uint64_t generation;         // must match ev->generation_ to be live
+    std::function<void()> fn;    // one-shot payload when ev == nullptr
+
+    bool After(const HeapEntry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+  struct HeapCmp {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const { return a.After(b); }
+  };
+
+  bool IsLive(const HeapEntry& e) const {
+    return e.ev == nullptr || (e.ev->scheduled_ && e.ev->generation_ == e.generation);
+  }
+  void PopDead();
+
+  std::vector<HeapEntry> heap_;
+  Tick now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t generation_counter_ = 0;
+  size_t live_count_ = 0;
+};
+
+}  // namespace casc
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,88 @@
+// Minimal leveled logging for the simulator. Trace-level logging is used by
+// components to narrate simulated activity; it is off by default so benches
+// stay fast.
+#ifndef SRC_SIM_LOG_H_
+#define SRC_SIM_LOG_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace casc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Logger {
+ public:
+  static Logger& Get() {
+    static Logger logger;
+    return logger;
+  }
+
+  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_ = level; }
+
+  void Write(LogLevel level, const std::string& msg) {
+    if (level >= level_) {
+      std::cerr << "[" << Name(level) << "] " << msg << "\n";
+    }
+  }
+
+ private:
+  static const char* Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kTrace:
+        return "TRACE";
+      case LogLevel::kDebug:
+        return "DEBUG";
+      case LogLevel::kInfo:
+        return "INFO";
+      case LogLevel::kWarn:
+        return "WARN";
+      case LogLevel::kError:
+        return "ERROR";
+      default:
+        return "?";
+    }
+  }
+
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+namespace log_internal {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { Logger::Get().Write(level_, stream_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace casc
+
+#define CASC_LOG_ENABLED(lvl) (::casc::Logger::Get().level() <= (lvl))
+#define CASC_LOG(lvl)                              \
+  if (!CASC_LOG_ENABLED(::casc::LogLevel::k##lvl)) \
+    ;                                              \
+  else                                             \
+    ::casc::log_internal::LineBuilder(::casc::LogLevel::k##lvl)
+
+#endif  // SRC_SIM_LOG_H_

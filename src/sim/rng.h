@@ -1,0 +1,113 @@
+// Deterministic pseudo-random number generation (xoshiro256**) plus the
+// distributions the workload generators need. Self-contained so results are
+// reproducible across standard-library implementations.
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace casc {
+
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return UINT64_MAX; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  uint64_t NextBounded(uint64_t bound) {
+    if (bound == 0) {
+      return 0;
+    }
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound)) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t NextRange(uint64_t lo, uint64_t hi) { return lo + NextBounded(hi - lo + 1); }
+
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  // Exponential with the given mean.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log1p(-u);
+  }
+
+  // Standard normal via Box-Muller (one value per call; cached pair).
+  double NextNormal() {
+    if (has_cached_normal_) {
+      has_cached_normal_ = false;
+      return cached_normal_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 <= 0.0) {
+      u1 = 0x1.0p-53;
+    }
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+  }
+
+  // Lognormal parameterized by the mean/sigma of the underlying normal.
+  double NextLognormal(double mu, double sigma) { return std::exp(mu + sigma * NextNormal()); }
+
+  // Pareto with scale x_m and shape alpha (alpha > 1 for finite mean).
+  double NextPareto(double x_m, double alpha) {
+    double u = NextDouble();
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return x_m / std::pow(u, 1.0 / alpha);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace casc
+
+#endif  // SRC_SIM_RNG_H_

@@ -1,0 +1,72 @@
+// Lightweight statistics: named counters and HDR-style histograms with
+// bounded relative error, registered in a per-simulation registry.
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace casc {
+
+// Log2-major / linear-minor bucketed histogram of non-negative 64-bit values.
+// With 16 sub-buckets per octave the worst-case relative quantile error is
+// ~6%; values below 16 are exact.
+class Histogram {
+ public:
+  static constexpr uint32_t kSubBits = 4;  // 16 sub-buckets per power of two
+  static constexpr uint32_t kSub = 1u << kSubBits;
+  static constexpr uint32_t kBuckets = (64 - kSubBits) * kSub + kSub;
+
+  void Record(uint64_t value, uint64_t weight = 1);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_; }
+  double stddev() const;
+
+  // Quantile in [0, 1]; returns a representative value for the containing bucket.
+  uint64_t Quantile(double q) const;
+  uint64_t P50() const { return Quantile(0.50); }
+  uint64_t P90() const { return Quantile(0.90); }
+  uint64_t P99() const { return Quantile(0.99); }
+  uint64_t P999() const { return Quantile(0.999); }
+
+ private:
+  static uint32_t BucketIndex(uint64_t value);
+  static uint64_t BucketMidpoint(uint32_t index);
+
+  std::vector<uint64_t> buckets_;  // lazily sized
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  double sum_sq_ = 0.0;
+  uint64_t min_ = UINT64_MAX;
+  uint64_t max_ = 0;
+};
+
+// A simulation-scoped registry of named counters and histograms. Components
+// obtain references once at construction; lookups are by full dotted name.
+class StatsRegistry {
+ public:
+  uint64_t& Counter(const std::string& name) { return counters_[name]; }
+  Histogram& Hist(const std::string& name) { return hists_[name]; }
+
+  uint64_t GetCounter(const std::string& name) const;
+  const Histogram* GetHist(const std::string& name) const;
+
+  void Dump(std::ostream& os) const;
+  void Reset();
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, Histogram> hists_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,109 @@
+// Service-time distributions for server workloads. The paper's scheduling
+// argument (§4) hinges on execution-time variability, so the generators
+// cover the standard cases: fixed, exponential, bimodal (the classic
+// "99% short / 1% long" killer-microseconds shape), Pareto heavy tail, and
+// lognormal.
+#ifndef SRC_WORKLOAD_DISTRIBUTIONS_H_
+#define SRC_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+class ServiceDist {
+ public:
+  enum class Kind { kFixed, kExponential, kBimodal, kPareto, kLognormal };
+
+  static ServiceDist Fixed(double mean) { return ServiceDist(Kind::kFixed, mean, 0, 0); }
+  static ServiceDist Exponential(double mean) {
+    return ServiceDist(Kind::kExponential, mean, 0, 0);
+  }
+  // p_long of requests take `long_v` cycles, the rest `short_v`.
+  static ServiceDist Bimodal(double short_v, double long_v, double p_long) {
+    ServiceDist d(Kind::kBimodal, short_v * (1 - p_long) + long_v * p_long, long_v, p_long);
+    d.short_v_ = short_v;
+    return d;
+  }
+  // Heavy tail with shape alpha (> 1); scale chosen to hit `mean`.
+  static ServiceDist Pareto(double mean, double alpha) {
+    ServiceDist d(Kind::kPareto, mean, 0, alpha);
+    d.scale_ = mean * (alpha - 1) / alpha;
+    return d;
+  }
+  // Lognormal with the given mean and sigma of the underlying normal.
+  static ServiceDist Lognormal(double mean, double sigma) {
+    ServiceDist d(Kind::kLognormal, mean, 0, sigma);
+    d.mu_ = std::log(mean) - sigma * sigma / 2;
+    return d;
+  }
+
+  // Parses "fixed" | "exp" | "bimodal" | "pareto" | "lognormal" with `mean`
+  // cycles (bimodal: short = mean/2 at 99%, long = ~50x mean at 1%).
+  static ServiceDist Parse(const std::string& name, double mean);
+
+  Kind kind() const { return kind_; }
+  double mean() const { return mean_; }
+
+  Tick Sample(Rng& rng) const {
+    double v = mean_;
+    switch (kind_) {
+      case Kind::kFixed:
+        v = mean_;
+        break;
+      case Kind::kExponential:
+        v = rng.NextExponential(mean_);
+        break;
+      case Kind::kBimodal:
+        v = rng.NextBool(p_) ? long_v_ : short_v_;
+        break;
+      case Kind::kPareto:
+        v = rng.NextPareto(scale_, p_);
+        break;
+      case Kind::kLognormal:
+        v = rng.NextLognormal(mu_, p_);
+        break;
+    }
+    return static_cast<Tick>(std::max(1.0, v));
+  }
+
+ private:
+  ServiceDist(Kind kind, double mean, double long_v, double p)
+      : kind_(kind), mean_(mean), long_v_(long_v), p_(p) {}
+
+  Kind kind_;
+  double mean_;
+  double long_v_;
+  double p_;  // p_long / alpha / sigma depending on kind
+  double short_v_ = 0;
+  double scale_ = 0;
+  double mu_ = 0;
+};
+
+inline ServiceDist ServiceDist::Parse(const std::string& name, double mean) {
+  if (name == "exp" || name == "exponential") {
+    return Exponential(mean);
+  }
+  if (name == "bimodal") {
+    // 99% short, 1% long, calibrated so the mix averages to `mean`:
+    // short = mean/2, long solves 0.99*short + 0.01*long = mean.
+    const double short_v = mean / 2;
+    const double long_v = (mean - 0.99 * short_v) / 0.01;
+    return Bimodal(short_v, long_v, 0.01);
+  }
+  if (name == "pareto") {
+    return Pareto(mean, 1.5);
+  }
+  if (name == "lognormal") {
+    return Lognormal(mean, 1.5);
+  }
+  return Fixed(mean);
+}
+
+}  // namespace casc
+
+#endif  // SRC_WORKLOAD_DISTRIBUTIONS_H_

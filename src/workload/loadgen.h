@@ -1,0 +1,96 @@
+// Load generation and latency accounting for the server experiments.
+#ifndef SRC_WORKLOAD_LOADGEN_H_
+#define SRC_WORKLOAD_LOADGEN_H_
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+#include "src/workload/distributions.h"
+
+namespace casc {
+
+// Open-loop Poisson arrival source: requests arrive independently of
+// completions (the right model for tail-latency studies). Each arrival calls
+// `emit(req_id, service_cycles)`.
+class OpenLoopSource {
+ public:
+  using Emit = std::function<void(uint64_t req_id, Tick service_cycles)>;
+
+  OpenLoopSource(Simulation& sim, double mean_interarrival_cycles, ServiceDist service,
+                 Emit emit)
+      : sim_(sim),
+        mean_gap_(mean_interarrival_cycles),
+        service_(service),
+        emit_(std::move(emit)),
+        event_([this] { Fire(); }) {}
+
+  void StartAt(Tick when) { sim_.queue().Schedule(&event_, when); }
+  void Stop() { sim_.queue().Deschedule(&event_); }
+
+  uint64_t emitted() const { return next_id_ - 1; }
+  void set_limit(uint64_t n) { limit_ = n; }
+
+ private:
+  void Fire() {
+    emit_(next_id_++, service_.Sample(sim_.rng()));
+    if (limit_ != 0 && next_id_ > limit_) {
+      return;
+    }
+    const Tick gap = std::max<Tick>(1, static_cast<Tick>(sim_.rng().NextExponential(mean_gap_)));
+    sim_.queue().ScheduleAfter(&event_, gap);
+  }
+
+  Simulation& sim_;
+  double mean_gap_;
+  ServiceDist service_;
+  Emit emit_;
+  LambdaEvent<std::function<void()>> event_;
+  uint64_t next_id_ = 1;
+  uint64_t limit_ = 0;
+};
+
+// Tracks per-request sojourn times and slowdown (sojourn / service).
+class LatencyRecorder {
+ public:
+  void OnSend(uint64_t req_id, Tick now, Tick service) {
+    inflight_[req_id] = {now, service};
+  }
+  void OnReceive(uint64_t req_id, Tick now) {
+    auto it = inflight_.find(req_id);
+    if (it == inflight_.end()) {
+      return;
+    }
+    const Tick sojourn = now - it->second.sent;
+    latency_.Record(sojourn);
+    if (it->second.service > 0) {
+      slowdown_.Record(std::max<uint64_t>(1, sojourn / it->second.service));
+    }
+    inflight_.erase(it);
+  }
+
+  const Histogram& latency() const { return latency_; }
+  const Histogram& slowdown() const { return slowdown_; }
+  size_t inflight() const { return inflight_.size(); }
+  uint64_t completed() const { return latency_.count(); }
+  void Reset() {
+    latency_.Reset();
+    slowdown_.Reset();
+    inflight_.clear();
+  }
+
+ private:
+  struct Sent {
+    Tick sent;
+    Tick service;
+  };
+  Histogram latency_;
+  Histogram slowdown_;
+  std::unordered_map<uint64_t, Sent> inflight_;
+};
+
+}  // namespace casc
+
+#endif  // SRC_WORKLOAD_LOADGEN_H_

@@ -1,0 +1,162 @@
+// End-to-end §3 workflows written entirely in guest assembly: a kernel
+// thread that builds its own TDT in memory, grants capabilities, revokes
+// them with invtid, and threads that monitor MMIO registers.
+#include <gtest/gtest.h>
+
+#include "src/cpu/machine.h"
+#include "src/dev/nic.h"
+#include "src/hwt/tdt.h"
+
+namespace casc {
+namespace {
+
+struct HcallLog {
+  std::vector<std::pair<int64_t, uint64_t>> entries;
+  void InstallOn(Machine& m) {
+    m.SetHcallHandler([this](Core&, HwThread& t, int64_t code) {
+      entries.push_back({code, t.ReadGpr(10)});
+    });
+  }
+  uint64_t Last(int64_t code) const {
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+      if (it->first == code) {
+        return it->second;
+      }
+    }
+    return UINT64_MAX;
+  }
+};
+
+TEST(AsmWorkflowTest, KernelBuildsTdtAndGrantsCapability) {
+  // The kernel thread writes a TDT with stores, installs it for a user
+  // manager thread via rpush of TDTR/TDTSIZE, and starts the manager; the
+  // manager — pure user mode — then starts the worker through its granted
+  // vtid 0.
+  Machine m;
+  HcallLog log;
+  log.InstallOn(m);
+  const Ptid worker = m.LoadSource(0, 2,
+                                   "  li a0, 0x77\n"
+                                   "  hcall 1\n"
+                                   "  halt\n",
+                                   /*supervisor=*/false, "", 0x30200, 0x4000);
+  (void)worker;
+  m.LoadSource(0, 1,
+               "  li a1, 0\n"
+               "  start a1\n"  // vtid 0 -> worker, via the TDT the kernel built
+               "  halt\n",
+               /*supervisor=*/false, "", 0x30100, 0x3000);
+  const Ptid kernel = m.LoadSource(0, 0,
+                                   // Build TDT entry 0 at 0x20000: ptid=2, perms=0b1111.
+                                   "  li a1, 0x20000\n"
+                                   "  li a2, 2\n"
+                                   "  sw a2, 0(a1)\n"
+                                   "  li a2, 15\n"
+                                   "  sb a2, 4(a1)\n"
+                                   // Install it in the manager (ptid 1) and start it.
+                                   "  li a3, 1\n"
+                                   "  li a4, 0x20000\n"
+                                   "  rpush a3, tdtr, a4\n"
+                                   "  li a4, 1\n"
+                                   "  rpush a3, tdtsize, a4\n"
+                                   "  start a3\n"
+                                   "  halt\n",
+                                   /*supervisor=*/true, "", 0, 0x1000);
+  m.Start(kernel);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(log.Last(1), 0x77u);
+  EXPECT_FALSE(m.halted());
+}
+
+TEST(AsmWorkflowTest, InvtidRevokesStaleTranslation) {
+  // The kernel repoints vtid 0 from worker A to worker B, issues invtid, and
+  // restarts through the same manager: the new mapping must take effect.
+  Machine m;
+  HcallLog log;
+  log.InstallOn(m);
+  m.LoadSource(0, 2, "  li a0, 0xaa\n  hcall 1\n  halt\n", false, "", 0x30200, 0x4000);
+  m.LoadSource(0, 3, "  li a0, 0xbb\n  hcall 1\n  halt\n", false, "", 0x30300, 0x5000);
+  // Manager: starts vtid 0, spins until the kernel re-rings its mailbox,
+  // then starts vtid 0 again.
+  m.LoadSource(0, 1,
+               "  li a1, 0\n"
+               "  start a1\n"
+               "  li a2, 0x21000\n"
+               "  monitor a2\n"
+               "  mwait\n"
+               "  start a1\n"  // translation must be re-walked after invtid
+               "  halt\n",
+               /*supervisor=*/false, "", 0x30100, 0x3000);
+  const Ptid kernel = m.LoadSource(0, 0,
+                                   "  li a1, 0x20000\n"
+                                   "  li a2, 2\n"
+                                   "  sw a2, 0(a1)\n"
+                                   "  li a2, 15\n"
+                                   "  sb a2, 4(a1)\n"
+                                   "  li a3, 1\n"
+                                   "  li a4, 0x20000\n"
+                                   "  rpush a3, tdtr, a4\n"
+                                   "  li a4, 1\n"
+                                   "  rpush a3, tdtsize, a4\n"
+                                   "  start a3\n"
+                                   // Wait for A to report before repointing.
+                                   "  li a5, 2000\n"
+                                   "spin:\n"
+                                   "  addi a5, a5, -1\n"
+                                   "  bne a5, r0, spin\n"
+                                   // Repoint vtid 0 -> ptid 3 and invalidate the
+                                   // manager's cached translation (invtid vtid 1 = the
+                                   // manager in our identity map, entry 0).
+                                   "  li a2, 3\n"
+                                   "  sw a2, 0(a1)\n"
+                                   "  li a6, 1\n"
+                                   "  li a7, 0\n"
+                                   "  invtid a6, a7\n"
+                                   // Ring the manager's mailbox line.
+                                   "  li a2, 0x21000\n"
+                                   "  sd a6, 0(a2)\n"
+                                   "  halt\n",
+                                   /*supervisor=*/true, "", 0, 0x1000);
+  m.Start(kernel);
+  ASSERT_TRUE(m.RunToQuiescence());
+  // Both workers ran: A from the first start, B after the invtid.
+  EXPECT_EQ(log.entries.size(), 2u);
+  EXPECT_EQ(log.entries[0].second, 0xaau);
+  EXPECT_EQ(log.entries[1].second, 0xbbu);
+}
+
+TEST(AsmWorkflowTest, MonitorOnMmioRegister) {
+  // §3.1: "one can monitor uncachable addresses such as device memory or
+  // memory-mapped I/O registers". A thread watches the NIC's TX doorbell
+  // register; another thread's MMIO store wakes it.
+  Machine m;
+  HcallLog log;
+  log.InstallOn(m);
+  Nic nic(m.sim(), m.mem(), NicConfig{});
+  const Addr doorbell = nic.config().mmio_base + kNicTxDoorbell;
+  const Ptid watcher = m.LoadSource(0, 0,
+                                    "  li a1, 0xf0000038\n"  // TX doorbell MMIO
+                                    "  monitor a1\n"
+                                    "  mwait\n"
+                                    "  li a0, 1\n"
+                                    "  hcall 1\n"
+                                    "  halt\n",
+                                    /*supervisor=*/true, "", 0, 0x1000);
+  ASSERT_EQ(doorbell, 0xf0000038u);
+  const Ptid ringer = m.LoadSource(0, 1,
+                                   "  li a1, 0xf0000038\n"
+                                   "  li a2, 300\n"
+                                   "spin:\n"
+                                   "  addi a2, a2, -1\n"
+                                   "  bne a2, r0, spin\n"
+                                   "  sd r0, 0(a1)\n"  // MMIO store (doorbell = 0: no TX)
+                                   "  halt\n",
+                                   /*supervisor=*/true, "", 0, 0x2000);
+  m.Start(watcher);
+  m.Start(ringer);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(log.Last(1), 1u);
+}
+
+}  // namespace
+}  // namespace casc

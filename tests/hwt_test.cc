@@ -1,0 +1,529 @@
+// Tests for the hardware threading model: ptid state machine, TDT
+// translation and permissions (Table 1), vtid cache + invtid, tiered context
+// store, weighted scheduling queue, exception descriptors, and monitor/mwait
+// integration.
+#include <gtest/gtest.h>
+
+#include "src/hwt/context_store.h"
+#include "src/hwt/exception.h"
+#include "src/hwt/sched_queue.h"
+#include "src/hwt/tdt.h"
+#include "src/hwt/thread_system.h"
+#include "src/mem/memory_system.h"
+#include "src/sim/simulation.h"
+
+namespace casc {
+namespace {
+
+constexpr Addr kTdtBase = 0x20000;
+
+class HwtTest : public ::testing::Test {
+ protected:
+  HwtTest() : sim_(3.0), mem_(sim_, MemConfig{}, 2), ts_(sim_, mem_, MakeConfig(), 2) {}
+
+  static HwtConfig MakeConfig() {
+    HwtConfig cfg;
+    cfg.threads_per_core = 16;
+    cfg.rf_slots = 4;
+    cfg.l2_slots = 4;
+    cfg.l3_slots = 4;
+    return cfg;
+  }
+
+  // Installs a TDT for `issuer` with one entry: vtid 0 -> (target, perms).
+  void InstallTdt(Ptid issuer, Ptid target, uint8_t perms, uint64_t size = 1) {
+    TdtEntry{target, perms}.WriteTo(mem_, kTdtBase, 0);
+    ts_.thread(issuer).arch().tdtr = kTdtBase;
+    ts_.thread(issuer).arch().tdt_size = size;
+  }
+
+  Simulation sim_;
+  MemorySystem mem_;
+  ThreadSystem ts_;
+};
+
+TEST_F(HwtTest, ThreadsStartDisabled) {
+  for (Ptid p = 0; p < ts_.num_threads(); p++) {
+    EXPECT_EQ(ts_.thread(p).state(), ThreadState::kDisabled);
+  }
+  EXPECT_EQ(ts_.num_threads(), 32u);
+  EXPECT_EQ(ts_.CoreOf(17), 1u);
+  EXPECT_EQ(ts_.PtidOf(1, 1), 17u);
+}
+
+TEST_F(HwtTest, SupervisorIdentityStartStop) {
+  ts_.InitThread(0, 0x1000, /*supervisor=*/true);
+  ts_.thread(0).set_state(ThreadState::kRunnable);
+  OpResult r = ts_.Start(0, 5);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(ts_.thread(5).state(), ThreadState::kRunnable);
+  EXPECT_GT(r.latency, 0u);
+
+  r = ts_.Stop(0, 5);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(ts_.thread(5).state(), ThreadState::kDisabled);
+}
+
+TEST_F(HwtTest, UserWithoutTdtCannotStart) {
+  ts_.InitThread(1, 0x1000, /*supervisor=*/false, /*edp=*/0x30000);
+  ts_.thread(1).set_state(ThreadState::kRunnable);
+  const OpResult r = ts_.Start(1, 5);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(ts_.thread(1).state(), ThreadState::kDisabled);  // faulted
+  EXPECT_EQ(ts_.thread(5).state(), ThreadState::kDisabled);
+  sim_.queue().RunAll();
+  const ExceptionDescriptor d = ExceptionDescriptor::ReadFrom(mem_, 0x30000);
+  EXPECT_EQ(d.type, static_cast<uint32_t>(ExceptionType::kInvalidVtid));
+  EXPECT_EQ(d.ptid, 1u);
+}
+
+TEST_F(HwtTest, TdtGrantsStartToUserThread) {
+  ts_.InitThread(1, 0x1000, /*supervisor=*/false);
+  ts_.thread(1).set_state(ThreadState::kRunnable);
+  InstallTdt(1, /*target=*/7, kPermStart);
+  const OpResult r = ts_.Start(1, 0);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(ts_.thread(7).state(), ThreadState::kRunnable);
+}
+
+TEST_F(HwtTest, TdtDeniesStopWithoutPermission) {
+  ts_.InitThread(1, 0x1000, /*supervisor=*/false, /*edp=*/0x30000);
+  ts_.thread(1).set_state(ThreadState::kRunnable);
+  InstallTdt(1, /*target=*/7, kPermStart);  // start only
+  ts_.thread(7).set_state(ThreadState::kRunnable);
+  const OpResult r = ts_.Stop(1, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(ts_.thread(7).state(), ThreadState::kRunnable);  // unaffected
+  sim_.queue().RunAll();
+  const ExceptionDescriptor d = ExceptionDescriptor::ReadFrom(mem_, 0x30000);
+  EXPECT_EQ(d.type, static_cast<uint32_t>(ExceptionType::kPermissionDenied));
+}
+
+TEST_F(HwtTest, NonHierarchicalPrivilege) {
+  // §3.2: B may stop A, C may stop B, but C has no permission over A —
+  // impossible with protection rings.
+  const Ptid a = 4;
+  const Ptid b = 5;
+  const Ptid c = 6;
+  for (Ptid p : {a, b, c}) {
+    ts_.InitThread(p, 0x1000, /*supervisor=*/false, /*edp=*/0x30000 + p * 0x100);
+    ts_.thread(p).set_state(ThreadState::kRunnable);
+  }
+  // B's TDT: vtid0 -> A (stop). C's TDT: vtid0 -> B (stop). Separate tables.
+  TdtEntry{a, kPermStop}.WriteTo(mem_, 0x40000, 0);
+  ts_.thread(b).arch().tdtr = 0x40000;
+  ts_.thread(b).arch().tdt_size = 1;
+  TdtEntry{b, kPermStop}.WriteTo(mem_, 0x41000, 0);
+  ts_.thread(c).arch().tdtr = 0x41000;
+  ts_.thread(c).arch().tdt_size = 1;
+
+  EXPECT_TRUE(ts_.Stop(b, 0).ok);  // B stops A
+  EXPECT_EQ(ts_.thread(a).state(), ThreadState::kDisabled);
+  EXPECT_TRUE(ts_.Stop(c, 0).ok);  // C stops B
+  EXPECT_EQ(ts_.thread(b).state(), ThreadState::kDisabled);
+  // C's only vtid maps to B; it has no way to name A at all.
+  EXPECT_FALSE(ts_.Start(c, 1).ok);  // out of table -> invalid vtid, C faults
+}
+
+TEST_F(HwtTest, RpullRpushOnDisabledTarget) {
+  ts_.InitThread(0, 0x1000, /*supervisor=*/true);
+  ts_.thread(0).set_state(ThreadState::kRunnable);
+  ts_.thread(3).arch().pc = 0x2222;
+  ts_.thread(3).WriteGpr(10, 77);
+
+  OpResult r = ts_.Rpull(0, 3, 10);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 77u);
+  r = ts_.Rpull(0, 3, static_cast<uint32_t>(RemoteReg::kPc));
+  EXPECT_EQ(r.value, 0x2222u);
+
+  EXPECT_TRUE(ts_.Rpush(0, 3, static_cast<uint32_t>(RemoteReg::kPc), 0x3333).ok);
+  EXPECT_EQ(ts_.thread(3).arch().pc, 0x3333u);
+  EXPECT_TRUE(ts_.Rpush(0, 3, 11, 88).ok);
+  EXPECT_EQ(ts_.thread(3).ReadGpr(11), 88u);
+}
+
+TEST_F(HwtTest, RpullFaultsOnRunnableTarget) {
+  ts_.InitThread(0, 0x1000, /*supervisor=*/true, /*edp=*/0x30000);
+  ts_.thread(0).set_state(ThreadState::kRunnable);
+  ts_.thread(3).set_state(ThreadState::kRunnable);
+  const OpResult r = ts_.Rpull(0, 3, 10);
+  EXPECT_FALSE(r.ok);
+  sim_.queue().RunAll();
+  const ExceptionDescriptor d = ExceptionDescriptor::ReadFrom(mem_, 0x30000);
+  EXPECT_EQ(d.type, static_cast<uint32_t>(ExceptionType::kTargetNotDisabled));
+}
+
+TEST_F(HwtTest, UserCannotRpushModeEvenWithModifyMost) {
+  ts_.InitThread(1, 0x1000, /*supervisor=*/false, /*edp=*/0x30000);
+  ts_.thread(1).set_state(ThreadState::kRunnable);
+  InstallTdt(1, /*target=*/7, kPermAll);
+  const OpResult r = ts_.Rpush(1, 0, static_cast<uint32_t>(RemoteReg::kMode), 1);
+  EXPECT_FALSE(r.ok);
+  sim_.queue().RunAll();
+  const ExceptionDescriptor d = ExceptionDescriptor::ReadFrom(mem_, 0x30000);
+  EXPECT_EQ(d.type, static_cast<uint32_t>(ExceptionType::kPrivilegedInstruction));
+}
+
+TEST_F(HwtTest, UserNeedsModifyMostForPcWrite) {
+  ts_.InitThread(1, 0x1000, /*supervisor=*/false, /*edp=*/0x30000);
+  ts_.thread(1).set_state(ThreadState::kRunnable);
+  InstallTdt(1, /*target=*/7, kPermStart | kPermStop | kPermModifySome);
+  // GPR write allowed.
+  EXPECT_TRUE(ts_.Rpush(1, 0, 12, 5).ok);
+  // PC write requires modify-most.
+  EXPECT_FALSE(ts_.Rpush(1, 0, static_cast<uint32_t>(RemoteReg::kPc), 0x9999).ok);
+}
+
+TEST_F(HwtTest, VtidCacheHitsAfterWalkAndInvtidInvalidates) {
+  ts_.InitThread(0, 0x1000, /*supervisor=*/true);
+  ts_.thread(0).set_state(ThreadState::kRunnable);
+  InstallTdt(0, /*target=*/7, kPermAll, /*size=*/4);
+
+  Tick lat1 = 0;
+  const Translation t1 = ts_.Translate(0, 0, &lat1);
+  ASSERT_TRUE(t1.valid);
+  EXPECT_FALSE(t1.cache_hit);
+  EXPECT_GT(lat1, ts_.config().vtid_cache_hit_cycles);  // memory walk
+
+  Tick lat2 = 0;
+  const Translation t2 = ts_.Translate(0, 0, &lat2);
+  EXPECT_TRUE(t2.cache_hit);
+  EXPECT_EQ(lat2, ts_.config().vtid_cache_hit_cycles);
+
+  // Repoint the entry; stale until invtid.
+  TdtEntry{9, kPermAll}.WriteTo(mem_, kTdtBase, 0);
+  Tick lat3 = 0;
+  EXPECT_EQ(ts_.Translate(0, 0, &lat3).ptid, 7u);  // stale hit
+  // invtid names the thread whose cache is flushed; install a self-mapping
+  // at vtid 1 so the issuer can invalidate its own entry 0.
+  TdtEntry{0, kPermAll}.WriteTo(mem_, kTdtBase, 1);
+  EXPECT_TRUE(ts_.Invtid(0, 1, 0).ok);
+  Tick lat4 = 0;
+  const Translation t4 = ts_.Translate(0, 0, &lat4);
+  EXPECT_EQ(t4.ptid, 9u);
+  EXPECT_FALSE(t4.cache_hit);
+}
+
+TEST_F(HwtTest, MonitorMwaitWakeOnDma) {
+  ts_.InitThread(2, 0x1000, /*supervisor=*/false);
+  ts_.thread(2).set_state(ThreadState::kRunnable);
+  EXPECT_TRUE(ts_.Monitor(2, 0x8000).ok);
+  const auto mw = ts_.Mwait(2);
+  EXPECT_TRUE(mw.blocked);
+  EXPECT_EQ(ts_.thread(2).state(), ThreadState::kWaiting);
+
+  const uint64_t pkt = 1;
+  mem_.DmaWrite(0x8000, &pkt, 8);
+  EXPECT_EQ(ts_.thread(2).state(), ThreadState::kRunnable);
+  EXPECT_GE(ts_.thread(2).ready_at(), sim_.now());
+}
+
+TEST_F(HwtTest, MwaitReturnsImmediatelyIfWriteRacedAhead) {
+  ts_.InitThread(2, 0x1000, /*supervisor=*/false);
+  ts_.thread(2).set_state(ThreadState::kRunnable);
+  EXPECT_TRUE(ts_.Monitor(2, 0x8000).ok);
+  const uint64_t pkt = 1;
+  mem_.DmaWrite(0x8000, &pkt, 8);  // write lands between monitor and mwait
+  const auto mw = ts_.Mwait(2);
+  EXPECT_FALSE(mw.blocked);
+  EXPECT_EQ(ts_.thread(2).state(), ThreadState::kRunnable);
+}
+
+TEST_F(HwtTest, StartWakesWaitingThread) {
+  ts_.InitThread(0, 0x1000, /*supervisor=*/true);
+  ts_.thread(0).set_state(ThreadState::kRunnable);
+  ts_.InitThread(2, 0x1000, /*supervisor=*/false);
+  ts_.thread(2).set_state(ThreadState::kRunnable);
+  ASSERT_TRUE(ts_.Monitor(2, 0x8000).ok);
+  ASSERT_TRUE(ts_.Mwait(2).blocked);
+  EXPECT_TRUE(ts_.Start(0, 2).ok);
+  EXPECT_EQ(ts_.thread(2).state(), ThreadState::kRunnable);
+}
+
+TEST_F(HwtTest, CrossCoreStartAddsInterconnectDelay) {
+  ts_.InitThread(0, 0x1000, /*supervisor=*/true);
+  ts_.thread(0).set_state(ThreadState::kRunnable);
+  const Ptid remote = ts_.PtidOf(1, 0);
+  sim_.queue().RunUntil(100);
+  EXPECT_TRUE(ts_.Start(0, remote).ok);
+  EXPECT_GE(ts_.thread(remote).ready_at(), 100 + ts_.config().remote_start_cycles);
+}
+
+TEST_F(HwtTest, ExceptionWithoutEdpHaltsMachine) {
+  ts_.InitThread(3, 0x1000, /*supervisor=*/false, /*edp=*/0);
+  ts_.thread(3).set_state(ThreadState::kRunnable);
+  ts_.RaiseException(3, ExceptionType::kDivideByZero, 0, 0);
+  EXPECT_TRUE(ts_.halted());
+  EXPECT_NE(ts_.halt_reason().find("divide-by-zero"), std::string::npos);
+}
+
+TEST_F(HwtTest, ExceptionChainEndsAtThreadWithoutHandler) {
+  // A faults -> B handles; B faults -> C handles; C faults -> halt (§3.2).
+  ts_.InitThread(4, 0x1000, false, /*edp=*/0x30000);
+  ts_.InitThread(5, 0x1000, false, /*edp=*/0x30100);
+  ts_.InitThread(6, 0x1000, false, /*edp=*/0);
+  for (Ptid p : {4u, 5u, 6u}) {
+    ts_.thread(p).set_state(ThreadState::kRunnable);
+  }
+  ts_.RaiseException(4, ExceptionType::kDivideByZero, 0, 0);
+  sim_.queue().RunAll();
+  EXPECT_FALSE(ts_.halted());
+  EXPECT_EQ(ExceptionDescriptor::ReadFrom(mem_, 0x30000).ptid, 4u);
+
+  ts_.RaiseException(5, ExceptionType::kPageFault, 0xdead, 0);
+  sim_.queue().RunAll();
+  EXPECT_FALSE(ts_.halted());
+  EXPECT_EQ(ExceptionDescriptor::ReadFrom(mem_, 0x30100).ptid, 5u);
+
+  ts_.RaiseException(6, ExceptionType::kDivideByZero, 0, 0);
+  EXPECT_TRUE(ts_.halted());
+}
+
+TEST_F(HwtTest, ExceptionDescriptorWakesMonitoringHandler) {
+  ts_.InitThread(4, 0x1000, false, /*edp=*/0x30000);
+  ts_.thread(4).set_state(ThreadState::kRunnable);
+  ts_.InitThread(5, 0x2000, true);
+  ts_.thread(5).set_state(ThreadState::kRunnable);
+  ASSERT_TRUE(ts_.Monitor(5, 0x30000).ok);
+  ASSERT_TRUE(ts_.Mwait(5).blocked);
+
+  ts_.RaiseException(4, ExceptionType::kPageFault, 0xbeef, 0);
+  sim_.queue().RunAll();
+  EXPECT_EQ(ts_.thread(5).state(), ThreadState::kRunnable);
+  const ExceptionDescriptor d = ExceptionDescriptor::ReadFrom(mem_, 0x30000);
+  EXPECT_EQ(d.addr, 0xbeefu);
+  EXPECT_EQ(d.seq, 1u);
+}
+
+TEST_F(HwtTest, CsrPrivilegeEnforced) {
+  ts_.InitThread(1, 0x1000, /*supervisor=*/false, /*edp=*/0x30000);
+  ts_.thread(1).set_state(ThreadState::kRunnable);
+  EXPECT_TRUE(ts_.ReadCsr(1, Csr::kPtid).ok);
+  EXPECT_EQ(ts_.ReadCsr(1, Csr::kPtid).value, 1u);
+  const OpResult r = ts_.WriteCsr(1, Csr::kMode, 1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(ts_.thread(1).state(), ThreadState::kDisabled);
+
+  ts_.InitThread(0, 0x1000, /*supervisor=*/true);
+  ts_.thread(0).set_state(ThreadState::kRunnable);
+  EXPECT_TRUE(ts_.WriteCsr(0, Csr::kPrio, 8).ok);
+  EXPECT_EQ(ts_.thread(0).arch().prio, 8u);
+}
+
+TEST_F(HwtTest, ContextStoreTiersByOccupancy) {
+  // rf_slots=4, l2=4, l3=4, 16 threads/core: the first 4 admit to RF, then
+  // spill L2 (4), L3 (4), DRAM (rest).
+  ContextStore& store = ts_.store(0);
+  EXPECT_EQ(store.rf_occupancy(), 4u);
+  EXPECT_EQ(ts_.thread(0).tier(), StorageTier::kRegFile);
+  EXPECT_EQ(ts_.thread(4).tier(), StorageTier::kL2);
+  EXPECT_EQ(ts_.thread(8).tier(), StorageTier::kL3);
+  EXPECT_EQ(ts_.thread(12).tier(), StorageTier::kDram);
+}
+
+TEST_F(HwtTest, RestoreLatencyOrderedByTier) {
+  ContextStore& store = ts_.store(0);
+  const Tick rf = store.RestoreLatency(ts_.thread(0));
+  const Tick l2 = store.RestoreLatency(ts_.thread(4));
+  const Tick l3 = store.RestoreLatency(ts_.thread(8));
+  const Tick dram = store.RestoreLatency(ts_.thread(12));
+  EXPECT_EQ(rf, ts_.config().pipeline_restore_cycles);
+  EXPECT_LE(rf, l2);
+  EXPECT_LT(l2, l3);
+  EXPECT_LT(l3, dram);
+  // §4 numbers: RF ~20 cycles; L2/L3 in the 10-50 cycle range.
+  EXPECT_LE(l3, 60u);
+}
+
+TEST_F(HwtTest, WakePromotesToRegFileAndEvictsLru) {
+  // Wake a DRAM-resident thread; it should land in the RF, evicting an
+  // unpinned disabled thread.
+  const Ptid cold = 12;
+  EXPECT_EQ(ts_.thread(cold).tier(), StorageTier::kDram);
+  ts_.InitThread(cold, 0x1000, false);
+  ts_.MakeRunnable(cold);
+  EXPECT_EQ(ts_.thread(cold).tier(), StorageTier::kRegFile);
+  EXPECT_EQ(ts_.store(0).rf_occupancy(), 4u);
+  EXPECT_GT(ts_.thread(cold).ready_at(), sim_.now());
+}
+
+TEST_F(HwtTest, PinnedThreadsAreNotEvicted) {
+  for (Ptid p = 0; p < 4; p++) {
+    ts_.thread(p).set_pinned(true);
+  }
+  const Ptid cold = 12;
+  ts_.MakeRunnable(cold);
+  // No eviction possible: the thread stays in DRAM and pays that latency.
+  EXPECT_EQ(ts_.thread(cold).tier(), StorageTier::kDram);
+}
+
+TEST_F(HwtTest, DirtyTrackingShrinksTransfer) {
+  // A thread that used few registers restores faster than the full-state
+  // transfer when dirty tracking is on.
+  HwThread& sparse = ts_.thread(4);  // L2 tier
+  sparse.ResetUsedRegs();
+  sparse.MarkRegUsed(1);
+  const Tick with_tracking = ts_.store(0).RestoreLatency(sparse);
+
+  HwtConfig cfg2 = MakeConfig();
+  cfg2.dirty_register_tracking = false;
+  Simulation sim2;
+  MemorySystem mem2(sim2, MemConfig{}, 1);
+  ThreadSystem ts2(sim2, mem2, cfg2, 1);
+  const Tick without_tracking = ts2.store(0).RestoreLatency(ts2.thread(4));
+  EXPECT_LT(with_tracking, without_tracking);
+}
+
+TEST(SchedQueueTest, RoundRobinRotates) {
+  Simulation sim;
+  HwThread a(0, 0);
+  HwThread b(1, 0);
+  HwThread c(2, 0);
+  for (HwThread* t : {&a, &b, &c}) {
+    t->set_state(ThreadState::kRunnable);
+  }
+  SchedQueue q;
+  q.Add(&a);
+  q.Add(&b);
+  q.Add(&c);
+  std::vector<HwThread*> picked;
+  std::vector<Ptid> heads;
+  for (int i = 0; i < 6; i++) {
+    q.PickUpTo(100, 1, &picked);
+    ASSERT_EQ(picked.size(), 1u);
+    heads.push_back(picked[0]->ptid());
+  }
+  EXPECT_EQ(heads, (std::vector<Ptid>{0, 1, 2, 0, 1, 2}));
+}
+
+TEST(SchedQueueTest, WeightedShareFollowsPrio) {
+  HwThread a(0, 0);
+  HwThread b(1, 0);
+  a.set_state(ThreadState::kRunnable);
+  b.set_state(ThreadState::kRunnable);
+  a.arch().prio = 3;
+  SchedQueue q;
+  q.Add(&a);
+  q.Add(&b);
+  int a_picks = 0;
+  std::vector<HwThread*> picked;
+  for (int i = 0; i < 400; i++) {
+    q.PickUpTo(100, 1, &picked);
+    ASSERT_EQ(picked.size(), 1u);
+    a_picks += picked[0]->ptid() == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(a_picks, 300);  // 3:1 share
+}
+
+TEST(SchedQueueTest, SmtWidthPicksDistinctThreads) {
+  HwThread a(0, 0);
+  HwThread b(1, 0);
+  a.set_state(ThreadState::kRunnable);
+  b.set_state(ThreadState::kRunnable);
+  SchedQueue q;
+  q.Add(&a);
+  q.Add(&b);
+  std::vector<HwThread*> picked;
+  q.PickUpTo(0, 2, &picked);
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_NE(picked[0]->ptid(), picked[1]->ptid());
+}
+
+TEST(SchedQueueTest, SkipsThreadsStillRestoring) {
+  HwThread a(0, 0);
+  HwThread b(1, 0);
+  a.set_state(ThreadState::kRunnable);
+  b.set_state(ThreadState::kRunnable);
+  a.set_ready_at(50);
+  SchedQueue q;
+  q.Add(&a);
+  q.Add(&b);
+  std::vector<HwThread*> picked;
+  q.PickUpTo(10, 2, &picked);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0]->ptid(), 1u);
+  EXPECT_EQ(q.NextReadyTick(10), 50u);
+  q.PickUpTo(50, 2, &picked);
+  EXPECT_EQ(picked.size(), 2u);
+}
+
+TEST(SchedQueueTest, FrontInsertPreempts) {
+  HwThread a(0, 0);
+  HwThread b(1, 0);
+  HwThread critical(2, 0);
+  for (HwThread* t : {&a, &b, &critical}) {
+    t->set_state(ThreadState::kRunnable);
+  }
+  SchedQueue q;
+  q.Add(&a);
+  q.Add(&b);
+  std::vector<HwThread*> picked;
+  q.PickUpTo(0, 1, &picked);  // cursor advances past a
+  q.Add(&critical, /*front=*/true);
+  q.PickUpTo(0, 1, &picked);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0]->ptid(), 2u);
+}
+
+TEST(SchedQueueTest, RemoveKeepsRotationConsistent) {
+  HwThread a(0, 0);
+  HwThread b(1, 0);
+  HwThread c(2, 0);
+  for (HwThread* t : {&a, &b, &c}) {
+    t->set_state(ThreadState::kRunnable);
+  }
+  SchedQueue q;
+  q.Add(&a);
+  q.Add(&b);
+  q.Add(&c);
+  std::vector<HwThread*> picked;
+  q.PickUpTo(0, 1, &picked);  // a
+  q.Remove(1);
+  q.PickUpTo(0, 1, &picked);
+  EXPECT_EQ(picked[0]->ptid(), 2u);
+  q.PickUpTo(0, 1, &picked);
+  EXPECT_EQ(picked[0]->ptid(), 0u);
+  EXPECT_EQ(q.Size(), 2u);
+}
+
+TEST_F(HwtTest, DemandRestoreWithoutPrefetch) {
+  HwtConfig cfg = MakeConfig();
+  cfg.prefetch_on_wake = false;
+  Simulation sim;
+  MemorySystem mem(sim, MemConfig{}, 1);
+  ThreadSystem ts(sim, mem, cfg, 1);
+  const Ptid cold = 12;  // DRAM tier
+  ts.InitThread(cold, 0x1000, false);
+  ts.MakeRunnable(cold);
+  EXPECT_TRUE(ts.NeedsRestore(cold));
+  EXPECT_EQ(ts.thread(cold).ready_at(), sim.now());  // looks ready until picked
+  ts.BeginDemandRestore(cold);
+  EXPECT_FALSE(ts.NeedsRestore(cold));
+  EXPECT_GT(ts.thread(cold).ready_at(), sim.now());
+}
+
+TEST_F(HwtTest, WakeHookFires) {
+  int wakes = 0;
+  ts_.SetWakeHook(0, [&] { wakes++; });
+  ts_.InitThread(3, 0x1000, false);
+  ts_.MakeRunnable(3);
+  EXPECT_EQ(wakes, 1);
+}
+
+TEST_F(HwtTest, MonitorOverflowRaisesException) {
+  HwtConfig cfg = MakeConfig();
+  Simulation sim;
+  MemConfig mc;
+  mc.monitor.max_watches_per_thread = 1;
+  MemorySystem mem(sim, mc, 1);
+  ThreadSystem ts(sim, mem, cfg, 1);
+  ts.InitThread(2, 0x1000, false, /*edp=*/0x30000);
+  ts.thread(2).set_state(ThreadState::kRunnable);
+  EXPECT_TRUE(ts.Monitor(2, 0x8000).ok);
+  EXPECT_FALSE(ts.Monitor(2, 0x9000).ok);
+  EXPECT_EQ(ts.thread(2).state(), ThreadState::kDisabled);
+}
+
+}  // namespace
+}  // namespace casc

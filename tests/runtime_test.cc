@@ -1,0 +1,543 @@
+// Runtime tests: exception-less syscalls, direct (XPC-style) IPC, the KV and
+// file microkernel services, the untrusted hypervisor, and thread-per-request
+// RPC nodes over the fabric.
+#include <gtest/gtest.h>
+
+#include "src/cpu/machine.h"
+#include "src/dev/block_dev.h"
+#include "src/dev/fabric.h"
+#include "src/dev/nic.h"
+#include "src/runtime/channel.h"
+#include "src/runtime/hash_table.h"
+#include "src/runtime/hypervisor.h"
+#include "src/runtime/rpc.h"
+#include "src/runtime/services.h"
+#include "src/runtime/syscall_layer.h"
+
+namespace casc {
+namespace {
+
+constexpr Addr kChannelBase = 0x00400000;
+constexpr Addr kTableBase = 0x00500000;
+
+TEST(SubtaskTest, NestedCoroutinesCompose) {
+  Machine m;
+  std::vector<uint64_t> log;
+  const Ptid p = m.BindNative(
+      0, 0,
+      [&](GuestContext& ctx) -> GuestTask {
+        auto sub = [](GuestContext& c, uint64_t base, std::vector<uint64_t>* out) -> GuestTask {
+          co_await c.Compute(5);
+          out->push_back(base + 1);
+          co_await c.Compute(5);
+          out->push_back(base + 2);
+        };
+        log.push_back(100);
+        co_await ctx.Call(sub(ctx, 200, &log));
+        log.push_back(101);
+        co_await ctx.Call(sub(ctx, 300, &log));
+        log.push_back(102);
+      },
+      true);
+  m.Start(p);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(log, (std::vector<uint64_t>{100, 201, 202, 101, 301, 302, 102}));
+}
+
+TEST(SubtaskTest, DeeplyNestedSubtasks) {
+  Machine m;
+  uint64_t result = 0;
+  std::function<GuestTask(GuestContext&, int, uint64_t*)> recurse =
+      [&recurse](GuestContext& c, int depth, uint64_t* acc) -> GuestTask {
+    co_await c.Compute(1);
+    *acc += 1;
+    if (depth > 0) {
+      co_await c.Call(recurse(c, depth - 1, acc));
+    }
+  };
+  const Ptid p = m.BindNative(
+      0, 0,
+      [&](GuestContext& ctx) -> GuestTask { co_await ctx.Call(recurse(ctx, 9, &result)); },
+      true);
+  m.Start(p);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(result, 10u);
+}
+
+TEST(SyscallLayerTest, ExceptionLessSyscallRoundTrip) {
+  Machine m;
+  const Channel ch{kChannelBase};
+  std::vector<uint64_t> served;
+  const Ptid server = m.BindNative(
+      0, 0,
+      MakeSyscallServer(ch,
+                        [&](GuestContext& c, const SyscallRequest& req,
+                            uint64_t* ret) -> GuestTask {
+                          co_await c.Compute(50);
+                          served.push_back(req.nr);
+                          *ret = req.a0 + req.a1;
+                        }),
+      /*supervisor=*/true);
+  uint64_t result = 0;
+  Tick done_at = 0;
+  const Ptid app = m.BindNative(
+      0, 1,
+      [&](GuestContext& ctx) -> GuestTask {
+        co_await ctx.Call(SyscallCall(ctx, ch, {.nr = 7, .a0 = 40, .a1 = 2}, &result));
+        done_at = co_await ctx.ReadCsr(Csr::kCycle);
+      },
+      /*supervisor=*/false);
+  m.Start(server);
+  m.Start(app);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(result, 42u);
+  EXPECT_EQ(served, (std::vector<uint64_t>{7}));
+  // The whole round trip is fast: no mode switches, no scheduler.
+  EXPECT_LT(done_at, 3000u);
+  // The server parked itself again.
+  EXPECT_EQ(m.threads().thread(server).state(), ThreadState::kWaiting);
+}
+
+TEST(SyscallLayerTest, ManySequentialSyscalls) {
+  Machine m;
+  const Channel ch{kChannelBase};
+  const Ptid server = m.BindNative(
+      0, 0,
+      MakeSyscallServer(
+          ch,
+          [](GuestContext& c, const SyscallRequest& req, uint64_t* ret) -> GuestTask {
+            co_await c.Compute(20);
+            *ret = req.a0 * 2;
+          }),
+      true);
+  uint64_t sum = 0;
+  const Ptid app = m.BindNative(
+      0, 1,
+      [&](GuestContext& ctx) -> GuestTask {
+        for (uint64_t i = 1; i <= 20; i++) {
+          uint64_t ret = 0;
+          co_await ctx.Call(SyscallCall(ctx, ch, {.nr = 1, .a0 = i}, &ret));
+          sum += ret;
+        }
+      },
+      false);
+  m.Start(server);
+  m.Start(app);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(sum, 2 * (20 * 21 / 2));
+}
+
+TEST(SyscallLayerTest, DirectIpcCalleeStart) {
+  Machine m;
+  const Channel ch{kChannelBase};
+  // Callee on thread 3; caller is supervisor so vtid 3 resolves by identity.
+  const Ptid callee = m.BindNative(
+      0, 3,
+      MakeIpcCallee(ch,
+                    [](GuestContext& c, const SyscallRequest& req, uint64_t* ret) -> GuestTask {
+                      co_await c.Compute(30);
+                      *ret = req.a0 + 1000;
+                    }),
+      true);
+  (void)callee;
+  uint64_t r1 = 0;
+  uint64_t r2 = 0;
+  const Ptid caller = m.BindNative(
+      0, 0,
+      [&](GuestContext& ctx) -> GuestTask {
+        co_await ctx.Call(IpcCall(ctx, ch, 3, {.nr = 1, .a0 = 1}, &r1));
+        co_await ctx.Call(IpcCall(ctx, ch, 3, {.nr = 1, .a0 = 2}, &r2));
+      },
+      true);
+  m.Start(caller);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(r1, 1001u);
+  EXPECT_EQ(r2, 1002u);
+  EXPECT_EQ(m.threads().thread(callee).state(), ThreadState::kDisabled);
+}
+
+TEST(HashTableTest, HostAndSimViewsAgree) {
+  Machine m;
+  const HashTableRef table{kTableBase, 256};
+  table.HostPut(m.mem().phys(), 42, 4242);
+  table.HostPut(m.mem().phys(), 1000, 9);
+  uint64_t v1 = 0;
+  uint64_t v2 = 0;
+  uint64_t v3 = 1;
+  bool f1 = false;
+  bool f2 = false;
+  bool f3 = true;
+  const Ptid p = m.BindNative(
+      0, 0,
+      [&](GuestContext& ctx) -> GuestTask {
+        co_await ctx.Call(HashGet(ctx, table, 42, &v1, &f1));
+        co_await ctx.Call(HashGet(ctx, table, 1000, &v2, &f2));
+        co_await ctx.Call(HashGet(ctx, table, 777, &v3, &f3));
+        bool ok = false;
+        co_await ctx.Call(HashPut(ctx, table, 777, 111, &ok));
+        co_await ctx.Call(HashGet(ctx, table, 777, &v3, &f3));
+      },
+      true);
+  m.Start(p);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_TRUE(f1);
+  EXPECT_EQ(v1, 4242u);
+  EXPECT_TRUE(f2);
+  EXPECT_EQ(v2, 9u);
+  EXPECT_TRUE(f3);
+  EXPECT_EQ(v3, 111u);
+  EXPECT_EQ(table.HostGet(m.mem().phys(), 777), 111u);
+}
+
+TEST(ServicesTest, KvServiceOverSyscallChannel) {
+  Machine m;
+  const Channel ch{kChannelBase};
+  const HashTableRef table{kTableBase, 1024};
+  const Ptid server =
+      m.BindNative(0, 0, MakeSyscallServer(ch, MakeKvHandler(table)), /*supervisor=*/true);
+  uint64_t got = 0;
+  uint64_t put_ok = 0;
+  const Ptid app = m.BindNative(
+      0, 1,
+      [&](GuestContext& ctx) -> GuestTask {
+        co_await ctx.Call(SyscallCall(ctx, ch, {.nr = kKvPut, .a0 = 5, .a1 = 55}, &put_ok));
+        co_await ctx.Call(SyscallCall(ctx, ch, {.nr = kKvGet, .a0 = 5}, &got));
+      },
+      false);
+  m.Start(server);
+  m.Start(app);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(put_ok, 1u);
+  EXPECT_EQ(got, 55u);
+}
+
+TEST(ServicesTest, FileServiceBlockingReadNoPolling) {
+  Machine m;
+  BlockDevice dev(m.sim(), m.mem(), BlockConfig{});
+  dev.storage().Write64(7 * 512, 0xabcdef99u);
+
+  BlockDriver drv;
+  drv.mmio_base = BlockConfig{}.mmio_base;
+  drv.sq_base = 0x00600000;
+  drv.sq_size = 64;
+  drv.cq_tail = 0x00601000;
+  drv.state = 0x00601040;
+  // Point the device at the rings (host-side driver init).
+  m.mem().Write(0, drv.mmio_base + kBlkSqBase, 8, drv.sq_base);
+  m.mem().Write(0, drv.mmio_base + kBlkSqSize, 8, drv.sq_size);
+  m.mem().Write(0, drv.mmio_base + kBlkCqTailAddr, 8, drv.cq_tail);
+
+  const Channel ch{kChannelBase};
+  const Ptid server =
+      m.BindNative(0, 0, MakeSyscallServer(ch, MakeFileHandler(drv)), /*supervisor=*/true);
+  uint64_t first_word = 0;
+  const Ptid app = m.BindNative(
+      0, 1,
+      [&](GuestContext& ctx) -> GuestTask {
+        co_await ctx.Call(
+            SyscallCall(ctx, ch, {.nr = kFsRead, .a0 = 7, .a1 = 512, .a2 = 0x00700000},
+                        &first_word));
+      },
+      false);
+  m.Start(server);
+  m.Start(app);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(first_word, 0xabcdef99u);
+  EXPECT_EQ(m.mem().phys().Read64(0x00700000), 0xabcdef99u);
+  // The server thread blocked during the ~8 us device latency (no polling):
+  // total time is dominated by the device, not by spinning.
+  EXPECT_GE(m.sim().now(), BlockConfig{}.read_latency);
+}
+
+TEST(HypervisorTest, UntrustedHypervisorEmulatesPrivilegedWrites) {
+  Machine m;
+  Hypervisor hyp(m, 0, /*hyp_local=*/0, HypervisorConfig{});
+  // Guest: writes two privileged CSRs from user mode, then reports and halts.
+  const Ptid guest = m.LoadSource(0, 1,
+                                  "  li a0, 9\n"
+                                  "  csrwr prio, a0\n"   // VM-exit #1
+                                  "  li a0, 0x123\n"
+                                  "  csrwr tdtr, a0\n"   // VM-exit #2
+                                  "  li a0, 1\n"
+                                  "  hcall 1\n"
+                                  "  halt\n",
+                                  /*supervisor=*/false, "", 0, 0x2000);
+  hyp.AddGuest(1);
+  hyp.Install();
+  std::vector<uint64_t> log;
+  m.SetHcallHandler([&](Core&, HwThread& t, int64_t) { log.push_back(t.ReadGpr(10)); });
+  m.Start(hyp.hyp_ptid());
+  m.RunFor(100);
+  m.Start(guest);
+  m.RunFor(200000);
+  EXPECT_EQ(hyp.exits_handled(), 2u);
+  EXPECT_EQ(hyp.VirtualCsr(0, Csr::kPrio), 9u);
+  EXPECT_EQ(hyp.VirtualCsr(0, Csr::kTdtr), 0x123u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 1u);  // guest ran to completion after both exits
+  EXPECT_FALSE(m.halted());
+}
+
+TEST(HypervisorTest, NonEmulatableFaultKillsGuest) {
+  Machine m;
+  Hypervisor hyp(m, 0, 0, HypervisorConfig{});
+  const Ptid guest = m.LoadSource(0, 1,
+                                  "  li a1, 3\n"
+                                  "  li a2, 0\n"
+                                  "  div a0, a1, a2\n"
+                                  "  halt\n",
+                                  false, "", 0, 0x2000);
+  hyp.AddGuest(1);
+  hyp.Install();
+  m.Start(hyp.hyp_ptid());
+  m.RunFor(100);
+  m.Start(guest);
+  m.RunFor(100000);
+  EXPECT_EQ(hyp.guests_killed(), 1u);
+  EXPECT_EQ(m.threads().thread(guest).state(), ThreadState::kDisabled);
+  EXPECT_FALSE(m.halted());
+}
+
+TEST(HypervisorTest, TwoGuestsShareOneHypervisor) {
+  Machine m;
+  Hypervisor hyp(m, 0, 0, HypervisorConfig{});
+  const char* src =
+      "  li a0, 5\n"
+      "  csrwr prio, a0\n"
+      "  hcall 0\n";
+  const Ptid g1 = m.LoadSource(0, 1, src, false, "", 0, 0x2000);
+  const Ptid g2 = m.LoadSource(0, 2, src, false, "", 0, 0x3000);
+  hyp.AddGuest(1);
+  hyp.AddGuest(2);
+  hyp.Install();
+  m.Start(hyp.hyp_ptid());
+  m.RunFor(100);
+  m.Start(g1);
+  m.Start(g2);
+  m.RunFor(200000);
+  EXPECT_EQ(hyp.exits_handled(), 2u);
+  EXPECT_EQ(hyp.VirtualCsr(0, Csr::kPrio), 5u);
+  EXPECT_EQ(hyp.VirtualCsr(1, Csr::kPrio), 5u);
+}
+
+class RpcTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kServerNode = 1;
+  static constexpr uint64_t kClientNode = 9;
+
+  RpcTest() {
+    MachineConfig cfg;
+    cfg.hwt.threads_per_core = 64;
+    machine_ = std::make_unique<Machine>(cfg);
+    server_nic_ = std::make_unique<Nic>(machine_->sim(), machine_->mem(), NicConfig{});
+    NicConfig client_cfg;
+    client_cfg.mmio_base = 0xf0100000;
+    client_nic_ = std::make_unique<Nic>(machine_->sim(), machine_->mem(), client_cfg);
+    fabric_ = std::make_unique<Fabric>(machine_->sim(), FabricConfig{});
+    fabric_->Attach(kServerNode, server_nic_.get());
+    fabric_->Attach(kClientNode, client_nic_.get());
+    // Client NIC: host-managed rings; auto-advance the consumed index.
+    SetupNicRings(machine_->mem(), *client_nic_, 0x02000000);
+    client_nic_->SetRxObserver([this](const std::vector<uint8_t>& frame) {
+      uint64_t req_id = 0;
+      memcpy(&req_id, frame.data() + RpcFrame::kReqIdOff, 8);
+      responses_.push_back({req_id, machine_->sim().now()});
+      machine_->mem().Write(0, client_nic_->config().mmio_base + kNicRxHead, 8,
+                            ++client_consumed_);
+    });
+  }
+
+  void RunNode(RpcMode mode, uint32_t workers) {
+    node_ = std::make_unique<RpcNode>(*machine_, 0, kServerNode, server_nic_.get(), 0x03000000,
+                                      workers, mode);
+    node_->Install();
+    machine_->RunFor(1000);  // let threads park
+  }
+
+  void SendRequest(uint64_t req_id, uint64_t service_cycles) {
+    fabric_->InjectFrom(kClientNode,
+                        RpcFrame::Make(kServerNode, kClientNode, req_id, service_cycles));
+  }
+
+  std::unique_ptr<Machine> machine_;
+  std::unique_ptr<Nic> server_nic_;
+  std::unique_ptr<Nic> client_nic_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<RpcNode> node_;
+  std::vector<std::pair<uint64_t, Tick>> responses_;
+  uint64_t client_consumed_ = 0;
+};
+
+TEST_F(RpcTest, ThreadPerRequestServesAndResponds) {
+  RunNode(RpcMode::kThreadPerRequest, 8);
+  for (uint64_t i = 1; i <= 5; i++) {
+    SendRequest(i, 2000);
+  }
+  machine_->RunFor(200000);
+  ASSERT_EQ(responses_.size(), 5u);
+  EXPECT_EQ(node_->served(), 5u);
+  std::vector<uint64_t> ids;
+  for (auto& [id, t] : responses_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(RpcTest, EventLoopServesAndResponds) {
+  RunNode(RpcMode::kEventLoop, 0);
+  for (uint64_t i = 1; i <= 5; i++) {
+    SendRequest(i, 2000);
+  }
+  machine_->RunFor(300000);
+  ASSERT_EQ(responses_.size(), 5u);
+  EXPECT_EQ(node_->served(), 5u);
+}
+
+TEST_F(RpcTest, ThreadPerRequestOverlapsLongRequests) {
+  // One 50k-cycle request followed by four short ones: with 8 workers the
+  // short ones must not wait behind the long one (PS-like behavior).
+  RunNode(RpcMode::kThreadPerRequest, 8);
+  SendRequest(100, 50000);
+  machine_->RunFor(2000);
+  for (uint64_t i = 1; i <= 4; i++) {
+    SendRequest(i, 1000);
+  }
+  machine_->RunFor(400000);
+  ASSERT_EQ(responses_.size(), 5u);
+  Tick long_done = 0;
+  Tick max_short = 0;
+  for (auto& [id, t] : responses_) {
+    if (id == 100) {
+      long_done = t;
+    } else {
+      max_short = std::max(max_short, t);
+    }
+  }
+  EXPECT_LT(max_short, long_done);
+}
+
+TEST_F(RpcTest, EventLoopHeadOfLineBlocks) {
+  // Same scenario on the event loop: the short requests are stuck behind the
+  // long one (the paper's motivation for thread-per-request).
+  RunNode(RpcMode::kEventLoop, 0);
+  SendRequest(100, 50000);
+  machine_->RunFor(2000);
+  for (uint64_t i = 1; i <= 4; i++) {
+    SendRequest(i, 1000);
+  }
+  machine_->RunFor(400000);
+  ASSERT_EQ(responses_.size(), 5u);
+  Tick long_done = 0;
+  Tick min_short = UINT64_MAX;
+  for (auto& [id, t] : responses_) {
+    if (id == 100) {
+      long_done = t;
+    } else {
+      min_short = std::min(min_short, t);
+    }
+  }
+  EXPECT_GT(min_short, long_done);
+}
+
+TEST(ServicesTest, ProxyChainsChannels) {
+  // app -> proxy (policy) -> KV service, all on dedicated hardware threads.
+  Machine m;
+  const Channel app_ch{0x00400000};
+  const Channel svc_ch{0x00410000};
+  const HashTableRef table{kTableBase, 256};
+  table.HostPut(m.mem().phys(), 3, 33);
+  const Ptid service =
+      m.BindNative(0, 2, MakeSyscallServer(svc_ch, MakeKvHandler(table)), true);
+  const Ptid proxy =
+      m.BindNative(0, 1, MakeSyscallServer(app_ch, MakeProxyHandler(svc_ch, 50)), true);
+  uint64_t got = 0;
+  const Ptid app = m.BindNative(
+      0, 0,
+      [&](GuestContext& ctx) -> GuestTask {
+        co_await ctx.Call(SyscallCall(ctx, app_ch, {.nr = kKvGet, .a0 = 3}, &got));
+      },
+      false);
+  m.Start(service);
+  m.Start(proxy);
+  m.Start(app);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(got, 33u);
+  // Both middleboxes parked again.
+  EXPECT_EQ(m.threads().thread(proxy).state(), ThreadState::kWaiting);
+  EXPECT_EQ(m.threads().thread(service).state(), ThreadState::kWaiting);
+}
+
+TEST(ServicesTest, TwoClientsTwoChannelsOneTable) {
+  // Independent channels (one per client) serving the same hash table.
+  Machine m;
+  const Channel ch_a{0x00400000};
+  const Channel ch_b{0x00420000};
+  const HashTableRef table{kTableBase, 1024};
+  const Ptid srv_a = m.BindNative(0, 2, MakeSyscallServer(ch_a, MakeKvHandler(table)), true);
+  const Ptid srv_b = m.BindNative(0, 3, MakeSyscallServer(ch_b, MakeKvHandler(table)), true);
+  uint64_t got_a = 0;
+  uint64_t got_b = 0;
+  const Ptid app_a = m.BindNative(
+      0, 0,
+      [&](GuestContext& ctx) -> GuestTask {
+        uint64_t ok = 0;
+        co_await ctx.Call(SyscallCall(ctx, ch_a, {.nr = kKvPut, .a0 = 10, .a1 = 100}, &ok));
+        co_await ctx.Call(SyscallCall(ctx, ch_a, {.nr = kKvGet, .a0 = 20}, &got_a));
+      },
+      false);
+  const Ptid app_b = m.BindNative(
+      0, 1,
+      [&](GuestContext& ctx) -> GuestTask {
+        uint64_t ok = 0;
+        co_await ctx.Call(SyscallCall(ctx, ch_b, {.nr = kKvPut, .a0 = 20, .a1 = 200}, &ok));
+        co_await ctx.Call(SyscallCall(ctx, ch_b, {.nr = kKvGet, .a0 = 10}, &got_b));
+      },
+      false);
+  m.Start(srv_a);
+  m.Start(srv_b);
+  m.Start(app_a);
+  m.Start(app_b);
+  ASSERT_TRUE(m.RunToQuiescence());
+  // Each client reads the other's write through the shared table (with both
+  // orders possible, 0 is acceptable only if the other put had not landed —
+  // but quiescence guarantees both completed; gets ran after both puts in
+  // every interleaving here because each client put before getting).
+  EXPECT_TRUE(got_a == 200u || got_a == 0u);
+  EXPECT_TRUE(got_b == 100u || got_b == 0u);
+  EXPECT_EQ(table.HostGet(m.mem().phys(), 10), 100u);
+  EXPECT_EQ(table.HostGet(m.mem().phys(), 20), 200u);
+}
+
+TEST(SyscallLayerTest, ServerSurvivesClientRestart) {
+  Machine m;
+  const Channel ch{kChannelBase};
+  const Ptid server = m.BindNative(
+      0, 0,
+      MakeSyscallServer(ch,
+                        [](GuestContext& c, const SyscallRequest& req, uint64_t* ret)
+                            -> GuestTask {
+                          co_await c.Compute(10);
+                          *ret = req.a0 * 3;
+                        }),
+      true);
+  uint64_t r = 0;
+  const Ptid app = m.BindNative(
+      0, 1,
+      [&](GuestContext& ctx) -> GuestTask {
+        co_await ctx.Call(SyscallCall(ctx, ch, {.nr = 1, .a0 = 7}, &r));
+      },
+      false);
+  m.Start(server);
+  m.Start(app);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(r, 21u);
+  // Restart the client program: fresh instance issues a second call on the
+  // same channel; sequence numbers continue.
+  m.Start(app);
+  ASSERT_TRUE(m.RunToQuiescence());
+  EXPECT_EQ(r, 21u);
+}
+
+}  // namespace
+}  // namespace casc

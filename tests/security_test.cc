@@ -1,0 +1,129 @@
+// Tests for the secret-key security model (§3.2's alternative to the TDT):
+// unprivileged thread management gated on presenting the target's key.
+#include <gtest/gtest.h>
+
+#include "src/cpu/machine.h"
+#include "src/hwt/thread_system.h"
+
+namespace casc {
+namespace {
+
+class SecretKeyTest : public ::testing::Test {
+ protected:
+  SecretKeyTest() {
+    MachineConfig cfg;
+    cfg.hwt.security_model = SecurityModel::kSecretKey;
+    cfg.hwt.threads_per_core = 16;
+    machine_ = std::make_unique<Machine>(cfg);
+  }
+
+  ThreadSystem& ts() { return machine_->threads(); }
+
+  void MakeUser(Ptid p, Addr edp = 0x30000) {
+    ts().InitThread(p, 0x1000, /*supervisor=*/false, edp);
+    ts().thread(p).set_state(ThreadState::kRunnable);
+  }
+
+  std::unique_ptr<Machine> machine_;
+};
+
+TEST_F(SecretKeyTest, MatchingKeyGrantsManagement) {
+  MakeUser(1);
+  ts().thread(2).arch().self_key = 0xdeadbeef;
+  ts().thread(1).arch().auth_key = 0xdeadbeef;
+  EXPECT_TRUE(ts().Start(1, 2).ok);
+  EXPECT_EQ(ts().thread(2).state(), ThreadState::kRunnable);
+  EXPECT_TRUE(ts().Stop(1, 2).ok);
+  EXPECT_TRUE(ts().Rpull(1, 2, 5).ok);
+  EXPECT_TRUE(ts().Rpush(1, 2, static_cast<uint32_t>(RemoteReg::kPc), 0x2000).ok);
+  EXPECT_EQ(ts().thread(2).arch().pc, 0x2000u);
+}
+
+TEST_F(SecretKeyTest, MismatchedKeyFaults) {
+  MakeUser(1);
+  ts().thread(2).arch().self_key = 0xdeadbeef;
+  ts().thread(1).arch().auth_key = 0x1234;  // wrong key
+  EXPECT_FALSE(ts().Start(1, 2).ok);
+  EXPECT_EQ(ts().thread(1).state(), ThreadState::kDisabled);
+  EXPECT_EQ(ts().thread(2).state(), ThreadState::kDisabled);
+}
+
+TEST_F(SecretKeyTest, ZeroKeyLocksThread) {
+  // A thread that never set a key cannot be managed by user threads at all
+  // (key 0 never matches), only by the supervisor.
+  MakeUser(1);
+  ts().thread(1).arch().auth_key = 0;  // "matches" the default — must not
+  EXPECT_FALSE(ts().Start(1, 2).ok);
+}
+
+TEST_F(SecretKeyTest, SupervisorBypassesKeys) {
+  ts().InitThread(0, 0x1000, /*supervisor=*/true);
+  ts().thread(0).set_state(ThreadState::kRunnable);
+  ts().thread(2).arch().self_key = 0x999;  // supervisor presents no key
+  EXPECT_TRUE(ts().Start(0, 2).ok);
+}
+
+TEST_F(SecretKeyTest, OutOfRangeVtidIsInvalid) {
+  MakeUser(1);
+  const OpResult r = ts().Start(1, 9999);
+  EXPECT_FALSE(r.ok);
+  machine_->sim().queue().RunAll();
+  const ExceptionDescriptor d = ExceptionDescriptor::ReadFrom(machine_->mem(), 0x30000);
+  EXPECT_EQ(d.type, static_cast<uint32_t>(ExceptionType::kInvalidVtid));
+}
+
+TEST_F(SecretKeyTest, KeysAreUserWritableAndWriteOnly) {
+  MakeUser(1);
+  EXPECT_TRUE(ts().WriteCsr(1, Csr::kSelfKey, 0x42).ok);
+  EXPECT_TRUE(ts().WriteCsr(1, Csr::kAuthKey, 0x43).ok);
+  EXPECT_EQ(ts().thread(1).arch().self_key, 0x42u);
+  EXPECT_EQ(ts().thread(1).arch().auth_key, 0x43u);
+  // Reads return 0: a key handed to us in a register cannot be read back out
+  // of the CSR file.
+  EXPECT_EQ(ts().ReadCsr(1, Csr::kSelfKey).value, 0u);
+  EXPECT_EQ(ts().ReadCsr(1, Csr::kAuthKey).value, 0u);
+  EXPECT_EQ(ts().thread(1).state(), ThreadState::kRunnable);  // no fault
+}
+
+TEST_F(SecretKeyTest, EndToEndKeyHandoffInAssembly) {
+  // Worker publishes its key through shared memory; manager reads it,
+  // presents it, and starts the worker — all from user mode.
+  Machine& m = *machine_;
+  std::vector<uint64_t> log;
+  m.SetHcallHandler([&](Core&, HwThread& t, int64_t) { log.push_back(t.ReadGpr(10)); });
+  // The worker's key was installed by its runtime at creation; it simply
+  // runs when started.
+  const Ptid worker = m.threads().PtidOf(0, 2);
+  m.LoadSource(0, 2,
+               "  li a0, 77\n"
+               "  hcall 1\n"
+               "  halt\n",
+               /*supervisor=*/false, "", 0x30100, 0x3000);
+  m.threads().thread(worker).arch().self_key = 0xfeed;
+  m.mem().phys().Write64(0x9000, 0xfeed);  // key shared via memory
+  const Ptid manager = m.LoadSource(0, 1,
+                                    "  li a1, 0x9000\n"
+                                    "  ld a2, 0(a1)\n"
+                                    "  csrwr authkey, a2\n"  // user-writable
+                                    "  li a3, 2\n"
+                                    "  start a3\n"
+                                    "  halt\n",
+                                    /*supervisor=*/false, "", 0x30000, 0x1000);
+  m.Start(manager);
+  ASSERT_TRUE(m.RunToQuiescence());
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], 77u);
+  EXPECT_FALSE(m.halted());
+}
+
+TEST_F(SecretKeyTest, TdtModeUnaffected) {
+  // The default machine still uses TDTs; identity mapping requires
+  // supervisor mode there.
+  Machine plain;
+  plain.threads().InitThread(1, 0x1000, false, 0x30000);
+  plain.threads().thread(1).set_state(ThreadState::kRunnable);
+  EXPECT_FALSE(plain.threads().Start(1, 2).ok);
+}
+
+}  // namespace
+}  // namespace casc

@@ -1,0 +1,210 @@
+// Unit tests for the simulation kernel: event queue ordering/cancellation,
+// histogram accuracy, RNG distribution sanity, and config parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
+#include "src/sim/simulation.h"
+#include "src/sim/stats.h"
+
+namespace casc {
+namespace {
+
+TEST(EventQueueTest, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleFn(30, [&] { order.push_back(3); });
+  q.ScheduleFn(10, [&] { order.push_back(1); });
+  q.ScheduleFn(20, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueueTest, SameTickIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; i++) {
+    q.ScheduleFn(5, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  for (int i = 0; i < 8; i++) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueueTest, ReusableEventRescheduleAndCancel) {
+  EventQueue q;
+  int fired = 0;
+  LambdaEvent ev([&] { fired++; });
+  q.Schedule(&ev, 10);
+  EXPECT_TRUE(ev.scheduled());
+  q.Schedule(&ev, 20);  // reschedule supersedes the earlier entry
+  q.RunUntil(15);
+  EXPECT_EQ(fired, 0);
+  q.RunUntil(25);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(ev.scheduled());
+
+  q.Schedule(&ev, 30);
+  q.Deschedule(&ev);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, EventCanRescheduleItself) {
+  EventQueue q;
+  int fired = 0;
+  Event* self = nullptr;
+  LambdaEvent ev([&] {
+    fired++;
+    if (fired < 5) {
+      q.ScheduleAfter(self, 7);
+    }
+  });
+  self = &ev;
+  q.Schedule(&ev, 0);
+  q.RunAll();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(q.now(), 28u);
+}
+
+TEST(EventQueueTest, NextTickSkipsCancelled) {
+  EventQueue q;
+  LambdaEvent a([] {});
+  q.Schedule(&a, 5);
+  q.ScheduleFn(9, [] {});
+  q.Deschedule(&a);
+  EXPECT_EQ(q.NextTick(), 9u);
+  EXPECT_EQ(q.LiveCount(), 1u);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesNowWithoutEvents) {
+  EventQueue q;
+  q.RunUntil(100);
+  EXPECT_EQ(q.now(), 100u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, ScheduleFromWithinCallback) {
+  EventQueue q;
+  int late = 0;
+  q.ScheduleFn(1, [&] { q.ScheduleFn(4, [&] { late = static_cast<int>(q.now()); }); });
+  q.RunAll();
+  EXPECT_EQ(late, 4);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; v++) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.5);
+  EXPECT_EQ(h.Quantile(0.0), 0u);
+  EXPECT_EQ(h.Quantile(1.0), 15u);
+}
+
+TEST(HistogramTest, QuantileBoundedRelativeError) {
+  Histogram h;
+  Rng rng(42);
+  std::vector<uint64_t> vals;
+  for (int i = 0; i < 100000; i++) {
+    const uint64_t v = rng.NextRange(1, 1000000);
+    vals.push_back(v);
+    h.Record(v);
+  }
+  std::sort(vals.begin(), vals.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    const uint64_t exact = vals[static_cast<size_t>(q * (vals.size() - 1))];
+    const uint64_t est = h.Quantile(q);
+    const double rel = std::abs(static_cast<double>(est) - static_cast<double>(exact)) /
+                       static_cast<double>(exact);
+    EXPECT_LT(rel, 0.07) << "q=" << q << " exact=" << exact << " est=" << est;
+  }
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+  Histogram a;
+  Histogram b;
+  Histogram both;
+  Rng rng(7);
+  for (int i = 0; i < 1000; i++) {
+    const uint64_t v = rng.NextRange(0, 5000);
+    ((i % 2 == 0) ? a : b).Record(v);
+    both.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), both.count());
+  EXPECT_EQ(a.max(), both.max());
+  EXPECT_EQ(a.P99(), both.P99());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) {
+    sum += rng.NextExponential(100.0);
+  }
+  EXPECT_NEAR(sum / n, 100.0, 2.0);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+    const uint64_t v = rng.NextRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(RngTest, ParetoExceedsScale) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_GE(rng.NextPareto(10.0, 2.0), 10.0);
+  }
+}
+
+TEST(ConfigTest, ParsesTypedFlags) {
+  const char* argv[] = {"prog", "--threads=64", "--load=0.8", "--name=htm", "--fast"};
+  Config cfg;
+  ASSERT_TRUE(cfg.ParseArgs(5, argv));
+  EXPECT_EQ(cfg.GetInt("threads", 0), 64);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("load", 0), 0.8);
+  EXPECT_EQ(cfg.GetString("name"), "htm");
+  EXPECT_TRUE(cfg.GetBool("fast", false));
+  EXPECT_EQ(cfg.GetInt("missing", -3), -3);
+}
+
+TEST(ConfigTest, RejectsMalformed) {
+  const char* argv[] = {"prog", "oops"};
+  Config cfg;
+  std::string err;
+  EXPECT_FALSE(cfg.ParseArgs(2, argv, &err));
+  EXPECT_NE(err.find("oops"), std::string::npos);
+}
+
+TEST(SimulationTest, ClockConversions) {
+  Simulation sim(3.0);
+  EXPECT_DOUBLE_EQ(sim.CyclesToNs(30), 10.0);
+  EXPECT_EQ(sim.NsToCycles(10.0), 30u);
+}
+
+}  // namespace
+}  // namespace casc

@@ -1,0 +1,92 @@
+// Tests for the thread-state tracer and its timeline renderer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/cpu/machine.h"
+#include "src/hwt/tracer.h"
+
+namespace casc {
+namespace {
+
+TEST(TracerTest, RecordsTransitionsWithCauses) {
+  Machine m;
+  ThreadTracer tracer;
+  m.threads().SetTracer(&tracer);
+  const Ptid p = m.LoadSource(0, 0,
+                              "  li a1, 0x9000\n"
+                              "  monitor a1\n"
+                              "  mwait\n"
+                              "  halt\n",
+                              true);
+  m.Start(p);
+  m.RunFor(2000);
+  m.mem().DmaWrite64(0x9000, 1);
+  m.RunToQuiescence();
+
+  const auto events = tracer.ForThread(p);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].to, ThreadState::kRunnable);
+  EXPECT_EQ(events[0].cause, TraceCause::kStart);
+  EXPECT_EQ(events[1].to, ThreadState::kWaiting);
+  EXPECT_EQ(events[1].cause, TraceCause::kMwait);
+  EXPECT_EQ(events[2].to, ThreadState::kRunnable);
+  EXPECT_EQ(events[2].cause, TraceCause::kMonitorWake);
+  EXPECT_EQ(events[3].to, ThreadState::kDisabled);
+  EXPECT_EQ(events[3].cause, TraceCause::kStop);
+  // Ticks are monotone.
+  for (size_t i = 1; i < events.size(); i++) {
+    EXPECT_GE(events[i].tick, events[i - 1].tick);
+  }
+}
+
+TEST(TracerTest, ExceptionCauseRecorded) {
+  Machine m;
+  ThreadTracer tracer;
+  m.threads().SetTracer(&tracer);
+  const Ptid p = m.LoadSource(0, 0,
+                              "  li a1, 1\n"
+                              "  li a2, 0\n"
+                              "  div a0, a1, a2\n"
+                              "  halt\n",
+                              false, "", /*edp=*/0xa000);
+  m.Start(p);
+  m.RunToQuiescence();
+  const auto events = tracer.ForThread(p);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.back().to, ThreadState::kDisabled);
+  EXPECT_EQ(events.back().cause, TraceCause::kException);
+}
+
+TEST(TracerTest, TimelineRendersStates) {
+  ThreadTracer tracer;
+  tracer.Record(0, 1, ThreadState::kDisabled, ThreadState::kRunnable, TraceCause::kStart);
+  tracer.Record(500, 1, ThreadState::kRunnable, ThreadState::kWaiting, TraceCause::kMwait);
+  tracer.Record(900, 1, ThreadState::kWaiting, ThreadState::kDisabled, TraceCause::kStop);
+  std::ostringstream os;
+  // Window extends past the final transition so the disabled tail renders.
+  tracer.DumpTimeline(os, 0, 1200, 12);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("ptid 1"), std::string::npos);
+  EXPECT_NE(line.find('R'), std::string::npos);
+  EXPECT_NE(line.find('w'), std::string::npos);
+  EXPECT_NE(line.find('.'), std::string::npos);
+}
+
+TEST(TracerTest, MaxEventsCapsMemory) {
+  ThreadTracer tracer;
+  tracer.set_max_events(10);
+  for (int i = 0; i < 100; i++) {
+    tracer.Record(i, 0, ThreadState::kDisabled, ThreadState::kRunnable, TraceCause::kStart);
+  }
+  EXPECT_EQ(tracer.events().size(), 10u);
+}
+
+TEST(TracerTest, CauseNamesResolve) {
+  EXPECT_STREQ(TraceCauseName(TraceCause::kStart), "start");
+  EXPECT_STREQ(TraceCauseName(TraceCause::kMonitorWake), "monitor-wake");
+  EXPECT_STREQ(TraceCauseName(TraceCause::kException), "exception");
+}
+
+}  // namespace
+}  // namespace casc

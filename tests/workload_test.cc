@@ -1,0 +1,105 @@
+// Workload generator tests: distribution means/shapes, Poisson arrivals, and
+// the latency recorder.
+#include <gtest/gtest.h>
+
+#include "src/sim/simulation.h"
+#include "src/workload/distributions.h"
+#include "src/workload/loadgen.h"
+
+namespace casc {
+namespace {
+
+double SampledMean(const ServiceDist& d, int n = 200000) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < n; i++) {
+    sum += static_cast<double>(d.Sample(rng));
+  }
+  return sum / n;
+}
+
+TEST(DistributionsTest, MeansMatch) {
+  EXPECT_NEAR(SampledMean(ServiceDist::Fixed(1000)), 1000, 1);
+  EXPECT_NEAR(SampledMean(ServiceDist::Exponential(1000)), 1000, 20);
+  EXPECT_NEAR(SampledMean(ServiceDist::Parse("bimodal", 1000)), 1000, 30);
+  // Heavy tails converge slowly; loose bound.
+  EXPECT_NEAR(SampledMean(ServiceDist::Pareto(1000, 2.5), 500000), 1000, 120);
+}
+
+TEST(DistributionsTest, BimodalHasTwoModes) {
+  const ServiceDist d = ServiceDist::Parse("bimodal", 1000);
+  Rng rng(7);
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  int longs = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; i++) {
+    const Tick v = d.Sample(rng);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    longs += v > 1000 ? 1 : 0;
+  }
+  EXPECT_EQ(lo, 500u);
+  EXPECT_GT(hi, 40000u);
+  EXPECT_NEAR(static_cast<double>(longs) / n, 0.01, 0.002);
+}
+
+TEST(DistributionsTest, ParetoTailHeavierThanExponential) {
+  Rng rng(3);
+  const ServiceDist exp = ServiceDist::Exponential(1000);
+  const ServiceDist par = ServiceDist::Pareto(1000, 1.5);
+  Histogram he;
+  Histogram hp;
+  for (int i = 0; i < 200000; i++) {
+    he.Record(exp.Sample(rng));
+    hp.Record(par.Sample(rng));
+  }
+  EXPECT_GT(hp.P999(), he.P999());
+}
+
+TEST(DistributionsTest, SamplesArePositive) {
+  Rng rng(5);
+  for (const char* name : {"fixed", "exp", "bimodal", "pareto", "lognormal"}) {
+    const ServiceDist d = ServiceDist::Parse(name, 100);
+    for (int i = 0; i < 1000; i++) {
+      EXPECT_GE(d.Sample(rng), 1u) << name;
+    }
+  }
+}
+
+TEST(LoadgenTest, PoissonArrivalRate) {
+  Simulation sim;
+  uint64_t arrivals = 0;
+  OpenLoopSource src(sim, /*mean gap=*/1000, ServiceDist::Fixed(10),
+                     [&](uint64_t, Tick) { arrivals++; });
+  src.StartAt(0);
+  sim.queue().RunUntil(10'000'000);
+  src.Stop();
+  EXPECT_NEAR(static_cast<double>(arrivals), 10000.0, 400.0);
+}
+
+TEST(LoadgenTest, LimitStopsEmission) {
+  Simulation sim;
+  uint64_t arrivals = 0;
+  OpenLoopSource src(sim, 100, ServiceDist::Fixed(10), [&](uint64_t, Tick) { arrivals++; });
+  src.set_limit(50);
+  src.StartAt(0);
+  sim.queue().RunAll();
+  EXPECT_EQ(arrivals, 50u);
+}
+
+TEST(LatencyRecorderTest, TracksSojournAndSlowdown) {
+  LatencyRecorder rec;
+  rec.OnSend(1, 1000, 100);
+  rec.OnSend(2, 1000, 100);
+  rec.OnReceive(1, 1200);   // sojourn 200, slowdown 2
+  EXPECT_EQ(rec.completed(), 1u);
+  EXPECT_EQ(rec.inflight(), 1u);
+  EXPECT_EQ(rec.latency().max(), 200u);
+  EXPECT_EQ(rec.slowdown().max(), 2u);
+  rec.OnReceive(999, 2000);  // unknown id ignored
+  EXPECT_EQ(rec.completed(), 1u);
+}
+
+}  // namespace
+}  // namespace casc

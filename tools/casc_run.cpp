@@ -1,0 +1,88 @@
+// casc-run: assemble a .casm file and run it on a simulated machine.
+//
+//   casc-run prog.casm [--entry=symbol] [--supervisor=true] [--max-cycles=N]
+//            [--threads-per-core=64] [--trace] [--dump-stats]
+//
+// Conventions: the program runs on hardware thread 0 in supervisor mode by
+// default. `hcall 1` prints a0 in decimal, `hcall 2` prints it in hex,
+// `hcall 0`/`halt` ends the thread. Exit code: 0 if the machine quiesced
+// without halting, 1 on machine halt (unhandled fault).
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "src/cpu/machine.h"
+#include "src/hwt/tracer.h"
+#include "src/sim/config.h"
+
+using namespace casc;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: casc-run <file.casm> [--entry=sym] [--max-cycles=N] "
+                         "[--trace] [--dump-stats]\n");
+    return 2;
+  }
+  const std::string path = argv[1];
+  Config cfg;
+  std::string err;
+  if (!cfg.ParseArgs(argc - 1, argv + 1, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+
+  MachineConfig mc;
+  mc.hwt.threads_per_core = static_cast<uint32_t>(cfg.GetUint("threads-per-core", 64));
+  Machine m(mc);
+  ThreadTracer tracer;
+  if (cfg.GetBool("trace", false)) {
+    m.threads().SetTracer(&tracer);
+  }
+  m.SetHcallHandler([&](Core&, HwThread& t, int64_t code) {
+    if (code == 1) {
+      std::printf("[hcall] a0 = %llu\n", (unsigned long long)t.ReadGpr(10));
+    } else if (code == 2) {
+      std::printf("[hcall] a0 = 0x%llx\n", (unsigned long long)t.ReadGpr(10));
+    }
+  });
+
+  const Ptid p = m.LoadSource(0, 0, ss.str(), cfg.GetBool("supervisor", true),
+                              cfg.GetString("entry"), /*edp=*/0);
+  const Tick start = m.sim().now();
+  m.Start(p);
+  const uint64_t max_cycles = cfg.GetUint("max-cycles", 100'000'000);
+  // Drain events up to the budget without advancing the clock past the last
+  // real event (so the cycle report is meaningful).
+  while (!m.halted() && m.sim().queue().NextTick() <= start + max_cycles) {
+    m.sim().queue().RunOne();
+  }
+  const bool drained = m.sim().queue().Empty();
+
+  std::printf("---\n");
+  std::printf("cycles     : %llu\n", (unsigned long long)(m.sim().now() - start));
+  std::printf("instructions: %llu\n", (unsigned long long)m.core(0).instructions_retired());
+  std::printf("state      : %s%s\n",
+              m.halted() ? "HALTED: " : (drained ? "quiesced" : "cycle budget exhausted"),
+              m.halted() ? m.halt_reason().c_str() : "");
+  std::printf("registers  :");
+  for (uint32_t r = 10; r <= 17; r++) {
+    std::printf(" a%u=%llu", r - 10, (unsigned long long)m.threads().thread(p).ReadGpr(r));
+  }
+  std::printf("\n");
+  if (cfg.GetBool("trace", false)) {
+    std::printf("timeline (start..now):\n");
+    tracer.DumpTimeline(std::cout, start, m.sim().now() + 1, 72);
+  }
+  if (cfg.GetBool("dump-stats", false)) {
+    m.sim().stats().Dump(std::cout);
+  }
+  return m.halted() ? 1 : 0;
+}
