@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e1_primitives"
+  "../bench/bench_e1_primitives.pdb"
+  "CMakeFiles/bench_e1_primitives.dir/bench_e1_primitives.cpp.o"
+  "CMakeFiles/bench_e1_primitives.dir/bench_e1_primitives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e2_interrupts"
+  "../bench/bench_e2_interrupts.pdb"
+  "CMakeFiles/bench_e2_interrupts.dir/bench_e2_interrupts.cpp.o"
+  "CMakeFiles/bench_e2_interrupts.dir/bench_e2_interrupts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

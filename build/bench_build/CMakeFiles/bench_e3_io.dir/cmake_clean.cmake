@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e3_io"
+  "../bench/bench_e3_io.pdb"
+  "CMakeFiles/bench_e3_io.dir/bench_e3_io.cpp.o"
+  "CMakeFiles/bench_e3_io.dir/bench_e3_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

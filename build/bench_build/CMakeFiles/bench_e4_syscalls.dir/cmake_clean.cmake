@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e4_syscalls"
+  "../bench/bench_e4_syscalls.pdb"
+  "CMakeFiles/bench_e4_syscalls.dir/bench_e4_syscalls.cpp.o"
+  "CMakeFiles/bench_e4_syscalls.dir/bench_e4_syscalls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

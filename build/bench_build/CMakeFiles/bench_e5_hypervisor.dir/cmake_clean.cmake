@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e5_hypervisor"
+  "../bench/bench_e5_hypervisor.pdb"
+  "CMakeFiles/bench_e5_hypervisor.dir/bench_e5_hypervisor.cpp.o"
+  "CMakeFiles/bench_e5_hypervisor.dir/bench_e5_hypervisor.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e6_microkernel"
+  "../bench/bench_e6_microkernel.pdb"
+  "CMakeFiles/bench_e6_microkernel.dir/bench_e6_microkernel.cpp.o"
+  "CMakeFiles/bench_e6_microkernel.dir/bench_e6_microkernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_microkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

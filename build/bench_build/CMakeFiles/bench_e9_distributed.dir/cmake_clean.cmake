@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_e9_distributed"
+  "../bench/bench_e9_distributed.pdb"
+  "CMakeFiles/bench_e9_distributed.dir/bench_e9_distributed.cpp.o"
+  "CMakeFiles/bench_e9_distributed.dir/bench_e9_distributed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

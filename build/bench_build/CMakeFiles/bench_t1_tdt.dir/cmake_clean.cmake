@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_t1_tdt"
+  "../bench/bench_t1_tdt.pdb"
+  "CMakeFiles/bench_t1_tdt.dir/bench_t1_tdt.cpp.o"
+  "CMakeFiles/bench_t1_tdt.dir/bench_t1_tdt.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t1_tdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

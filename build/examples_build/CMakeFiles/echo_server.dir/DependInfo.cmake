@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/echo_server.cpp" "examples_build/CMakeFiles/echo_server.dir/echo_server.cpp.o" "gcc" "examples_build/CMakeFiles/echo_server.dir/echo_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/casc_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/casc_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/casc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/hwt/CMakeFiles/casc_hwt.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/casc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/casc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/casc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

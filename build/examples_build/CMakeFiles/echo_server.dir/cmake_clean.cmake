@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/echo_server"
+  "../examples/echo_server.pdb"
+  "CMakeFiles/echo_server.dir/echo_server.cpp.o"
+  "CMakeFiles/echo_server.dir/echo_server.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echo_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hypervisor_demo"
+  "../examples/hypervisor_demo.pdb"
+  "CMakeFiles/hypervisor_demo.dir/hypervisor_demo.cpp.o"
+  "CMakeFiles/hypervisor_demo.dir/hypervisor_demo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypervisor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/microkernel_fs"
+  "../examples/microkernel_fs.pdb"
+  "CMakeFiles/microkernel_fs.dir/microkernel_fs.cpp.o"
+  "CMakeFiles/microkernel_fs.dir/microkernel_fs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microkernel_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/sandbox_filter"
+  "../examples/sandbox_filter.pdb"
+  "CMakeFiles/sandbox_filter.dir/sandbox_filter.cpp.o"
+  "CMakeFiles/sandbox_filter.dir/sandbox_filter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_baseline.dir/baseline.cc.o"
+  "CMakeFiles/casc_baseline.dir/baseline.cc.o.d"
+  "libcasc_baseline.a"
+  "libcasc_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

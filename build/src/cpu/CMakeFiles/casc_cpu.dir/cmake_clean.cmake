@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_cpu.dir/core.cc.o"
+  "CMakeFiles/casc_cpu.dir/core.cc.o.d"
+  "CMakeFiles/casc_cpu.dir/machine.cc.o"
+  "CMakeFiles/casc_cpu.dir/machine.cc.o.d"
+  "libcasc_cpu.a"
+  "libcasc_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

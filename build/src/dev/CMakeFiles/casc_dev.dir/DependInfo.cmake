@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/apic_timer.cc" "src/dev/CMakeFiles/casc_dev.dir/apic_timer.cc.o" "gcc" "src/dev/CMakeFiles/casc_dev.dir/apic_timer.cc.o.d"
+  "/root/repo/src/dev/block_dev.cc" "src/dev/CMakeFiles/casc_dev.dir/block_dev.cc.o" "gcc" "src/dev/CMakeFiles/casc_dev.dir/block_dev.cc.o.d"
+  "/root/repo/src/dev/fabric.cc" "src/dev/CMakeFiles/casc_dev.dir/fabric.cc.o" "gcc" "src/dev/CMakeFiles/casc_dev.dir/fabric.cc.o.d"
+  "/root/repo/src/dev/nic.cc" "src/dev/CMakeFiles/casc_dev.dir/nic.cc.o" "gcc" "src/dev/CMakeFiles/casc_dev.dir/nic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/casc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/casc_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_dev.dir/apic_timer.cc.o"
+  "CMakeFiles/casc_dev.dir/apic_timer.cc.o.d"
+  "CMakeFiles/casc_dev.dir/block_dev.cc.o"
+  "CMakeFiles/casc_dev.dir/block_dev.cc.o.d"
+  "CMakeFiles/casc_dev.dir/fabric.cc.o"
+  "CMakeFiles/casc_dev.dir/fabric.cc.o.d"
+  "CMakeFiles/casc_dev.dir/nic.cc.o"
+  "CMakeFiles/casc_dev.dir/nic.cc.o.d"
+  "libcasc_dev.a"
+  "libcasc_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwt/context_store.cc" "src/hwt/CMakeFiles/casc_hwt.dir/context_store.cc.o" "gcc" "src/hwt/CMakeFiles/casc_hwt.dir/context_store.cc.o.d"
+  "/root/repo/src/hwt/exception.cc" "src/hwt/CMakeFiles/casc_hwt.dir/exception.cc.o" "gcc" "src/hwt/CMakeFiles/casc_hwt.dir/exception.cc.o.d"
+  "/root/repo/src/hwt/sched_queue.cc" "src/hwt/CMakeFiles/casc_hwt.dir/sched_queue.cc.o" "gcc" "src/hwt/CMakeFiles/casc_hwt.dir/sched_queue.cc.o.d"
+  "/root/repo/src/hwt/tdt.cc" "src/hwt/CMakeFiles/casc_hwt.dir/tdt.cc.o" "gcc" "src/hwt/CMakeFiles/casc_hwt.dir/tdt.cc.o.d"
+  "/root/repo/src/hwt/thread_system.cc" "src/hwt/CMakeFiles/casc_hwt.dir/thread_system.cc.o" "gcc" "src/hwt/CMakeFiles/casc_hwt.dir/thread_system.cc.o.d"
+  "/root/repo/src/hwt/tracer.cc" "src/hwt/CMakeFiles/casc_hwt.dir/tracer.cc.o" "gcc" "src/hwt/CMakeFiles/casc_hwt.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/casc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/casc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/casc_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_hwt.dir/context_store.cc.o"
+  "CMakeFiles/casc_hwt.dir/context_store.cc.o.d"
+  "CMakeFiles/casc_hwt.dir/exception.cc.o"
+  "CMakeFiles/casc_hwt.dir/exception.cc.o.d"
+  "CMakeFiles/casc_hwt.dir/sched_queue.cc.o"
+  "CMakeFiles/casc_hwt.dir/sched_queue.cc.o.d"
+  "CMakeFiles/casc_hwt.dir/tdt.cc.o"
+  "CMakeFiles/casc_hwt.dir/tdt.cc.o.d"
+  "CMakeFiles/casc_hwt.dir/thread_system.cc.o"
+  "CMakeFiles/casc_hwt.dir/thread_system.cc.o.d"
+  "CMakeFiles/casc_hwt.dir/tracer.cc.o"
+  "CMakeFiles/casc_hwt.dir/tracer.cc.o.d"
+  "libcasc_hwt.a"
+  "libcasc_hwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_hwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_isa.dir/assembler.cc.o"
+  "CMakeFiles/casc_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/casc_isa.dir/isa.cc.o"
+  "CMakeFiles/casc_isa.dir/isa.cc.o.d"
+  "libcasc_isa.a"
+  "libcasc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_mem.dir/cache.cc.o"
+  "CMakeFiles/casc_mem.dir/cache.cc.o.d"
+  "CMakeFiles/casc_mem.dir/memory_system.cc.o"
+  "CMakeFiles/casc_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/casc_mem.dir/monitor_filter.cc.o"
+  "CMakeFiles/casc_mem.dir/monitor_filter.cc.o.d"
+  "CMakeFiles/casc_mem.dir/phys_mem.cc.o"
+  "CMakeFiles/casc_mem.dir/phys_mem.cc.o.d"
+  "libcasc_mem.a"
+  "libcasc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

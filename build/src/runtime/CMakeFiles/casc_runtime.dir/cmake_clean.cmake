@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_runtime.dir/hypervisor.cc.o"
+  "CMakeFiles/casc_runtime.dir/hypervisor.cc.o.d"
+  "CMakeFiles/casc_runtime.dir/kscheduler.cc.o"
+  "CMakeFiles/casc_runtime.dir/kscheduler.cc.o.d"
+  "CMakeFiles/casc_runtime.dir/rpc.cc.o"
+  "CMakeFiles/casc_runtime.dir/rpc.cc.o.d"
+  "CMakeFiles/casc_runtime.dir/services.cc.o"
+  "CMakeFiles/casc_runtime.dir/services.cc.o.d"
+  "CMakeFiles/casc_runtime.dir/syscall_layer.cc.o"
+  "CMakeFiles/casc_runtime.dir/syscall_layer.cc.o.d"
+  "libcasc_runtime.a"
+  "libcasc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

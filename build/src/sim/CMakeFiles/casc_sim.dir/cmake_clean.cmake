@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_sim.dir/config.cc.o"
+  "CMakeFiles/casc_sim.dir/config.cc.o.d"
+  "CMakeFiles/casc_sim.dir/event_queue.cc.o"
+  "CMakeFiles/casc_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/casc_sim.dir/stats.cc.o"
+  "CMakeFiles/casc_sim.dir/stats.cc.o.d"
+  "libcasc_sim.a"
+  "libcasc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_workflow.dir/asm_workflow_test.cc.o"
+  "CMakeFiles/test_asm_workflow.dir/asm_workflow_test.cc.o.d"
+  "test_asm_workflow"
+  "test_asm_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

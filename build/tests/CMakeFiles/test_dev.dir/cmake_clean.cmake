@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dev.dir/dev_test.cc.o"
+  "CMakeFiles/test_dev.dir/dev_test.cc.o.d"
+  "test_dev"
+  "test_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

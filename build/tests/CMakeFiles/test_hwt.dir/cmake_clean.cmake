@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwt.dir/hwt_test.cc.o"
+  "CMakeFiles/test_hwt.dir/hwt_test.cc.o.d"
+  "test_hwt"
+  "test_hwt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

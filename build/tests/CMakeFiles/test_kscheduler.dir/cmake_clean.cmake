@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kscheduler.dir/kscheduler_test.cc.o"
+  "CMakeFiles/test_kscheduler.dir/kscheduler_test.cc.o.d"
+  "test_kscheduler"
+  "test_kscheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kscheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/casc_asm.cpp" "tools/CMakeFiles/casc_asm.dir/casc_asm.cpp.o" "gcc" "tools/CMakeFiles/casc_asm.dir/casc_asm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/casc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/casc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/casc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

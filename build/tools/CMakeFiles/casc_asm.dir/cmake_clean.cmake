@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_asm.dir/casc_asm.cpp.o"
+  "CMakeFiles/casc_asm.dir/casc_asm.cpp.o.d"
+  "casc_asm"
+  "casc_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/casc_run.dir/casc_run.cpp.o"
+  "CMakeFiles/casc_run.dir/casc_run.cpp.o.d"
+  "casc_run"
+  "casc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/casc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

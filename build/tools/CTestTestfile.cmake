@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_asm_listing "/root/repo/build/tools/casc_asm" "assemble" "/root/repo/examples/asm/fib.casm" "--list")
+set_tests_properties(tool_asm_listing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_fib "/root/repo/build/tools/casc_run" "/root/repo/examples/asm/fib.casm")
+set_tests_properties(tool_run_fib PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_run_pingpong "/root/repo/build/tools/casc_run" "/root/repo/examples/asm/pingpong.casm" "--trace")
+set_tests_properties(tool_run_pingpong PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_asm_syscall "/root/repo/build/tools/casc_asm" "assemble" "/root/repo/examples/asm/syscall.casm" "--list")
+set_tests_properties(tool_asm_syscall PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
