@@ -1,0 +1,201 @@
+#include "src/analysis/cfg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace casc {
+namespace analysis {
+
+namespace {
+
+bool IsBranch(Opcode op) {
+  switch (op) {
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+enum class BranchCond { kConditional, kAlwaysTaken, kNeverTaken };
+
+// Branches compare the rd-field register against the rs1-field register, so a
+// same-register compare has a constant outcome. The assembler lowers the `j`
+// pseudo-instruction to `beq r0, r0, target`, which this folds back into an
+// unconditional jump.
+BranchCond CondOf(const Instruction& inst) {
+  if (inst.rd != inst.rs1) {
+    return BranchCond::kConditional;
+  }
+  switch (inst.op) {
+    case Opcode::kBeq:
+    case Opcode::kBge:
+    case Opcode::kBgeu:
+      return BranchCond::kAlwaysTaken;
+    default:
+      return BranchCond::kNeverTaken;
+  }
+}
+
+bool IsRet(const Instruction& inst) {
+  return inst.op == Opcode::kJalr && inst.rd == 0 && inst.rs1 == 31 && inst.imm == 0;
+}
+
+}  // namespace
+
+bool IsTerminator(const Instruction& inst) {
+  switch (inst.op) {
+    case Opcode::kHalt:
+    case Opcode::kJalr:
+      return true;
+    case Opcode::kHcall:
+      return inst.imm == 0;  // hcall 0 exits the thread
+    case Opcode::kJal:
+      return false;  // call: the return site is still reachable
+    default:
+      return IsBranch(inst.op) && CondOf(inst) == BranchCond::kAlwaysTaken;
+  }
+}
+
+bool StaticTarget(const Instruction& inst, Addr addr, Addr* target) {
+  if (IsBranch(inst.op) || inst.op == Opcode::kJal) {
+    *target = addr + kInstBytes +
+              static_cast<Addr>(static_cast<int64_t>(inst.imm) * kInstBytes);
+    return true;
+  }
+  return false;
+}
+
+Cfg BuildCfg(const DecodedProgram& prog, Addr entry) {
+  Cfg cfg;
+  cfg.block_of.assign(prog.insts.size(), SIZE_MAX);
+  if (prog.insts.empty()) {
+    return cfg;
+  }
+
+  // Leaders: the entry, address-taken code, every static jump target, and the
+  // instruction after any control transfer.
+  std::set<Addr> leaders;
+  leaders.insert(prog.insts.front().addr);
+  if (prog.IndexAt(entry) != SIZE_MAX) {
+    leaders.insert(entry);
+  }
+  for (Addr a : prog.address_taken) {
+    if (prog.IndexAt(a) != SIZE_MAX) {
+      leaders.insert(a);
+    }
+  }
+  for (const DecodedInst& di : prog.insts) {
+    Addr target = 0;
+    if (StaticTarget(di.inst, di.addr, &target) && prog.IndexAt(target) != SIZE_MAX) {
+      leaders.insert(target);
+    }
+    if (IsTerminator(di.inst) || IsBranch(di.inst.op) || di.inst.op == Opcode::kJal) {
+      leaders.insert(di.addr + kInstBytes);
+    }
+  }
+
+  // Cut the instruction stream into blocks at leaders, terminators, and
+  // address discontinuities (a data range between two code runs).
+  for (size_t i = 0; i < prog.insts.size();) {
+    BasicBlock bb;
+    bb.first = i;
+    while (true) {
+      cfg.block_of[i] = cfg.blocks.size();
+      const DecodedInst& di = prog.insts[i];
+      const bool contiguous =
+          i + 1 < prog.insts.size() && prog.insts[i + 1].addr == di.addr + kInstBytes;
+      if (IsTerminator(di.inst) || !contiguous ||
+          leaders.count(di.addr + kInstBytes) != 0) {
+        bb.last = i;
+        i++;
+        break;
+      }
+      i++;
+    }
+    cfg.blocks.push_back(bb);
+  }
+
+  // Wire successors.
+  for (BasicBlock& bb : cfg.blocks) {
+    const DecodedInst& last = prog.insts[bb.last];
+    const Instruction& inst = last.inst;
+    const Addr fall = last.addr + kInstBytes;
+
+    auto link_fallthrough = [&](bool call_return) {
+      const size_t idx = prog.IndexAt(fall);
+      if (idx != SIZE_MAX) {
+        bb.succs.push_back({cfg.block_of[idx], call_return});
+      } else if (fall >= prog.end) {
+        bb.falls_off_image = true;
+      } else {
+        bb.falls_into_data = true;
+      }
+    };
+    auto link_target = [&] {
+      Addr target = 0;
+      if (!StaticTarget(inst, last.addr, &target)) {
+        return;
+      }
+      const size_t idx = prog.IndexAt(target);
+      if (idx != SIZE_MAX) {
+        bb.succs.push_back({cfg.block_of[idx], false});
+      } else {
+        bb.bad_targets.push_back(target);
+      }
+    };
+
+    if (inst.op == Opcode::kHalt || (inst.op == Opcode::kHcall && inst.imm == 0)) {
+      continue;
+    }
+    if (IsRet(inst)) {
+      bb.is_return = true;
+      continue;
+    }
+    if (inst.op == Opcode::kJalr) {
+      bb.indirect_exit = true;
+      continue;
+    }
+    if (inst.op == Opcode::kJal) {
+      link_target();
+      link_fallthrough(/*call_return=*/true);
+      continue;
+    }
+    if (IsBranch(inst.op)) {
+      const BranchCond cond = CondOf(inst);
+      if (cond != BranchCond::kNeverTaken) {
+        link_target();
+      }
+      if (cond != BranchCond::kAlwaysTaken) {
+        link_fallthrough(/*call_return=*/false);
+      }
+      continue;
+    }
+    link_fallthrough(/*call_return=*/false);
+  }
+
+  // Entry blocks.
+  const size_t entry_idx = prog.IndexAt(entry);
+  if (entry_idx != SIZE_MAX) {
+    cfg.primary_entry = cfg.block_of[entry_idx];
+  }
+  for (Addr a : prog.address_taken) {
+    const size_t idx = prog.IndexAt(a);
+    if (idx != SIZE_MAX && cfg.block_of[idx] != cfg.primary_entry) {
+      cfg.secondary_entries.push_back(cfg.block_of[idx]);
+    }
+  }
+  std::sort(cfg.secondary_entries.begin(), cfg.secondary_entries.end());
+  cfg.secondary_entries.erase(
+      std::unique(cfg.secondary_entries.begin(), cfg.secondary_entries.end()),
+      cfg.secondary_entries.end());
+  return cfg;
+}
+
+}  // namespace analysis
+}  // namespace casc

@@ -1,0 +1,249 @@
+#include "src/analysis/checks.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace casc {
+namespace analysis {
+
+namespace {
+
+std::string Hex(Addr a) {
+  std::ostringstream os;
+  os << "0x" << std::hex << a;
+  return os.str();
+}
+
+bool IsProtectedCsr(Csr csr) {
+  switch (csr) {
+    case Csr::kSelfKey:
+    case Csr::kAuthKey:
+      return false;  // deliberately user-writable (§3.2 secret-key model)
+    default:
+      return true;
+  }
+}
+
+bool IsPrivilegedRemotePush(uint32_t remote_reg) {
+  switch (static_cast<RemoteReg>(remote_reg)) {
+    case RemoteReg::kMode:
+    case RemoteReg::kTdtr:
+    case RemoteReg::kTdtSize:
+      return true;  // virtualization roots: supervisor-only (§3.2)
+    default:
+      return false;
+  }
+}
+
+// Ops that manage other threads and therefore carry a vtid in rs1.
+bool TakesVtid(Opcode op) {
+  switch (op) {
+    case Opcode::kStart:
+    case Opcode::kStop:
+    case Opcode::kInvtid:
+    case Opcode::kRpull:
+    case Opcode::kRpush:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class Checker {
+ public:
+  Checker(const DecodedProgram& prog, const Cfg& cfg, const DataflowResult& flow,
+          const AnalysisOptions& options)
+      : prog_(prog), cfg_(cfg), flow_(flow), options_(options) {}
+
+  std::vector<Diagnostic> Run() {
+    for (size_t b = 0; b < cfg_.blocks.size(); b++) {
+      if (flow_.block_in[b].reachable) {
+        CheckBlock(b);
+      }
+    }
+    CheckUnreachable();
+    std::sort(diags_.begin(), diags_.end(),
+              [](const Diagnostic& x, const Diagnostic& y) { return x.addr < y.addr; });
+    return std::move(diags_);
+  }
+
+ private:
+  void Emit(const char* rule, Severity sev, const DecodedInst& di, std::string msg) {
+    diags_.push_back({rule, sev, di.addr, di.line, std::move(msg)});
+  }
+
+  void CheckBlock(size_t b) {
+    const BasicBlock& bb = cfg_.blocks[b];
+    FlowState state = flow_.block_in[b];
+    for (size_t i = bb.first; i <= bb.last; i++) {
+      CheckInst(prog_.insts[i], state);
+      TransferInst(prog_.insts[i], options_, &state);
+    }
+    CheckBlockExit(bb);
+  }
+
+  void CheckInst(const DecodedInst& di, const FlowState& s) {
+    const Instruction& inst = di.inst;
+
+    if (di.illegal) {
+      Emit(rules::kIllegalOpcode, Severity::kError, di,
+           "word " + Hex(di.word) + " does not decode to a CASC instruction "
+           "(the simulator executes it as nop)");
+      return;
+    }
+
+    // §3.1: mwait with no path that armed a monitor blocks forever.
+    if (inst.op == Opcode::kMwait && !s.monitor_may_armed) {
+      Emit(rules::kMwaitNoMonitor, Severity::kError, di,
+           "mwait is reachable with no monitor armed on any path; "
+           "the thread would block on a watch that can never fire");
+    }
+
+    // §3.2: privileged operations reachable in user mode.
+    if (s.may_user) {
+      if (inst.op == Opcode::kCsrwr && IsProtectedCsr(static_cast<Csr>(inst.imm))) {
+        Emit(rules::kPrivilegedInUser, Severity::kError, di,
+             "csrwr to a protected CSR is reachable in user mode; "
+             "would raise kPrivilegedInstruction");
+      } else if (inst.op == Opcode::kStart || inst.op == Opcode::kStop ||
+                 inst.op == Opcode::kInvtid) {
+        Emit(rules::kPrivilegedInUser, Severity::kError, di,
+             std::string(OpcodeName(inst.op)) +
+                 " is reachable in user mode without TDT-granted authority; "
+                 "would raise kPrivilegedInstruction or kPermissionDenied");
+      } else if (inst.op == Opcode::kRpush &&
+                 IsPrivilegedRemotePush(static_cast<uint32_t>(inst.imm))) {
+        Emit(rules::kPrivilegedInUser, Severity::kError, di,
+             "rpush to a virtualization-root remote register (mode/tdtr/tdtsize) "
+             "is reachable in user mode; would raise kPrivilegedInstruction");
+      }
+    }
+
+    // §3.1: rpull/rpush operate on the registers of a *disabled* ptid.
+    if (inst.op == Opcode::kRpull || inst.op == Opcode::kRpush) {
+      const ConstVal vtid = inst.rs1 == 0 ? ConstVal{true, 0} : s.regs[inst.rs1];
+      if (vtid.known && s.stopped_must.count(vtid.value) == 0) {
+        Emit(rules::kRemoteRegNoStop, Severity::kWarning, di,
+             std::string(OpcodeName(inst.op)) + " on vtid " +
+                 std::to_string(vtid.value) +
+                 " with no dominating stop; if the target is running this "
+                 "raises kTargetNotDisabled");
+      }
+    }
+
+    // §3.2: vtid constants beyond the TDT capacity can never translate.
+    if (TakesVtid(inst.op) && !s.may_user) {
+      const ConstVal vtid = inst.rs1 == 0 ? ConstVal{true, 0} : s.regs[inst.rs1];
+      if (vtid.known && s.tdt_bound.known && vtid.value >= s.tdt_bound.value) {
+        Emit(rules::kVtidOutOfRange, Severity::kError, di,
+             std::string(OpcodeName(inst.op)) + " on vtid constant " +
+                 std::to_string(vtid.value) + " >= TDT capacity " +
+                 std::to_string(s.tdt_bound.value) + "; would raise kInvalidVtid");
+      }
+    }
+
+    // §3: a fault with no EDP installed is the triple-fault analog — the
+    // descriptor has nowhere to go and the thread dies silently.
+    if (!s.edp_must_set) {
+      const bool user_memop =
+          s.may_user && (inst.op == Opcode::kLd || inst.op == Opcode::kLw ||
+                         inst.op == Opcode::kLh || inst.op == Opcode::kLb ||
+                         inst.op == Opcode::kSd || inst.op == Opcode::kSw ||
+                         inst.op == Opcode::kSh || inst.op == Opcode::kSb ||
+                         inst.op == Opcode::kAmoadd);
+      if (inst.op == Opcode::kDiv) {
+        Emit(rules::kFaultNoEdp, Severity::kWarning, di,
+             "div can fault (divide by zero) but no exception descriptor "
+             "pointer is installed on every path here: a fault would kill the "
+             "thread silently (the triple-fault analog)");
+      } else if (user_memop) {
+        Emit(rules::kFaultNoEdp, Severity::kWarning, di,
+             std::string(OpcodeName(inst.op)) +
+                 " can page-fault in user mode but no exception descriptor "
+                 "pointer is installed on every path here: a fault would kill "
+                 "the thread silently (the triple-fault analog)");
+      }
+    }
+  }
+
+  void CheckBlockExit(const BasicBlock& bb) {
+    const DecodedInst& last = prog_.insts[bb.last];
+    if (bb.falls_off_image) {
+      Emit(rules::kFallthroughOffImage, Severity::kError, last,
+           "control flow falls through the end of the image at " +
+               Hex(last.addr + kInstBytes));
+    }
+    if (bb.falls_into_data) {
+      Emit(rules::kFallthroughOffImage, Severity::kError, last,
+           "control flow falls through into a data range at " +
+               Hex(last.addr + kInstBytes));
+    }
+    for (Addr target : bb.bad_targets) {
+      const bool in_image = prog_.InImage(target);
+      Emit(rules::kTargetOutOfImage, Severity::kError, last,
+           std::string("branch/jump target ") + Hex(target) +
+               (in_image ? " lands in a data range or between instructions"
+                         : " is outside the image [" + Hex(prog_.base) + ", " +
+                               Hex(prog_.end) + ")"));
+    }
+    if (bb.indirect_exit) {
+      Emit(rules::kIndirectJalr, Severity::kNote, last,
+           "jalr target is not statically resolvable; control flow past this "
+           "point is analyzed conservatively");
+    }
+  }
+
+  // One diagnostic per maximal address-contiguous run of unreachable code.
+  void CheckUnreachable() {
+    size_t i = 0;
+    while (i < prog_.insts.size()) {
+      const bool reachable = flow_.block_in[cfg_.block_of[i]].reachable;
+      if (reachable) {
+        i++;
+        continue;
+      }
+      const size_t start = i;
+      size_t count = 0;
+      while (i < prog_.insts.size() &&
+             !flow_.block_in[cfg_.block_of[i]].reachable &&
+             (i == start ||
+              prog_.insts[i].addr == prog_.insts[i - 1].addr + kInstBytes)) {
+        count++;
+        i++;
+      }
+      Emit(rules::kUnreachableCode, Severity::kWarning, prog_.insts[start],
+           std::to_string(count) +
+               " instruction(s) unreachable from the entry point or any "
+               "address-taken code");
+    }
+  }
+
+  const DecodedProgram& prog_;
+  const Cfg& cfg_;
+  const DataflowResult& flow_;
+  const AnalysisOptions& options_;
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+std::vector<Diagnostic> RunChecks(const DecodedProgram& prog, const Cfg& cfg,
+                                  const DataflowResult& flow,
+                                  const AnalysisOptions& options) {
+  return Checker(prog, cfg, flow, options).Run();
+}
+
+}  // namespace analysis
+}  // namespace casc

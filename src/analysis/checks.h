@@ -1,0 +1,76 @@
+// The paper-grounded rule engine: walks the dataflow fixed point and emits
+// structured diagnostics. Rule table (paper sections refer to "A case against
+// (most) context switches", HotOS'21):
+//
+//   mwait-no-monitor       §3.1  mwait reachable with no monitor armed on any
+//                                path: the thread blocks on a watch that can
+//                                never fire.
+//   remote-reg-no-stop     §3.1  rpull/rpush on a vtid with no dominating
+//                                stop: raises kTargetNotDisabled at runtime.
+//   privileged-in-user     §3.2  privileged op (csrwr to a protected CSR,
+//                                start/stop/invtid, rpush to a virtualization
+//                                root) reachable in user mode: raises
+//                                kPrivilegedInstruction.
+//   fault-no-edp           §3    faulting-capable op reachable on a path with
+//                                no EDP installed: the triple-fault analog —
+//                                the thread dies silently with nowhere to
+//                                write its exception descriptor.
+//   unreachable-code       —     code no entry or address-taken root reaches.
+//   fallthrough-off-image  —     control flow runs past the image end or into
+//                                .word data.
+//   target-out-of-image    —     branch/jal target outside [base, end) or
+//                                inside a data range.
+//   vtid-out-of-range      §3.2  start/stop/invtid/rpull/rpush on a vtid
+//                                constant >= the TDT capacity: raises
+//                                kInvalidVtid.
+//   illegal-opcode         —     reachable word whose opcode field does not
+//                                decode (the simulator folds it to nop).
+//   indirect-jalr          —     note: jalr target not statically resolvable;
+//                                the analysis is conservative past it.
+#ifndef SRC_ANALYSIS_CHECKS_H_
+#define SRC_ANALYSIS_CHECKS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/dataflow.h"
+#include "src/analysis/decoder.h"
+#include "src/sim/types.h"
+
+namespace casc {
+namespace analysis {
+
+enum class Severity { kError, kWarning, kNote };
+
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  std::string rule_id;
+  Severity severity = Severity::kError;
+  Addr addr = 0;
+  int line = 0;  // 1-based source line, 0 if unknown
+  std::string message;
+};
+
+namespace rules {
+inline constexpr char kMwaitNoMonitor[] = "mwait-no-monitor";
+inline constexpr char kRemoteRegNoStop[] = "remote-reg-no-stop";
+inline constexpr char kPrivilegedInUser[] = "privileged-in-user";
+inline constexpr char kFaultNoEdp[] = "fault-no-edp";
+inline constexpr char kUnreachableCode[] = "unreachable-code";
+inline constexpr char kFallthroughOffImage[] = "fallthrough-off-image";
+inline constexpr char kTargetOutOfImage[] = "target-out-of-image";
+inline constexpr char kVtidOutOfRange[] = "vtid-out-of-range";
+inline constexpr char kIllegalOpcode[] = "illegal-opcode";
+inline constexpr char kIndirectJalr[] = "indirect-jalr";
+}  // namespace rules
+
+std::vector<Diagnostic> RunChecks(const DecodedProgram& prog, const Cfg& cfg,
+                                  const DataflowResult& flow,
+                                  const AnalysisOptions& options);
+
+}  // namespace analysis
+}  // namespace casc
+
+#endif  // SRC_ANALYSIS_CHECKS_H_

@@ -1,0 +1,282 @@
+#include "src/analysis/dataflow.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace casc {
+namespace analysis {
+
+namespace {
+
+ConstVal Known(uint64_t v) { return {true, v}; }
+
+void SetReg(FlowState* s, uint8_t rd, ConstVal v) {
+  if (rd != 0) {
+    s->regs[rd] = v;
+  }
+}
+
+ConstVal Reg(const FlowState& s, uint8_t r) { return r == 0 ? Known(0) : s.regs[r]; }
+
+}  // namespace
+
+FlowState EntryState(const AnalysisOptions& options, bool secondary) {
+  FlowState s;
+  s.reachable = true;
+  s.may_user = !options.entry_supervisor;
+  s.may_supervisor = options.entry_supervisor;
+  s.edp_must_set = secondary || options.assume_edp_at_entry;
+  s.regs[0] = Known(0);
+  s.tdt_bound = Known(options.tdt_capacity);
+  return s;
+}
+
+bool JoinInto(FlowState* into, const FlowState& from) {
+  if (!from.reachable) {
+    return false;
+  }
+  if (!into->reachable) {
+    *into = from;
+    return true;
+  }
+  bool changed = false;
+  auto merge_bool_or = [&changed](bool* a, bool b) {
+    if (b && !*a) {
+      *a = true;
+      changed = true;
+    }
+  };
+  auto merge_bool_and = [&changed](bool* a, bool b) {
+    if (!b && *a) {
+      *a = false;
+      changed = true;
+    }
+  };
+  auto merge_const = [&changed](ConstVal* a, const ConstVal& b) {
+    if (a->known && (!b.known || b.value != a->value)) {
+      a->known = false;
+      changed = true;
+    }
+  };
+  merge_bool_or(&into->may_user, from.may_user);
+  merge_bool_or(&into->may_supervisor, from.may_supervisor);
+  merge_bool_or(&into->monitor_may_armed, from.monitor_may_armed);
+  merge_bool_and(&into->edp_must_set, from.edp_must_set);
+  for (auto it = into->stopped_must.begin(); it != into->stopped_must.end();) {
+    if (from.stopped_must.count(*it) == 0) {
+      it = into->stopped_must.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  for (size_t r = 1; r < into->regs.size(); r++) {
+    merge_const(&into->regs[r], from.regs[r]);
+  }
+  merge_const(&into->tdt_bound, from.tdt_bound);
+  return changed;
+}
+
+void TransferInst(const DecodedInst& di, const AnalysisOptions& options, FlowState* s) {
+  (void)options;
+  const Instruction& inst = di.inst;
+  const ConstVal a = Reg(*s, inst.rs1);
+  const ConstVal b = Reg(*s, inst.rs2);
+  const int64_t simm = inst.imm;
+  const uint64_t zimm16 = static_cast<uint16_t>(inst.imm);
+
+  auto binop = [&](auto fn) {
+    SetReg(s, inst.rd, a.known && b.known ? Known(fn(a.value, b.value)) : ConstVal{});
+  };
+  auto unop = [&](auto fn) {
+    SetReg(s, inst.rd, a.known ? Known(fn(a.value)) : ConstVal{});
+  };
+
+  switch (inst.op) {
+    case Opcode::kAdd:
+      binop([](uint64_t x, uint64_t y) { return x + y; });
+      break;
+    case Opcode::kSub:
+      binop([](uint64_t x, uint64_t y) { return x - y; });
+      break;
+    case Opcode::kMul:
+      binop([](uint64_t x, uint64_t y) { return x * y; });
+      break;
+    case Opcode::kAnd:
+      binop([](uint64_t x, uint64_t y) { return x & y; });
+      break;
+    case Opcode::kOr:
+      binop([](uint64_t x, uint64_t y) { return x | y; });
+      break;
+    case Opcode::kXor:
+      binop([](uint64_t x, uint64_t y) { return x ^ y; });
+      break;
+    case Opcode::kSll:
+      binop([](uint64_t x, uint64_t y) { return x << (y & 63); });
+      break;
+    case Opcode::kSrl:
+      binop([](uint64_t x, uint64_t y) { return x >> (y & 63); });
+      break;
+    case Opcode::kDiv:
+    case Opcode::kSra:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+      SetReg(s, inst.rd, {});
+      break;
+    case Opcode::kAddi:
+      unop([simm](uint64_t x) { return x + static_cast<uint64_t>(simm); });
+      break;
+    case Opcode::kAndi:
+      unop([zimm16](uint64_t x) { return x & zimm16; });
+      break;
+    case Opcode::kOri:
+      unop([zimm16](uint64_t x) { return x | zimm16; });
+      break;
+    case Opcode::kXori:
+      unop([zimm16](uint64_t x) { return x ^ zimm16; });
+      break;
+    case Opcode::kSlli:
+      unop([&inst](uint64_t x) { return x << (inst.imm & 63); });
+      break;
+    case Opcode::kSrli:
+      unop([&inst](uint64_t x) { return x >> (inst.imm & 63); });
+      break;
+    case Opcode::kSrai:
+    case Opcode::kSlti:
+      SetReg(s, inst.rd, {});
+      break;
+    case Opcode::kLui:
+      SetReg(s, inst.rd, Known(zimm16 << 16));
+      break;
+
+    case Opcode::kLd:
+    case Opcode::kLw:
+    case Opcode::kLh:
+    case Opcode::kLb:
+    case Opcode::kAmoadd:
+    case Opcode::kRpull:
+    case Opcode::kCsrrd:
+      SetReg(s, inst.rd, {});
+      break;
+
+    case Opcode::kJal:
+      SetReg(s, 31, Known(di.addr + kInstBytes));
+      break;
+    case Opcode::kJalr:
+      SetReg(s, inst.rd, Known(di.addr + kInstBytes));
+      break;
+
+    case Opcode::kHcall:
+      // Host callbacks take args and may write results in r10..r17.
+      for (uint8_t r = 10; r <= 17; r++) {
+        SetReg(s, r, {});
+      }
+      break;
+
+    case Opcode::kMonitor:
+      s->monitor_may_armed = true;
+      break;
+
+    case Opcode::kCsrwr: {
+      const ConstVal v = Reg(*s, inst.rd);  // rd field holds the source reg
+      switch (static_cast<Csr>(inst.imm)) {
+        case Csr::kMode:
+          if (v.known) {
+            s->may_user = v.value == 0;
+            s->may_supervisor = v.value != 0;
+          } else {
+            s->may_user = true;
+            s->may_supervisor = true;
+          }
+          break;
+        case Csr::kEdp:
+          // An unknown value is assumed to be a real descriptor address; only
+          // a literal zero leaves the thread without an exception chain.
+          s->edp_must_set = !v.known || v.value != 0;
+          break;
+        case Csr::kTdtSize:
+          s->tdt_bound = v;
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+
+    case Opcode::kStop: {
+      const ConstVal vtid = Reg(*s, inst.rs1);
+      if (vtid.known) {
+        s->stopped_must.insert(vtid.value);
+      }
+      break;
+    }
+    case Opcode::kStart: {
+      const ConstVal vtid = Reg(*s, inst.rs1);
+      if (vtid.known) {
+        s->stopped_must.erase(vtid.value);
+      } else {
+        // start on an unknown vtid may have restarted anything.
+        s->stopped_must.clear();
+      }
+      break;
+    }
+
+    default:
+      break;
+  }
+}
+
+void ApplyEdge(const CfgEdge& edge, FlowState* s) {
+  if (!edge.call_return) {
+    return;
+  }
+  for (size_t r = 1; r < s->regs.size(); r++) {
+    s->regs[r] = {};
+  }
+}
+
+DataflowResult RunDataflow(const DecodedProgram& prog, const Cfg& cfg,
+                           const AnalysisOptions& options) {
+  DataflowResult result;
+  result.block_in.assign(cfg.blocks.size(), FlowState{});
+
+  std::deque<size_t> worklist;
+  std::vector<bool> queued(cfg.blocks.size(), false);
+  auto enqueue = [&](size_t b) {
+    if (!queued[b]) {
+      queued[b] = true;
+      worklist.push_back(b);
+    }
+  };
+
+  if (cfg.primary_entry != SIZE_MAX) {
+    result.block_in[cfg.primary_entry] = EntryState(options, /*secondary=*/false);
+    enqueue(cfg.primary_entry);
+  }
+  for (size_t b : cfg.secondary_entries) {
+    JoinInto(&result.block_in[b], EntryState(options, /*secondary=*/true));
+    enqueue(b);
+  }
+
+  while (!worklist.empty()) {
+    const size_t b = worklist.front();
+    worklist.pop_front();
+    queued[b] = false;
+    const BasicBlock& bb = cfg.blocks[b];
+    FlowState out = result.block_in[b];
+    for (size_t i = bb.first; i <= bb.last; i++) {
+      TransferInst(prog.insts[i], options, &out);
+    }
+    for (const CfgEdge& edge : bb.succs) {
+      FlowState along = out;
+      ApplyEdge(edge, &along);
+      if (JoinInto(&result.block_in[edge.to], along)) {
+        enqueue(edge.to);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace analysis
+}  // namespace casc

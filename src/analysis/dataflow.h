@@ -1,0 +1,92 @@
+// Forward dataflow over the CFG. One fixed-point computes everything the rule
+// engine needs:
+//   - reachability from the entry and address-taken roots,
+//   - privilege-mode propagation across `csrwr mode` (may-analysis: a mode is
+//     in the set if some path reaches the point in that mode),
+//   - monitor-armed state for mwait checking (may-analysis),
+//   - whether an exception descriptor pointer has been installed on every
+//     path (must-analysis — the paper's triple-fault analog, §3),
+//   - the set of vtid constants known stopped on every path (must-analysis,
+//     for rpull/rpush checking, §3.1),
+//   - sparse constant propagation over the GPRs (enough to resolve li/la
+//     values used as vtids and CSR operands).
+#ifndef SRC_ANALYSIS_DATAFLOW_H_
+#define SRC_ANALYSIS_DATAFLOW_H_
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/decoder.h"
+
+namespace casc {
+namespace analysis {
+
+// Assumptions the dataflow makes about the environment the program runs in.
+struct AnalysisOptions {
+  // Privilege mode of the primary entry thread. casc-run boots programs in
+  // supervisor mode by default; pass false for user-mode images.
+  bool entry_supervisor = true;
+  // Assume the loader installed an EDP before entry (casc-run does not).
+  bool assume_edp_at_entry = false;
+  // Upper bound on valid vtids when the program does not install its own TDT
+  // size: the supervisor identity map is bounded by the physical thread count
+  // (HwtConfig::threads_per_core defaults to 64).
+  uint64_t tdt_capacity = 64;
+};
+
+struct ConstVal {
+  bool known = false;
+  uint64_t value = 0;
+};
+
+struct FlowState {
+  bool reachable = false;
+  // May-analysis over {user, supervisor}.
+  bool may_user = false;
+  bool may_supervisor = false;
+  // Some path reaching here has armed a monitor (§3.1 monitor/mwait).
+  bool monitor_may_armed = false;
+  // Every path reaching here has written a (nonzero) EDP CSR (§3).
+  bool edp_must_set = false;
+  // Vtid constants stopped on every path (and not since restarted).
+  std::set<uint64_t> stopped_must;
+  // Known-constant registers. regs[0] is always {true, 0}.
+  std::array<ConstVal, 32> regs;
+  // Known TDT capacity, updated by `csrwr tdtsize` with a constant operand.
+  ConstVal tdt_bound;
+};
+
+// State at the start of a hardware thread, per §3.1: registers are zeroed at
+// reset, but a parent may have rpush'd arbitrary values before start, so only
+// r0 is treated as known. Secondary (address-taken) entries are assumed to
+// have had an EDP installed by whoever created them.
+FlowState EntryState(const AnalysisOptions& options, bool secondary);
+
+// In-place join: merges `from` (which must be reachable) into `into`.
+// Returns true if `into` changed.
+bool JoinInto(FlowState* into, const FlowState& from);
+
+// Applies the effect of one instruction to the state.
+void TransferInst(const DecodedInst& di, const AnalysisOptions& options, FlowState* state);
+
+// Applies edge-specific weakening: crossing a call-return edge havocs every
+// register constant (the callee may clobber anything) but preserves control
+// state, on the assumption that callees restore privilege and EDP.
+void ApplyEdge(const CfgEdge& edge, FlowState* state);
+
+struct DataflowResult {
+  // Fixed-point state at each block entry; unreachable blocks have
+  // reachable == false.
+  std::vector<FlowState> block_in;
+};
+
+DataflowResult RunDataflow(const DecodedProgram& prog, const Cfg& cfg,
+                           const AnalysisOptions& options);
+
+}  // namespace analysis
+}  // namespace casc
+
+#endif  // SRC_ANALYSIS_DATAFLOW_H_

@@ -1,0 +1,94 @@
+#include "src/analysis/decoder.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace casc {
+namespace analysis {
+
+namespace {
+
+// Collects constants the program materializes into registers or data words.
+// The assembler lowers `li rd, K` to `addi rd, r0, K` (short form) or
+// `lui rd, hi; ori rd, rd, lo` (long form, also `la`), so scanning for those
+// shapes plus `.word`/`.word32` initializers recovers every address the
+// program can hand to a TDT entry, `rpush pc`, or `jalr`.
+void CollectAddressTaken(const Program& program, DecodedProgram* out) {
+  for (size_t i = 0; i < out->insts.size(); i++) {
+    const Instruction& inst = out->insts[i].inst;
+    uint64_t value = 0;
+    bool have = false;
+    if (inst.op == Opcode::kAddi && inst.rs1 == 0 && inst.rd != 0) {
+      value = static_cast<uint64_t>(static_cast<int64_t>(inst.imm));
+      have = true;
+    } else if (inst.op == Opcode::kLui && i + 1 < out->insts.size() &&
+               out->insts[i + 1].addr == out->insts[i].addr + kInstBytes) {
+      const Instruction& next = out->insts[i + 1].inst;
+      if (next.op == Opcode::kOri && next.rd == inst.rd && next.rs1 == inst.rd) {
+        value = (static_cast<uint64_t>(static_cast<uint16_t>(inst.imm)) << 16) |
+                static_cast<uint16_t>(next.imm);
+        have = true;
+      }
+    }
+    if (have && out->InImage(value) && value % kInstBytes == 0 && !out->InData(value)) {
+      out->address_taken.push_back(static_cast<Addr>(value));
+    }
+  }
+  for (const DataRange& r : program.data_ranges) {
+    if (r.elem != 8 && r.elem != 4) {
+      continue;  // .space / padding holds no initializers
+    }
+    for (Addr a = r.start; a + r.elem <= r.end; a += r.elem) {
+      uint64_t value = 0;
+      std::memcpy(&value, &program.bytes[a - program.base], r.elem);
+      if (out->InImage(value) && value % kInstBytes == 0 && !out->InData(value)) {
+        out->address_taken.push_back(static_cast<Addr>(value));
+      }
+    }
+  }
+  std::sort(out->address_taken.begin(), out->address_taken.end());
+  out->address_taken.erase(
+      std::unique(out->address_taken.begin(), out->address_taken.end()),
+      out->address_taken.end());
+}
+
+}  // namespace
+
+bool DecodedProgram::InData(Addr addr) const {
+  for (const DataRange& r : data_ranges) {
+    if (addr >= r.start && addr < r.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t DecodedProgram::IndexAt(Addr addr) const {
+  auto it = index_of.find(addr);
+  return it == index_of.end() ? SIZE_MAX : it->second;
+}
+
+DecodedProgram DecodeProgram(const Program& program) {
+  DecodedProgram out;
+  out.base = program.base;
+  out.end = program.end();
+  out.data_ranges = program.data_ranges;
+  for (Addr addr = out.base; addr + kInstBytes <= out.end; addr += kInstBytes) {
+    if (out.InData(addr)) {
+      continue;
+    }
+    DecodedInst di;
+    di.addr = addr;
+    std::memcpy(&di.word, &program.bytes[addr - program.base], 4);
+    di.inst = Decode(di.word);
+    di.line = program.LineAt(addr);
+    di.illegal = (di.word >> 26) >= static_cast<uint32_t>(Opcode::kCount);
+    out.index_of[addr] = out.insts.size();
+    out.insts.push_back(di);
+  }
+  CollectAddressTaken(program, &out);
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace casc

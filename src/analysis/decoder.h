@@ -1,0 +1,53 @@
+// Decodes an assembled Program back into an instruction stream for static
+// analysis. Words inside the program's data ranges (`.word`, `.space`,
+// alignment padding) are skipped, and raw words whose opcode field is out of
+// range are marked illegal — `casc::Decode` itself folds those to `nop`, which
+// is the right behavior for a simulator but hides bugs from a linter.
+#ifndef SRC_ANALYSIS_DECODER_H_
+#define SRC_ANALYSIS_DECODER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/isa/assembler.h"
+#include "src/isa/isa.h"
+#include "src/sim/types.h"
+
+namespace casc {
+namespace analysis {
+
+struct DecodedInst {
+  Addr addr = 0;
+  uint32_t word = 0;
+  Instruction inst;
+  int line = 0;         // 1-based source line, 0 if unknown
+  bool illegal = false; // opcode field >= Opcode::kCount
+};
+
+// The linear code view of a Program plus the facts later passes need.
+struct DecodedProgram {
+  Addr base = 0;
+  Addr end = 0;  // exclusive
+  std::vector<DecodedInst> insts;          // code words only, address order
+  std::map<Addr, size_t> index_of;         // instruction addr -> index in insts
+  std::vector<DataRange> data_ranges;      // copied from the Program
+  // Addresses inside [base, end) that the program materializes as constants
+  // (li/la expansions, `.word` initializers). These are treated as
+  // address-taken: potential entry points of hardware threads whose pc is
+  // installed via a TDT entry or `rpush pc` (§3.1), and roots for
+  // reachability.
+  std::vector<Addr> address_taken;
+
+  bool InData(Addr addr) const;
+  bool InImage(Addr addr) const { return addr >= base && addr < end; }
+  // Index of the instruction at `addr`, or SIZE_MAX if none decodes there.
+  size_t IndexAt(Addr addr) const;
+};
+
+DecodedProgram DecodeProgram(const Program& program);
+
+}  // namespace analysis
+}  // namespace casc
+
+#endif  // SRC_ANALYSIS_DECODER_H_

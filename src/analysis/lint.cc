@@ -1,0 +1,139 @@
+#include "src/analysis/lint.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace casc {
+namespace analysis {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LintResult Lint(const Program& program, const LintOptions& options) {
+  LintResult result;
+
+  Addr entry = program.base;
+  if (!options.entry_symbol.empty()) {
+    auto it = program.symbols.find(options.entry_symbol);
+    if (it == program.symbols.end()) {
+      result.diagnostics.push_back(
+          {rules::kTargetOutOfImage, Severity::kError, program.base, 0,
+           "entry symbol '" + options.entry_symbol + "' is not defined"});
+      result.errors = 1;
+      return result;
+    }
+    entry = it->second;
+  }
+
+  const DecodedProgram decoded = DecodeProgram(program);
+  if (decoded.IndexAt(entry) == SIZE_MAX) {
+    std::ostringstream os;
+    os << "entry point 0x" << std::hex << entry
+       << " does not decode to an instruction (data, unaligned, or outside "
+          "the image)";
+    result.diagnostics.push_back(
+        {rules::kTargetOutOfImage, Severity::kError, entry, program.LineAt(entry), os.str()});
+    result.errors = 1;
+    return result;
+  }
+
+  const Cfg cfg = BuildCfg(decoded, entry);
+  const DataflowResult flow = RunDataflow(decoded, cfg, options.flow);
+  std::vector<Diagnostic> raw = RunChecks(decoded, cfg, flow, options.flow);
+
+  for (Diagnostic& d : raw) {
+    if (d.line != 0 && program.LintAllowed(d.line, d.rule_id)) {
+      continue;
+    }
+    if (d.severity == Severity::kNote && !options.include_notes) {
+      continue;
+    }
+    switch (d.severity) {
+      case Severity::kError:
+        result.errors++;
+        break;
+      case Severity::kWarning:
+        result.warnings++;
+        break;
+      case Severity::kNote:
+        result.notes++;
+        break;
+    }
+    result.diagnostics.push_back(std::move(d));
+  }
+  return result;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diag) {
+  std::ostringstream os;
+  os << "0x" << std::hex << diag.addr << std::dec;
+  if (diag.line != 0) {
+    os << " (line " << diag.line << ")";
+  }
+  os << ": " << SeverityName(diag.severity) << ": [" << diag.rule_id << "] "
+     << diag.message;
+  return os.str();
+}
+
+void PrintDiagnostics(const LintResult& result, std::ostream& os) {
+  for (const Diagnostic& d : result.diagnostics) {
+    os << FormatDiagnostic(d) << "\n";
+  }
+  if (!result.diagnostics.empty()) {
+    os << "lint: " << result.errors << " error(s), " << result.warnings
+       << " warning(s), " << result.notes << " note(s)\n";
+  }
+}
+
+std::string DiagnosticsToJson(const LintResult& result) {
+  std::ostringstream os;
+  os << "{\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "{\"rule_id\":\"" << JsonEscape(d.rule_id) << "\",\"severity\":\""
+       << SeverityName(d.severity) << "\",\"addr\":" << d.addr
+       << ",\"line\":" << d.line << ",\"message\":\"" << JsonEscape(d.message)
+       << "\"}";
+  }
+  os << "],\"errors\":" << result.errors << ",\"warnings\":" << result.warnings
+     << ",\"notes\":" << result.notes << "}";
+  return os.str();
+}
+
+}  // namespace analysis
+}  // namespace casc

@@ -1,0 +1,54 @@
+// Library entry point for the CASC static analyzer: decode an assembled
+// Program, build its CFG, run the dataflow passes, and evaluate the rule
+// engine. Used by casc-lint, `casc-asm --lint`, and casc-run (which lints by
+// default before simulating).
+//
+// Suppressions: a `; lint-allow: <rule>[, <rule>...]` comment on a source
+// line (recorded by the assembler in Program::lint_allows) drops diagnostics
+// of those rules attributed to that line; `*` drops all of them.
+#ifndef SRC_ANALYSIS_LINT_H_
+#define SRC_ANALYSIS_LINT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/analysis/checks.h"
+#include "src/analysis/dataflow.h"
+#include "src/isa/assembler.h"
+
+namespace casc {
+namespace analysis {
+
+struct LintOptions {
+  AnalysisOptions flow;
+  // Entry symbol; empty means the image base (casc-run's default).
+  std::string entry_symbol;
+  // Include note-severity diagnostics (e.g. indirect-jalr).
+  bool include_notes = true;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t notes = 0;
+
+  bool ok() const { return errors == 0; }
+  bool clean() const { return diagnostics.empty(); }
+};
+
+LintResult Lint(const Program& program, const LintOptions& options = {});
+
+// "0x1010 (line 5): error: [mwait-no-monitor] ..."
+std::string FormatDiagnostic(const Diagnostic& diag);
+// One FormatDiagnostic line per diagnostic plus a trailing summary line when
+// anything was reported.
+void PrintDiagnostics(const LintResult& result, std::ostream& os);
+// Machine-readable form: {"diagnostics":[...],"errors":N,...}.
+std::string DiagnosticsToJson(const LintResult& result);
+
+}  // namespace analysis
+}  // namespace casc
+
+#endif  // SRC_ANALYSIS_LINT_H_

@@ -125,6 +125,9 @@ class AssemblerImpl {
     result.program.base = base_;
     result.program.bytes = std::move(bytes_);
     result.program.symbols = std::move(symbols_);
+    result.program.lines = std::move(lines_);
+    result.program.data_ranges = std::move(data_ranges_);
+    result.program.lint_allows = std::move(lint_allows_);
     return result;
   }
 
@@ -143,14 +146,39 @@ class AssemblerImpl {
     return false;
   }
 
+  // `; lint-allow: rule-a, rule-b` (or `*`) suppresses those lint rules for
+  // diagnostics attributed to this source line.
+  void ParseLintAllow(const std::string& comment, int line_no) {
+    static const std::string kTag = "lint-allow:";
+    const size_t at = comment.find(kTag);
+    if (at == std::string::npos) {
+      return;
+    }
+    std::string rest = comment.substr(at + kTag.size());
+    while (!rest.empty()) {
+      const size_t comma = rest.find(',');
+      const std::string tok = Trim(comma == std::string::npos ? rest : rest.substr(0, comma));
+      if (!tok.empty()) {
+        lint_allows_[line_no].push_back(Lower(tok));
+      }
+      if (comma == std::string::npos) {
+        break;
+      }
+      rest = rest.substr(comma + 1);
+    }
+  }
+
   bool ParseSource(const std::string& source) {
     std::istringstream in(source);
     std::string raw;
     int line_no = 0;
     while (std::getline(in, raw)) {
       line_no++;
-      // Strip comments (# and ;).
+      // Strip comments (# and ;), but first mine them for lint suppressions.
       const size_t hash = raw.find_first_of("#;");
+      if (hash != std::string::npos) {
+        ParseLintAllow(raw.substr(hash + 1), line_no);
+      }
       std::string line = Trim(hash == std::string::npos ? raw : raw.substr(0, hash));
       if (line.empty()) {
         continue;
@@ -343,6 +371,20 @@ class AssemblerImpl {
     return true;
   }
 
+  // Appends [start, end) to the data-range list, fusing with the previous
+  // range when contiguous and like-typed so the list stays short.
+  void MarkData(Addr start, Addr end, uint32_t elem) {
+    if (end <= start) {
+      return;
+    }
+    if (!data_ranges_.empty() && data_ranges_.back().end == start &&
+        data_ranges_.back().elem == elem) {
+      data_ranges_.back().end = end;
+      return;
+    }
+    data_ranges_.push_back({start, end, elem});
+  }
+
   bool Emit() {
     bytes_.assign(end_ - base_, 0);
     Addr lc = base_;
@@ -351,16 +393,23 @@ class AssemblerImpl {
         continue;
       }
       if (st.mnemonic == ".org") {
-        lc = static_cast<Addr>(*ParseNumber(st.operands[0]));
+        const Addr to = static_cast<Addr>(*ParseNumber(st.operands[0]));
+        MarkData(lc, to, 0);
+        lc = to;
         continue;
       }
       if (st.mnemonic == ".align") {
         const Addr a = static_cast<Addr>(*ParseNumber(st.operands[0]));
-        lc = (lc + a - 1) & ~(a - 1);
+        const Addr to = (lc + a - 1) & ~(a - 1);
+        MarkData(lc, to, 0);
+        lc = to;
         continue;
       }
       if (st.mnemonic == ".space") {
-        lc += SizeOf(st).value();
+        const uint64_t size = SizeOf(st).value();
+        MarkData(lc, lc + size, 0);
+        lines_[lc] = st.line;
+        lc += size;
         continue;
       }
       if (st.mnemonic == ".word" || st.mnemonic == ".word32") {
@@ -371,11 +420,14 @@ class AssemblerImpl {
         if (!EvalValue(st, st.operands[0], &v)) {
           return false;
         }
+        lines_[lc] = st.line;
         if (st.mnemonic == ".word") {
           Put64(lc, static_cast<uint64_t>(v));
+          MarkData(lc, lc + 8, 8);
           lc += 8;
         } else {
           Put32(lc, static_cast<uint32_t>(v));
+          MarkData(lc, lc + 4, 4);
           lc += 4;
         }
         continue;
@@ -383,7 +435,11 @@ class AssemblerImpl {
       if (!EmitInstruction(st, lc)) {
         return false;
       }
-      lc += SizeOf(st).value();
+      const uint64_t size = SizeOf(st).value();
+      for (Addr a = lc; a < lc + size; a += 4) {
+        lines_[a] = st.line;
+      }
+      lc += size;
     }
     return true;
   }
@@ -686,6 +742,9 @@ class AssemblerImpl {
   std::vector<Statement> statements_;
   std::map<std::string, Addr> symbols_;
   std::vector<uint8_t> bytes_;
+  std::map<Addr, int> lines_;
+  std::vector<DataRange> data_ranges_;
+  std::map<int, std::vector<std::string>> lint_allows_;
   std::string error_;
 };
 
@@ -695,6 +754,33 @@ Addr Program::Symbol(const std::string& name) const {
   auto it = symbols.find(name);
   assert(it != symbols.end() && "unknown symbol");
   return it->second;
+}
+
+int Program::LineAt(Addr addr) const {
+  auto it = lines.find(addr);
+  return it == lines.end() ? 0 : it->second;
+}
+
+bool Program::InData(Addr addr) const {
+  for (const DataRange& r : data_ranges) {
+    if (addr >= r.start && addr < r.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Program::LintAllowed(int line, const std::string& rule_id) const {
+  auto it = lint_allows.find(line);
+  if (it == lint_allows.end()) {
+    return false;
+  }
+  for (const std::string& allowed : it->second) {
+    if (allowed == "*" || allowed == rule_id) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void Program::LoadInto(PhysicalMemory& mem) const {

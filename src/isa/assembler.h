@@ -15,14 +15,37 @@
 
 namespace casc {
 
+// A non-code region of the image: `.word` / `.word32` data, `.space`
+// reservations, and `.org` / `.align` padding. `elem` is the element size in
+// bytes for initialized data (8 or 4), or 0 for uninitialized fill.
+struct DataRange {
+  Addr start = 0;
+  Addr end = 0;  // exclusive
+  uint32_t elem = 0;
+};
+
 // An assembled image: bytes starting at `base`, plus the symbol table.
+// The remaining fields are metadata for static analysis (src/analysis/):
+// they are populated when assembling from source and empty for raw images
+// loaded from disk, so consumers must tolerate their absence.
 struct Program {
   Addr base = 0;
   std::vector<uint8_t> bytes;
   std::map<std::string, Addr> symbols;
 
+  // Word address -> 1-based source line of the statement that emitted it.
+  std::map<Addr, int> lines;
+  // Regions that hold data rather than instructions, in address order.
+  std::vector<DataRange> data_ranges;
+  // Per-line lint suppressions from `; lint-allow: <rule>[, <rule>...]`
+  // comments ("*" allows every rule on that line).
+  std::map<int, std::vector<std::string>> lint_allows;
+
   Addr Symbol(const std::string& name) const;
   Addr end() const { return base + bytes.size(); }
+  int LineAt(Addr addr) const;  // 0 if unknown
+  bool InData(Addr addr) const;
+  bool LintAllowed(int line, const std::string& rule_id) const;
   void LoadInto(PhysicalMemory& mem) const;
 };
 

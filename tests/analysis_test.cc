@@ -1,0 +1,468 @@
+// Tests for the static analyzer (src/analysis/): one minimal violating
+// program per lint rule asserting the reported rule_id and source line, the
+// dataflow properties the rules depend on, suppression comments, and a clean
+// program asserting zero diagnostics. Also lints every shipped example.
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/analysis/cfg.h"
+#include "src/analysis/decoder.h"
+#include "src/analysis/lint.h"
+#include "src/isa/assembler.h"
+#include "src/isa/isa.h"
+
+namespace casc {
+namespace analysis {
+namespace {
+
+LintResult LintSource(const std::string& source, LintOptions options = {}) {
+  const AssembleResult assembled = Assembler::Assemble(source);
+  EXPECT_TRUE(assembled.ok) << assembled.error;
+  return Lint(assembled.program, options);
+}
+
+// Returns the first diagnostic matching `rule_id`, or nullptr.
+const Diagnostic* Find(const LintResult& result, const std::string& rule_id) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.rule_id == rule_id) {
+      return &d;
+    }
+  }
+  return nullptr;
+}
+
+TEST(LintRules, MwaitWithNoMonitorArmed) {
+  const LintResult r = LintSource("mwait\nhalt\n");
+  const Diagnostic* d = Find(r, rules::kMwaitNoMonitor);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(LintRules, MonitorOnAnyPathSatisfiesMwait) {
+  // May-analysis: one arming path is enough (the other path would block, but
+  // that is a dynamic property the lint deliberately leaves to the runtime).
+  const LintResult r = LintSource(
+      "  li a1, 0x9000\n"
+      "  beq a0, r0, armed\n"
+      "  j wait\n"
+      "armed:\n"
+      "  monitor a1\n"
+      "wait:\n"
+      "  mwait\n"
+      "  halt\n");
+  EXPECT_EQ(Find(r, rules::kMwaitNoMonitor), nullptr);
+}
+
+TEST(LintRules, MonitorBeforeMwaitIsClean) {
+  const LintResult r = LintSource("  li a1, 0x9000\n  monitor a1\n  mwait\n  halt\n");
+  EXPECT_TRUE(r.clean()) << FormatDiagnostic(r.diagnostics[0]);
+}
+
+TEST(LintRules, RpullWithoutDominatingStop) {
+  const LintResult r = LintSource("  li a0, 3\n  rpull a1, a0, pc\n  halt\n");
+  const Diagnostic* d = Find(r, rules::kRemoteRegNoStop);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(LintRules, RpushAfterStopIsCleanUntilRestart) {
+  const LintResult r = LintSource(
+      "  li a0, 3\n"
+      "  stop a0\n"
+      "  rpull a1, a0, pc\n"
+      "  rpush a0, pc, a1\n"
+      "  start a0\n"
+      "  halt\n");
+  EXPECT_EQ(Find(r, rules::kRemoteRegNoStop), nullptr);
+
+  // After `start`, the vtid is no longer known-stopped.
+  const LintResult r2 = LintSource(
+      "  li a0, 3\n"
+      "  stop a0\n"
+      "  start a0\n"
+      "  rpull a1, a0, pc\n"
+      "  halt\n");
+  const Diagnostic* d = Find(r2, rules::kRemoteRegNoStop);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 4);
+}
+
+TEST(LintRules, StopOnOnePathOnlyStillWarns) {
+  // Must-analysis: the stop has to dominate the rpull.
+  const LintResult r = LintSource(
+      "  li a0, 3\n"
+      "  beq a1, r0, pull\n"
+      "  stop a0\n"
+      "pull:\n"
+      "  rpull a2, a0, pc\n"
+      "  halt\n");
+  ASSERT_NE(Find(r, rules::kRemoteRegNoStop), nullptr);
+}
+
+TEST(LintRules, PrivilegedCsrWriteInUserMode) {
+  const LintResult r = LintSource(
+      "  li a5, 0\n"
+      "  csrwr mode, a5\n"
+      "  csrwr prio, a5\n"
+      "  halt\n");
+  const Diagnostic* d = Find(r, rules::kPrivilegedInUser);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 3);
+}
+
+TEST(LintRules, UserModeEntryFlagsThreadManagement) {
+  LintOptions options;
+  options.flow.entry_supervisor = false;
+  const LintResult r = LintSource("  li a0, 1\n  start a0\n  halt\n", options);
+  const Diagnostic* d = Find(r, rules::kPrivilegedInUser);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(LintRules, SecretKeyCsrsAreUserWritable) {
+  // §3.2: selfkey/authkey are deliberately writable from user mode.
+  LintOptions options;
+  options.flow.entry_supervisor = false;
+  const LintResult r =
+      LintSource("  li a0, 42\n  csrwr selfkey, a0\n  csrwr authkey, a0\n  halt\n", options);
+  EXPECT_EQ(Find(r, rules::kPrivilegedInUser), nullptr);
+}
+
+TEST(LintRules, ModeMergeTaintsBothPaths) {
+  // One path drops to user mode; after the merge the CSR write may execute in
+  // user mode and must be flagged.
+  const LintResult r = LintSource(
+      "  beq a0, r0, stay\n"
+      "  li a5, 0\n"
+      "  csrwr mode, a5\n"
+      "stay:\n"
+      "  csrwr prio, r0\n"
+      "  halt\n");
+  const Diagnostic* d = Find(r, rules::kPrivilegedInUser);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 5);
+}
+
+TEST(LintRules, DivWithoutEdpIsTripleFaultAnalog) {
+  const LintResult r = LintSource("  li a0, 8\n  li a1, 2\n  div a2, a0, a1\n  halt\n");
+  const Diagnostic* d = Find(r, rules::kFaultNoEdp);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 3);
+}
+
+TEST(LintRules, InstalledEdpSilencesFaultRule) {
+  const LintResult r = LintSource(
+      "  li a0, 0x2000\n"
+      "  csrwr edp, a0\n"
+      "  li a1, 2\n"
+      "  div a2, a0, a1\n"
+      "  halt\n");
+  EXPECT_EQ(Find(r, rules::kFaultNoEdp), nullptr);
+}
+
+TEST(LintRules, EdpOnOnePathOnlyStillWarns) {
+  // Must-analysis: §3's hazard is a fault on ANY path with no descriptor
+  // chain.
+  const LintResult r = LintSource(
+      "  beq a0, r0, skip\n"
+      "  li a1, 0x2000\n"
+      "  csrwr edp, a1\n"
+      "skip:\n"
+      "  li a2, 2\n"
+      "  div a3, a2, a2\n"
+      "  halt\n");
+  ASSERT_NE(Find(r, rules::kFaultNoEdp), nullptr);
+}
+
+TEST(LintRules, WritingZeroEdpDoesNotCount) {
+  const LintResult r = LintSource(
+      "  csrwr edp, r0\n"
+      "  li a1, 2\n"
+      "  div a2, a1, a1\n"
+      "  halt\n");
+  ASSERT_NE(Find(r, rules::kFaultNoEdp), nullptr);
+}
+
+TEST(LintRules, UnreachableCodeAfterHalt) {
+  const LintResult r = LintSource("  halt\n  addi a0, a0, 1\n  halt\n");
+  const Diagnostic* d = Find(r, rules::kUnreachableCode);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kWarning);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(LintRules, AddressTakenCodeIsReachable) {
+  // `.word handler` materializes the handler address: the paper's thread
+  // creation installs entry pcs via TDT entries or `rpush pc` (§3.1), so
+  // address-taken code is treated as a live entry point.
+  const LintResult r = LintSource(
+      "  halt\n"
+      "handler:\n"
+      "  halt\n"
+      "table:\n"
+      "  .word handler\n");
+  EXPECT_EQ(Find(r, rules::kUnreachableCode), nullptr);
+}
+
+TEST(LintRules, FallthroughOffImage) {
+  const LintResult r = LintSource("  addi a0, a0, 1\n  addi a0, a0, 2\n");
+  const Diagnostic* d = Find(r, rules::kFallthroughOffImage);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(LintRules, FallthroughIntoData) {
+  const LintResult r = LintSource(
+      "  addi a0, a0, 1\n"
+      "buf:\n"
+      "  .word 7\n");
+  const Diagnostic* d = Find(r, rules::kFallthroughOffImage);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 1);
+}
+
+TEST(LintRules, BranchTargetOutsideImage) {
+  const LintResult r = LintSource("  beq a0, a1, 0x8000\n  halt\n");
+  const Diagnostic* d = Find(r, rules::kTargetOutOfImage);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 1);
+}
+
+TEST(LintRules, BranchIntoDataRange) {
+  const LintResult r = LintSource(
+      "  beq a0, a1, buf\n"
+      "  halt\n"
+      "buf:\n"
+      "  .word 7\n");
+  const Diagnostic* d = Find(r, rules::kTargetOutOfImage);
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("data"), std::string::npos);
+}
+
+TEST(LintRules, StartVtidBeyondTdtCapacity) {
+  const LintResult r = LintSource("  li a0, 99\n  start a0\n  halt\n");
+  const Diagnostic* d = Find(r, rules::kVtidOutOfRange);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(LintRules, InstalledTdtSizeRaisesCapacity) {
+  // `csrwr tdtsize` with a known constant becomes the new bound.
+  const LintResult r = LintSource(
+      "  li a0, 128\n"
+      "  csrwr tdtsize, a0\n"
+      "  li a1, 99\n"
+      "  start a1\n"
+      "  halt\n");
+  EXPECT_EQ(Find(r, rules::kVtidOutOfRange), nullptr);
+}
+
+TEST(LintRules, TdtCapacityOptionIsRespected) {
+  LintOptions options;
+  options.flow.tdt_capacity = 256;
+  const LintResult r = LintSource("  li a0, 99\n  start a0\n  halt\n", options);
+  EXPECT_EQ(Find(r, rules::kVtidOutOfRange), nullptr);
+}
+
+TEST(LintRules, IllegalOpcodeWord) {
+  // Hand-build an image: the assembler cannot emit an undecodable word, but a
+  // raw image (or a miscompiled one) can contain any bits.
+  Program p;
+  p.base = 0x1000;
+  p.bytes.resize(8);
+  const uint32_t bad = 0xffffffffu;  // opcode field 63 >= Opcode::kCount
+  const uint32_t halt = Encode({Opcode::kHalt, 0, 0, 0, 0});
+  std::memcpy(&p.bytes[0], &bad, 4);
+  std::memcpy(&p.bytes[4], &halt, 4);
+  const LintResult r = Lint(p);
+  const Diagnostic* d = Find(r, rules::kIllegalOpcode);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kError);
+  EXPECT_EQ(d->addr, 0x1000u);
+}
+
+TEST(LintRules, IndirectJalrIsANote) {
+  const LintResult r = LintSource("  jalr a0, a1, 0\n");
+  const Diagnostic* d = Find(r, rules::kIndirectJalr);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, Severity::kNote);
+  EXPECT_TRUE(r.ok());  // notes are not errors
+
+  LintOptions quiet;
+  quiet.include_notes = false;
+  const LintResult r2 = LintSource("  jalr a0, a1, 0\n", quiet);
+  EXPECT_EQ(Find(r2, rules::kIndirectJalr), nullptr);
+}
+
+TEST(LintRules, PlainRetIsNotFlaggedIndirect) {
+  // `jal` models a call with a fall-through return site; `ret` ends the
+  // callee without a conservative-flow note.
+  const LintResult r = LintSource(
+      "  call f\n"
+      "  halt\n"
+      "f:\n"
+      "  addi a0, a0, 1\n"
+      "  ret\n");
+  EXPECT_EQ(Find(r, rules::kIndirectJalr), nullptr);
+  EXPECT_EQ(Find(r, rules::kUnreachableCode), nullptr);
+}
+
+TEST(LintAllow, SuppressesNamedRule) {
+  const LintResult r = LintSource("  mwait  ; lint-allow: mwait-no-monitor\n  halt\n");
+  EXPECT_EQ(Find(r, rules::kMwaitNoMonitor), nullptr);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(LintAllow, StarSuppressesEverythingOnTheLine) {
+  const LintResult r = LintSource("  mwait  # lint-allow: *\n  halt\n");
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(LintAllow, DoesNotSuppressOtherLines) {
+  const LintResult r = LintSource(
+      "  mwait  ; lint-allow: mwait-no-monitor\n"
+      "  mwait\n"
+      "  halt\n");
+  const Diagnostic* d = Find(r, rules::kMwaitNoMonitor);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(LintClean, FullFeatureProgramHasZeroDiagnostics) {
+  // Exercises every checked construct the *right* way: EDP installed before
+  // faulting ops, monitor armed before mwait, stop dominating rpull/rpush,
+  // vtids in range, supervisor mode throughout, all paths halt.
+  const LintResult r = LintSource(
+      "main:\n"
+      "  li a0, 0x2000\n"
+      "  csrwr edp, a0\n"
+      "  li a1, 0x3000\n"
+      "  monitor a1\n"
+      "  mwait\n"
+      "  li a2, 3\n"
+      "  stop a2\n"
+      "  rpull a3, a2, pc\n"
+      "  rpush a2, pc, a3\n"
+      "  start a2\n"
+      "  li a4, 8\n"
+      "  div a5, a0, a4\n"
+      "  beq a3, r0, done\n"
+      "  addi a5, a5, 1\n"
+      "done:\n"
+      "  halt\n");
+  EXPECT_TRUE(r.clean()) << FormatDiagnostic(r.diagnostics[0]);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.warnings, 0u);
+  EXPECT_EQ(r.notes, 0u);
+}
+
+TEST(LintIntegration, ViolationsFixtureTriggersAtLeastEightRules) {
+  std::ifstream in(std::string(CASC_TESTDATA_DIR) + "/lint_violations.casm");
+  ASSERT_TRUE(in.good());
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const LintResult r = LintSource(ss.str());
+  std::set<std::string> rule_ids;
+  for (const Diagnostic& d : r.diagnostics) {
+    rule_ids.insert(d.rule_id);
+  }
+  EXPECT_GE(rule_ids.size(), 8u);
+  EXPECT_FALSE(r.ok());
+  for (const char* rule :
+       {rules::kMwaitNoMonitor, rules::kRemoteRegNoStop, rules::kPrivilegedInUser,
+        rules::kFaultNoEdp, rules::kUnreachableCode, rules::kFallthroughOffImage,
+        rules::kTargetOutOfImage, rules::kVtidOutOfRange, rules::kIndirectJalr}) {
+    EXPECT_EQ(rule_ids.count(rule), 1u) << "missing rule " << rule;
+  }
+}
+
+TEST(LintIntegration, AllShippedExamplesLintClean) {
+  for (const char* name : {"fib.casm", "pingpong.casm", "syscall.casm"}) {
+    std::ifstream in(std::string(CASC_EXAMPLES_DIR) + "/" + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const LintResult r = LintSource(ss.str());
+    EXPECT_TRUE(r.clean()) << name << ": " << FormatDiagnostic(r.diagnostics[0]);
+  }
+}
+
+TEST(LintIntegration, JsonOutputIsWellFormed) {
+  const LintResult r = LintSource("mwait\nhalt\n");
+  const std::string json = DiagnosticsToJson(r);
+  EXPECT_NE(json.find("\"rule_id\":\"mwait-no-monitor\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+// --- CFG / decoder structural tests ---------------------------------------
+
+TEST(Decoder, SkipsDataRangesAndRecordsLines) {
+  const AssembleResult a = Assembler::Assemble(
+      "  li a0, 1\n"
+      "  halt\n"
+      "tbl:\n"
+      "  .word 0xdeadbeef\n");
+  ASSERT_TRUE(a.ok);
+  const DecodedProgram d = DecodeProgram(a.program);
+  for (const DecodedInst& di : d.insts) {
+    EXPECT_FALSE(d.InData(di.addr));
+  }
+  EXPECT_EQ(d.insts.front().line, 1);
+  EXPECT_EQ(a.program.data_ranges.size(), 1u);
+  EXPECT_EQ(a.program.data_ranges[0].elem, 8u);
+}
+
+TEST(Cfg, JPseudoIsUnconditional) {
+  // `j` lowers to `beq r0, r0`: the fall-through must NOT be an edge, so the
+  // next instruction is unreachable.
+  const AssembleResult a = Assembler::Assemble(
+      "  j out\n"
+      "  addi a0, a0, 1\n"
+      "out:\n"
+      "  halt\n");
+  ASSERT_TRUE(a.ok);
+  const LintResult r = Lint(a.program);
+  const Diagnostic* d = Find(r, rules::kUnreachableCode);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 2);
+}
+
+TEST(Cfg, EntrySymbolOptionMovesTheRoot) {
+  LintOptions options;
+  options.entry_symbol = "alt";
+  const LintResult r = LintSource(
+      "  addi a0, a0, 1\n"
+      "  halt\n"
+      "alt:\n"
+      "  halt\n",
+      options);
+  // Only the default-entry prologue is now unreachable.
+  const Diagnostic* d = Find(r, rules::kUnreachableCode);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->line, 1);
+}
+
+TEST(Cfg, UnknownEntrySymbolIsAnError) {
+  LintOptions options;
+  options.entry_symbol = "nope";
+  const LintResult r = LintSource("  halt\n", options);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace casc

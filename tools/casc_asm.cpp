@@ -1,15 +1,19 @@
 // casc-asm: assembler / disassembler for the CASC ISA.
 //
-//   casc-asm assemble prog.casm [--base=0x1000] [--out=prog.bin] [--list]
+//   casc-asm assemble prog.casm [--base=0x1000] [--out=prog.bin] [--list] [--lint]
 //   casc-asm disasm prog.bin [--base=0x1000]
 //
 // `--list` prints an address / encoding / disassembly listing with symbols.
+// `--lint` runs the static analyzer over the assembled image and fails the
+// assembly (exit 1) if it reports any errors.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 
+#include "src/analysis/lint.h"
 #include "src/isa/assembler.h"
 #include "src/isa/isa.h"
 #include "src/sim/config.h"
@@ -20,7 +24,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: casc-asm assemble <file.casm> [--base=0x1000] [--out=file.bin] [--list]\n"
+               "usage: casc-asm assemble <file.casm> [--base=0x1000] [--out=file.bin] [--list] [--lint]\n"
                "       casc-asm disasm <file.bin> [--base=0x1000]\n");
   return 2;
 }
@@ -86,6 +90,13 @@ int main(int argc, char** argv) {
                 (unsigned long long)base, result.program.symbols.size());
     if (cfg.GetBool("list", false)) {
       PrintListing(result.program);
+    }
+    if (cfg.GetBool("lint", false)) {
+      const analysis::LintResult lint = analysis::Lint(result.program);
+      analysis::PrintDiagnostics(lint, std::cerr);
+      if (!lint.ok()) {
+        return 1;
+      }
     }
     const std::string out = cfg.GetString("out");
     if (!out.empty()) {

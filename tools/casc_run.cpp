@@ -1,7 +1,11 @@
 // casc-run: assemble a .casm file and run it on a simulated machine.
 //
 //   casc-run prog.casm [--entry=symbol] [--supervisor=true] [--max-cycles=N]
-//            [--threads-per-core=64] [--trace] [--dump-stats]
+//            [--threads-per-core=64] [--trace] [--dump-stats] [--no-lint]
+//
+// The program is linted by default before it runs (diagnostics go to stderr;
+// the simulation proceeds regardless — the simulator is the ground truth).
+// Pass --no-lint to skip the analysis.
 //
 // Conventions: the program runs on hardware thread 0 in supervisor mode by
 // default. `hcall 1` prints a0 in decimal, `hcall 2` prints it in hex,
@@ -12,6 +16,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "src/analysis/lint.h"
 #include "src/cpu/machine.h"
 #include "src/hwt/tracer.h"
 #include "src/sim/config.h"
@@ -41,6 +46,21 @@ int main(int argc, char** argv) {
 
   MachineConfig mc;
   mc.hwt.threads_per_core = static_cast<uint32_t>(cfg.GetUint("threads-per-core", 64));
+
+  const AssembleResult assembled = Assembler::Assemble(ss.str(), /*base=*/0x1000);
+  if (!assembled.ok) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), assembled.error.c_str());
+    return 1;
+  }
+  if (!cfg.GetBool("no-lint", false)) {
+    analysis::LintOptions lo;
+    lo.entry_symbol = cfg.GetString("entry");
+    lo.flow.entry_supervisor = cfg.GetBool("supervisor", true);
+    lo.flow.tdt_capacity = mc.hwt.threads_per_core;
+    const analysis::LintResult lint = analysis::Lint(assembled.program, lo);
+    analysis::PrintDiagnostics(lint, std::cerr);
+  }
+
   Machine m(mc);
   ThreadTracer tracer;
   if (cfg.GetBool("trace", false)) {
@@ -54,8 +74,8 @@ int main(int argc, char** argv) {
     }
   });
 
-  const Ptid p = m.LoadSource(0, 0, ss.str(), cfg.GetBool("supervisor", true),
-                              cfg.GetString("entry"), /*edp=*/0);
+  const Ptid p = m.Load(0, 0, assembled.program, cfg.GetBool("supervisor", true),
+                        cfg.GetString("entry"), /*edp=*/0);
   const Tick start = m.sim().now();
   m.Start(p);
   const uint64_t max_cycles = cfg.GetUint("max-cycles", 100'000'000);
