@@ -16,8 +16,13 @@ using namespace casc;
 
 namespace {
 
+// Iteration counts, reduced under --smoke.
+int kWakeIters = 100;
+int kTimerFires = 200;
+int kPinIters = 40;
+
 // --- 1. dirty-register tracking -------------------------------------------
-void DirtyTracking(Table& t) {
+void DirtyTracking(Table& t, BenchReport& rep) {
   for (const bool tracking : {true, false}) {
     MachineConfig cfg;
     cfg.hwt.dirty_register_tracking = tracking;
@@ -34,9 +39,11 @@ void DirtyTracking(Table& t) {
     }
     m.threads().store(0).ForceTier(dense, StorageTier::kL3);
     const Tick dense_lat = m.threads().store(0).RestoreLatency(dense);
-    t.Row(tracking ? "dirty tracking ON" : "dirty tracking OFF",
-          "L3 restore, 2 live regs", (unsigned long long)sparse_lat, "cycles");
+    const char* config = tracking ? "dirty tracking ON" : "dirty tracking OFF";
+    t.Row(config, "L3 restore, 2 live regs", (unsigned long long)sparse_lat, "cycles");
     t.Row("", "L3 restore, 28 live regs", (unsigned long long)dense_lat, "cycles");
+    rep.Add("ablations", config, "l3_restore_2_regs_cycles", static_cast<double>(sparse_lat));
+    rep.Add("ablations", config, "l3_restore_28_regs_cycles", static_cast<double>(dense_lat));
   }
 }
 
@@ -75,7 +82,7 @@ Tick WakeToRun(bool prefetch) {
       true);
   m.Start(sleeper);
   m.RunFor(3000);
-  for (int i = 0; i < 100; i++) {
+  for (int i = 0; i < kWakeIters; i++) {
     // Push the sleeper's context off-chip, then wake it.
     m.threads().store(0).ForceTier(m.threads().thread(sleeper), StorageTier::kDram);
     woken_at.push_back(m.sim().now());
@@ -121,7 +128,7 @@ Tick CriticalHandlerP99(bool preempt) {
   m.RunFor(2000);
   const Tick t0 = m.sim().now();
   timer.StartTimer();
-  m.RunFor(200 * tcfg.period + 5000);
+  m.RunFor(static_cast<Tick>(kTimerFires) * tcfg.period + 5000);
   Histogram lat;
   for (size_t i = 0; i < handled.size(); i++) {
     const Tick fire = t0 + (i + 1) * tcfg.period;
@@ -133,7 +140,7 @@ Tick CriticalHandlerP99(bool preempt) {
 }
 
 // --- 4. monitor filter capacity ---------------------------------------------
-void FilterCapacity(Table& t) {
+void FilterCapacity(Table& t, BenchReport& rep) {
   for (const uint32_t capacity : {64u, 16u}) {
     MachineConfig cfg;
     cfg.hwt.threads_per_core = 64;
@@ -150,14 +157,15 @@ void FilterCapacity(Table& t) {
     std::snprintf(label, sizeof(label), "filter capacity = %u lines", capacity);
     char detail[48];
     std::snprintf(detail, sizeof(detail), "32 watch requests -> %u granted", granted);
-    t.Row(label, detail,
-          (unsigned long long)m.sim().stats().GetCounter("monitor.overflows"),
-          "overflow faults");
+    const uint64_t overflows = m.sim().stats().GetCounter("monitor.overflows");
+    t.Row(label, detail, (unsigned long long)overflows, "overflow faults");
+    rep.Add("ablations", label, "watches_granted", static_cast<double>(granted));
+    rep.Add("ablations", label, "overflow_faults", static_cast<double>(overflows));
   }
 }
 
 // --- 5. vtid translation cache ----------------------------------------------
-void VtidCacheRows(Table& t) {
+void VtidCacheRows(Table& t, BenchReport& rep) {
   for (const uint32_t entries : {16u, 0u}) {
     MachineConfig cfg;
     cfg.hwt.vtid_cache_entries = entries;
@@ -173,8 +181,9 @@ void VtidCacheRows(Table& t) {
     for (int i = 0; i < 8; i++) {
       m.threads().Translate(issuer, 0, &steady);
     }
-    t.Row(entries > 0 ? "vtid cache 16 entries" : "vtid cache disabled",
-          "steady-state translation", (unsigned long long)steady, "cycles");
+    const char* config = entries > 0 ? "vtid cache 16 entries" : "vtid cache disabled";
+    t.Row(config, "steady-state translation", (unsigned long long)steady, "cycles");
+    rep.Add("ablations", config, "steady_translation_cycles", static_cast<double>(steady));
   }
 }
 
@@ -222,7 +231,7 @@ Tick PinnedHandlerLatency(bool pin) {
   m.Start(handler);
   m.Start(stream);
   m.RunFor(80000);  // streamer settles into L3 hits
-  for (int i = 0; i < 40; i++) {
+  for (int i = 0; i < kPinIters; i++) {
     woken.push_back(m.sim().now());
     m.mem().DmaWrite64(kMbox, static_cast<uint64_t>(i + 1));
     m.RunFor(60000);
@@ -252,33 +261,39 @@ Tick SmtThroughput(uint32_t width) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e10_ablations", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kWakeIters = static_cast<int>(report.Iters(100, 15));
+  kTimerFires = static_cast<int>(report.Iters(200, 30));
+  kPinIters = static_cast<int>(report.Iters(40, 8));
   Banner("E10", "Ablations: the §4 design options, isolated",
          "dirty-register tracking, wake prefetch, hardware priorities, monitor filter "
          "sizing, vtid caching, and SMT width each carry a measurable share");
 
   Table t({"configuration", "measurement", "value", "unit"});
-  DirtyTracking(t);
-  t.Row("prefetch-on-wake ON", "wake->run, DRAM ctx, busy core",
-        (unsigned long long)WakeToRun(true), "cycles p50");
-  t.Row("prefetch-on-wake OFF", "wake->run, DRAM ctx, busy core",
-        (unsigned long long)WakeToRun(false), "cycles p50");
-  t.Row("priority preempt ON", "critical handler wake, 32 spinners",
-        (unsigned long long)CriticalHandlerP99(true), "cycles p99");
-  t.Row("priority preempt OFF", "critical handler wake, 32 spinners",
-        (unsigned long long)CriticalHandlerP99(false), "cycles p99");
-  FilterCapacity(t);
-  VtidCacheRows(t);
-  t.Row("cache pinning ON", "handler event->done under thrash",
-        (unsigned long long)PinnedHandlerLatency(true), "cycles p50");
-  t.Row("cache pinning OFF", "handler event->done under thrash",
-        (unsigned long long)PinnedHandlerLatency(false), "cycles p50");
-  t.Row("smt width 1", "16 threads x 20k cycles", (unsigned long long)SmtThroughput(1),
-        "total cycles");
-  t.Row("smt width 2", "16 threads x 20k cycles", (unsigned long long)SmtThroughput(2),
-        "total cycles");
-  t.Row("smt width 4", "16 threads x 20k cycles", (unsigned long long)SmtThroughput(4),
-        "total cycles");
+  const auto row = [&](const char* config, const char* detail, const char* metric, Tick value) {
+    t.Row(config, detail, (unsigned long long)value, metric);
+    report.Add("ablations", config, metric, static_cast<double>(value));
+  };
+  DirtyTracking(t, report);
+  row("prefetch-on-wake ON", "wake->run, DRAM ctx, busy core", "cycles p50", WakeToRun(true));
+  row("prefetch-on-wake OFF", "wake->run, DRAM ctx, busy core", "cycles p50", WakeToRun(false));
+  row("priority preempt ON", "critical handler wake, 32 spinners", "cycles p99",
+      CriticalHandlerP99(true));
+  row("priority preempt OFF", "critical handler wake, 32 spinners", "cycles p99",
+      CriticalHandlerP99(false));
+  FilterCapacity(t, report);
+  VtidCacheRows(t, report);
+  row("cache pinning ON", "handler event->done under thrash", "cycles p50",
+      PinnedHandlerLatency(true));
+  row("cache pinning OFF", "handler event->done under thrash", "cycles p50",
+      PinnedHandlerLatency(false));
+  row("smt width 1", "16 threads x 20k cycles", "total cycles", SmtThroughput(1));
+  row("smt width 2", "16 threads x 20k cycles", "total cycles", SmtThroughput(2));
+  row("smt width 4", "16 threads x 20k cycles", "total cycles", SmtThroughput(4));
   t.Print();
 
   std::printf(
@@ -287,5 +302,5 @@ int main() {
       "critical handler's tail; an undersized filter faults excess monitors\n"
       "(software must fall back to polling); killing the vtid cache makes every\n"
       "thread op pay a TDT walk; SMT width divides bulk-compute time.\n");
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

@@ -8,6 +8,10 @@
 // counters (wall time of the simulator itself is meaningless).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "src/baseline/baseline_machine.h"
 #include "src/cpu/machine.h"
 #include "src/hwt/thread_system.h"
@@ -15,11 +19,17 @@
 namespace casc {
 namespace {
 
-void ReportSimCycles(benchmark::State& state, double total_cycles, double ops,
-                     double ghz = 3.0) {
+BenchReport* g_report = nullptr;
+
+void ReportSimCycles(benchmark::State& state, const std::string& label, double total_cycles,
+                     double ops, double ghz = 3.0) {
   const double per_op = total_cycles / ops;
   state.counters["sim_cycles"] = per_op;
   state.counters["sim_ns"] = per_op / ghz;
+  if (g_report != nullptr) {
+    g_report->Add("primitives", label, "sim_cycles", per_op);
+    g_report->Add("primitives", label, "sim_ns", per_op / ghz);
+  }
 }
 
 MachineConfig TieredConfig() {
@@ -33,7 +43,7 @@ MachineConfig TieredConfig() {
 }
 
 // Wake-to-ready latency with the thread's saved state pinned in one tier.
-void BM_HtmWake(benchmark::State& state, StorageTier tier) {
+void BM_HtmWake(benchmark::State& state, StorageTier tier, const std::string& label) {
   Machine m(TieredConfig());
   ThreadSystem& ts = m.threads();
   const Ptid victim = 1;
@@ -49,12 +59,8 @@ void BM_HtmWake(benchmark::State& state, StorageTier tier) {
     ts.Disable(victim);
     m.RunFor(1);
   }
-  ReportSimCycles(state, total, ops);
+  ReportSimCycles(state, label, total, ops);
 }
-BENCHMARK_CAPTURE(BM_HtmWake, regfile, StorageTier::kRegFile)->Iterations(2000);
-BENCHMARK_CAPTURE(BM_HtmWake, l2_slot, StorageTier::kL2)->Iterations(2000);
-BENCHMARK_CAPTURE(BM_HtmWake, l3_slot, StorageTier::kL3)->Iterations(2000);
-BENCHMARK_CAPTURE(BM_HtmWake, dram_spill, StorageTier::kDram)->Iterations(2000);
 
 // Issue cost of the start instruction itself (supervisor identity mapping).
 void BM_HtmStartIssue(benchmark::State& state) {
@@ -70,9 +76,8 @@ void BM_HtmStartIssue(benchmark::State& state) {
     total += static_cast<double>(ts.Start(0, 1).latency);
     ops += 1;
   }
-  ReportSimCycles(state, total, ops);
+  ReportSimCycles(state, "htm_start_issue", total, ops);
 }
-BENCHMARK(BM_HtmStartIssue)->Iterations(5000);
 
 // Full software context switch on the baseline: two threads ping-pong via
 // block/wake; cycles are measured from the busy-cycle counter.
@@ -102,12 +107,11 @@ void BM_BaselineContextSwitch(benchmark::State& state) {
     total += static_cast<double>(m.sim().now() - t0);
     ops += static_cast<double>(m.cpu(0).context_switches() - sw0);
   }
-  ReportSimCycles(state, total, ops);
+  ReportSimCycles(state, "baseline_context_switch", total, ops);
 }
-BENCHMARK(BM_BaselineContextSwitch)->Iterations(50);
 
 // Baseline syscall: mode switch in and out around a trivial kernel body.
-void BM_BaselineSyscall(benchmark::State& state, bool kernel_fp) {
+void BM_BaselineSyscall(benchmark::State& state, bool kernel_fp, const std::string& label) {
   BaselineMachineConfig cfg;
   cfg.cpu.kernel_uses_fp = kernel_fp;
   BaselineMachine m(cfg);
@@ -130,10 +134,8 @@ void BM_BaselineSyscall(benchmark::State& state, bool kernel_fp) {
     total += static_cast<double>(m.sim().now() - t0);
     ops += static_cast<double>(calls - c0);
   }
-  ReportSimCycles(state, total, ops);
+  ReportSimCycles(state, label, total, ops);
 }
-BENCHMARK_CAPTURE(BM_BaselineSyscall, integer_kernel, false)->Iterations(50);
-BENCHMARK_CAPTURE(BM_BaselineSyscall, fp_kernel, true)->Iterations(50);
 
 // Baseline VM exit round trip.
 void BM_BaselineVmExit(benchmark::State& state) {
@@ -157,20 +159,68 @@ void BM_BaselineVmExit(benchmark::State& state) {
     total += static_cast<double>(m.sim().now() - t0);
     ops += static_cast<double>(exits - c0);
   }
-  ReportSimCycles(state, total, ops);
+  ReportSimCycles(state, "baseline_vm_exit", total, ops);
 }
-BENCHMARK(BM_BaselineVmExit)->Iterations(50);
 
 }  // namespace
 }  // namespace casc
 
 int main(int argc, char** argv) {
+  using namespace casc;
   std::printf(
       "E1 — primitive costs. Paper: hardware-thread start ~20 cyc (RF), 10-50 cyc\n"
       "(L2/L3, 3-16 ns @3GHz); software context switch = hundreds of cycles; the\n"
       "sim_cycles / sim_ns counters below carry the simulated costs.\n\n");
-  benchmark::Initialize(&argc, argv);
+  // --json/--smoke are ours; everything else goes to google-benchmark.
+  std::vector<char*> bm_argv = {argv[0]};
+  std::vector<const char*> our_argv = {argv[0]};
+  for (int i = 1; i < argc; i++) {
+    const std::string a = argv[i];
+    if (a == "--smoke" || a.rfind("--json", 0) == 0) {
+      our_argv.push_back(argv[i]);
+    } else {
+      bm_argv.push_back(argv[i]);
+    }
+  }
+  BenchReport report("e1_primitives", static_cast<int>(our_argv.size()), our_argv.data());
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  g_report = &report;
+
+  const auto wake_iters = static_cast<int64_t>(report.Iters(2000, 50));
+  const struct {
+    const char* name;
+    StorageTier tier;
+  } tiers[] = {{"regfile", StorageTier::kRegFile},
+               {"l2_slot", StorageTier::kL2},
+               {"l3_slot", StorageTier::kL3},
+               {"dram_spill", StorageTier::kDram}};
+  for (const auto& t : tiers) {
+    const std::string label = std::string("htm_wake/") + t.name;
+    benchmark::RegisterBenchmark(
+        (std::string("BM_HtmWake/") + t.name).c_str(),
+        [tier = t.tier, label](benchmark::State& s) { BM_HtmWake(s, tier, label); })
+        ->Iterations(wake_iters);
+  }
+  benchmark::RegisterBenchmark("BM_HtmStartIssue", BM_HtmStartIssue)
+      ->Iterations(static_cast<int64_t>(report.Iters(5000, 100)));
+  const auto sw_iters = static_cast<int64_t>(report.Iters(50, 3));
+  benchmark::RegisterBenchmark("BM_BaselineContextSwitch", BM_BaselineContextSwitch)
+      ->Iterations(sw_iters);
+  benchmark::RegisterBenchmark(
+      "BM_BaselineSyscall/integer_kernel",
+      [](benchmark::State& s) { BM_BaselineSyscall(s, false, "baseline_syscall/integer_kernel"); })
+      ->Iterations(sw_iters);
+  benchmark::RegisterBenchmark(
+      "BM_BaselineSyscall/fp_kernel",
+      [](benchmark::State& s) { BM_BaselineSyscall(s, true, "baseline_syscall/fp_kernel"); })
+      ->Iterations(sw_iters);
+  benchmark::RegisterBenchmark("BM_BaselineVmExit", BM_BaselineVmExit)->Iterations(sw_iters);
+
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

@@ -23,7 +23,7 @@ using namespace casc;
 namespace {
 
 constexpr Tick kPeriod = 20000;
-constexpr int kFires = 200;
+int kFires = 200;  // reduced under --smoke
 constexpr Addr kCounter = 0x7000;
 
 struct Result {
@@ -116,25 +116,33 @@ Result RunHtmMwait(bool busy_core, uint64_t handler_prio, uint64_t preempt_thres
   return r;
 }
 
-void Report(Table& t, const char* config, const Result& r) {
+void Report(Table& t, BenchReport& rep, const char* config, const Result& r) {
   t.Row(config, (unsigned long long)r.latency.P50(), ToNs(r.latency.P50()),
         (unsigned long long)r.latency.P99(), ToNs(r.latency.P99()),
         (unsigned long long)r.latency.count());
+  rep.Add("interrupt_latency", config, "p50_cycles", static_cast<double>(r.latency.P50()));
+  rep.Add("interrupt_latency", config, "p99_cycles", static_cast<double>(r.latency.P99()));
+  rep.Add("interrupt_latency", config, "events", static_cast<double>(r.latency.count()));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e2_interrupts", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kFires = static_cast<int>(report.Iters(200, 20));
   Banner("E2", "Interrupt elimination: event -> handler latency",
          "hardware threads wake from mwait \"without needing an expensive transition to a "
          "hard IRQ context\"; priorities remove delays for time-critical events (§2, §4)");
 
   Table t({"delivery path", "p50 cyc", "p50 ns", "p99 cyc", "p99 ns", "events"});
-  Report(t, "baseline IRQ (idle core)", RunBaselineIrq(false));
-  Report(t, "baseline IRQ (busy core)", RunBaselineIrq(true));
-  Report(t, "htm mwait (idle core)", RunHtmMwait(false, 1, 0));
-  Report(t, "htm mwait (loaded core)", RunHtmMwait(true, 1, 0));
-  Report(t, "htm mwait (loaded, prio+preempt)", RunHtmMwait(true, 8, 4));
+  Report(t, report, "baseline IRQ (idle core)", RunBaselineIrq(false));
+  Report(t, report, "baseline IRQ (busy core)", RunBaselineIrq(true));
+  Report(t, report, "htm mwait (idle core)", RunHtmMwait(false, 1, 0));
+  Report(t, report, "htm mwait (loaded core)", RunHtmMwait(true, 1, 0));
+  Report(t, report, "htm mwait (loaded, prio+preempt)", RunHtmMwait(true, 8, 4));
   t.Print();
 
   std::printf(
@@ -142,5 +150,5 @@ int main() {
       "path (which pays idle-exit %llu + IRQ entry %llu cycles), and hardware\n"
       "priorities should pull the loaded-core tail back toward the idle case.\n",
       (unsigned long long)BaselineConfig{}.idle_wake, (unsigned long long)BaselineConfig{}.irq_entry);
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

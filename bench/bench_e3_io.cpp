@@ -23,8 +23,8 @@ using namespace casc;
 
 namespace {
 
-constexpr Tick kService = 600;      // per-request work, cycles
-constexpr Tick kDuration = 1'200'000;
+constexpr Tick kService = 600;  // per-request work, cycles
+Tick kDuration = 1'200'000;     // reduced under --smoke
 constexpr Addr kRegion = 0x02000000;
 
 struct RunResult {
@@ -216,16 +216,27 @@ RunResult RunHtmMultiQueue(uint32_t queues, double load_of_one) {
   return r;
 }
 
-void Report(Table& t, const char* design, double load, const RunResult& r) {
+void Report(Table& t, BenchReport& rep, const char* design, double load, const RunResult& r) {
   char loadbuf[16];
   std::snprintf(loadbuf, sizeof(loadbuf), "%.1f", load);
   t.Row(design, loadbuf, r.throughput_per_mcycle, (unsigned long long)r.sojourn.P50(),
         (unsigned long long)r.sojourn.P99(), r.wasted_frac, (unsigned long long)r.drops);
+  const std::string config = std::string(design) + " @ " + loadbuf;
+  rep.Add("io_load", config, "req_per_mcycle", r.throughput_per_mcycle);
+  rep.Add("io_load", config, "p50_sojourn_cycles", static_cast<double>(r.sojourn.P50()));
+  rep.Add("io_load", config, "p99_sojourn_cycles", static_cast<double>(r.sojourn.P99()));
+  rep.Add("io_load", config, "wasted_core_frac", r.wasted_frac);
+  rep.Add("io_load", config, "drops", static_cast<double>(r.drops));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e3_io", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kDuration = report.Iters(1'200'000, 150'000);
   Banner("E3", "I/O notification under load: interrupt vs polling vs blocking threads",
          "\"polling is unnecessary; ... threads wait on I/O events, letting other threads "
          "run until there is I/O activity\" — high throughput AND low latency (§2)");
@@ -233,9 +244,9 @@ int main() {
   Table t({"design", "load", "req/Mcyc", "p50 sojourn", "p99 sojourn", "wasted core frac",
            "drops"});
   for (double load : {0.2, 0.5, 0.8}) {
-    Report(t, "baseline interrupt", load, RunBaseline(load, false));
-    Report(t, "baseline polling", load, RunBaseline(load, true));
-    Report(t, "htm blocking", load, RunHtmBlocking(load));
+    Report(t, report, "baseline interrupt", load, RunBaseline(load, false));
+    Report(t, report, "baseline polling", load, RunBaseline(load, true));
+    Report(t, report, "htm blocking", load, RunHtmBlocking(load));
   }
   t.Print();
 
@@ -251,6 +262,10 @@ int main() {
                   queues == 1 ? "" : "s");
     mq.Row(label, "1.6", r.throughput_per_mcycle, (unsigned long long)r.sojourn.P50(),
            (unsigned long long)r.sojourn.P99(), (unsigned long long)r.drops);
+    report.Add("io_multiqueue", label, "req_per_mcycle", r.throughput_per_mcycle);
+    report.Add("io_multiqueue", label, "p99_sojourn_cycles",
+               static_cast<double>(r.sojourn.P99()));
+    report.Add("io_multiqueue", label, "drops", static_cast<double>(r.drops));
   }
   mq.Print();
 
@@ -259,5 +274,5 @@ int main() {
       "fraction of the core; interrupts free the core but pay IRQ+wakeup+\n"
       "dispatch on every quiet-period arrival (worst at low load). htm blocking\n"
       "gets both: near-zero waste and interrupt-free latency.\n");
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

@@ -18,7 +18,7 @@ using namespace casc;
 
 namespace {
 
-constexpr int kCalls = 300;
+int kCalls = 300;  // reduced under --smoke
 constexpr Tick kNullWork = 10;
 constexpr Addr kKernelBuf = 0x00800000;
 constexpr Addr kUserBuf = 0x00810000;
@@ -95,42 +95,29 @@ double HtmPerCall(bool pread, bool direct_ipc) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e4_syscalls", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kCalls = static_cast<int>(report.Iters(300, 30));
   Banner("E4", "Exception-less syscalls; kernel FP/vector use",
          "serving syscalls in dedicated hardware threads avoids the mode-switch "
          "\"hundreds of cycles\" [46,69]; kernel FP use stops penalizing syscalls (§2)");
 
   Table t({"design", "null call cyc", "null ns", "pread64 cyc", "pread64 ns"});
-  {
-    const double n = BaselinePerCall(false, false, 1);
-    const double p = BaselinePerCall(false, true, 1);
-    t.Row("baseline same-thread syscall", n, ToNs(static_cast<Tick>(n)), p,
-          ToNs(static_cast<Tick>(p)));
-  }
-  {
-    const double n = BaselinePerCall(true, false, 1);
-    const double p = BaselinePerCall(true, true, 1);
-    t.Row("baseline, kernel uses FP", n, ToNs(static_cast<Tick>(n)), p,
-          ToNs(static_cast<Tick>(p)));
-  }
-  {
-    const double n = BaselinePerCall(false, false, 16);
-    const double p = BaselinePerCall(false, true, 16);
-    t.Row("baseline batched x16 (FlexSC-style)", n, ToNs(static_cast<Tick>(n)), p,
-          ToNs(static_cast<Tick>(p)));
-  }
-  {
-    const double n = HtmPerCall(false, false);
-    const double p = HtmPerCall(true, false);
-    t.Row("htm channel syscall (server waits)", n, ToNs(static_cast<Tick>(n)), p,
-          ToNs(static_cast<Tick>(p)));
-  }
-  {
-    const double n = HtmPerCall(false, true);
-    const double p = HtmPerCall(true, true);
-    t.Row("htm direct IPC (start callee)", n, ToNs(static_cast<Tick>(n)), p,
-          ToNs(static_cast<Tick>(p)));
-  }
+  const auto row = [&](const char* design, double n, double p) {
+    t.Row(design, n, ToNs(static_cast<Tick>(n)), p, ToNs(static_cast<Tick>(p)));
+    report.Add("syscall_cost", design, "null_call_cycles", n);
+    report.Add("syscall_cost", design, "pread64_cycles", p);
+  };
+  row("baseline same-thread syscall", BaselinePerCall(false, false, 1),
+      BaselinePerCall(false, true, 1));
+  row("baseline, kernel uses FP", BaselinePerCall(true, false, 1), BaselinePerCall(true, true, 1));
+  row("baseline batched x16 (FlexSC-style)", BaselinePerCall(false, false, 16),
+      BaselinePerCall(false, true, 16));
+  row("htm channel syscall (server waits)", HtmPerCall(false, false), HtmPerCall(true, false));
+  row("htm direct IPC (start callee)", HtmPerCall(false, true), HtmPerCall(true, true));
   t.Print();
 
   std::printf(
@@ -140,5 +127,5 @@ int main() {
       "while it inflates every baseline syscall. Batching closes part of the\n"
       "gap at the price of the asynchronous API the paper criticizes.\n",
       (unsigned long long)(BaselineConfig{}.syscall_entry + BaselineConfig{}.syscall_exit));
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

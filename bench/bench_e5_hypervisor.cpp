@@ -19,7 +19,7 @@ using namespace casc;
 
 namespace {
 
-constexpr int kExits = 100;
+int kExits = 100;  // reduced under --smoke
 constexpr Tick kHypervisorWork = 40;  // decode + emulate
 
 double BaselineInKernel() {
@@ -107,7 +107,12 @@ double HtmHypervisor(bool privileged) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e5_hypervisor", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kExits = static_cast<int>(report.Iters(100, 20));
   Banner("E5", "VM exits: in-kernel vs ring-3 vs hardware-thread hypervisors",
          "\"VM-exits would stop the virtual machine's hardware thread and start the "
          "hypervisor's\" — same functionality, same performance, no privileged access (§2)");
@@ -122,6 +127,10 @@ int main() {
   t.Row("htm hardware-thread (supervisor)", htm_sup, ToNs(static_cast<Tick>(htm_sup)), "yes");
   t.Row("htm hardware-thread (user mode)", htm_user, ToNs(static_cast<Tick>(htm_user)), "no");
   t.Print();
+  report.Add("vm_exit_cost", "baseline in-kernel (KVM-style)", "cycles_per_exit", in_kernel);
+  report.Add("vm_exit_cost", "baseline ring-3 (isolated)", "cycles_per_exit", ring3);
+  report.Add("vm_exit_cost", "htm hardware-thread (supervisor)", "cycles_per_exit", htm_sup);
+  report.Add("vm_exit_cost", "htm hardware-thread (user mode)", "cycles_per_exit", htm_user);
 
   std::printf(
       "\nshape check: isolating the baseline hypervisor at ring 3 piles context\n"
@@ -130,5 +139,5 @@ int main() {
       "becomes free (ratio ring3/in-kernel = %.2f, htm user/supervisor = %.2f).\n",
       (unsigned long long)BaselineConfig{}.vmexit, (unsigned long long)BaselineConfig{}.vmentry,
       ring3 / in_kernel, htm_user / htm_sup);
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

@@ -20,7 +20,7 @@ using namespace casc;
 
 namespace {
 
-constexpr int kCalls = 200;
+int kCalls = 200;  // reduced under --smoke
 constexpr Addr kReqBuf = 0x00800000;
 constexpr Addr kRespBuf = 0x00810000;
 constexpr Tick kServiceWork = 100;
@@ -208,7 +208,12 @@ double BaselineProxied() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e6_microkernel", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kCalls = static_cast<int>(report.Iters(200, 20));
   Banner("E6", "Microkernel IPC round trips vs payload size",
          "\"it can directly start the service's hardware thread achieving the same result "
          "as XPC ... no need to move into kernel space and invoke the scheduler\" (§2)");
@@ -223,6 +228,11 @@ int main() {
     char speedup[32];
     std::snprintf(speedup, sizeof(speedup), "%.1fx", base / std::min(channel, direct));
     t.Row(payload, base, channel, direct, cross, speedup);
+    const std::string config = std::to_string(payload) + "B payload";
+    report.Add("ipc_round_trip", config, "baseline_kernel_cycles", base);
+    report.Add("ipc_round_trip", config, "htm_channel_cycles", channel);
+    report.Add("ipc_round_trip", config, "htm_direct_start_cycles", direct);
+    report.Add("ipc_round_trip", config, "htm_cross_core_cycles", cross);
   }
   t.Print();
 
@@ -233,10 +243,12 @@ int main() {
   proxy_table.Row("htm proxied chain", hp, ToNs(static_cast<Tick>(hp)));
   proxy_table.Row("baseline proxied chain", bp, ToNs(static_cast<Tick>(bp)));
   proxy_table.Print();
+  report.Add("proxy_chain", "htm proxied chain", "cycles_per_request", hp);
+  report.Add("proxy_chain", "baseline proxied chain", "cycles_per_request", bp);
 
   std::printf(
       "\nshape check: htm IPC should win big at small payloads (the fixed kernel+\n"
       "scheduler cost dominates) and converge as the copy cost takes over —\n"
       "exactly why container proxies and microkernel services benefit most.\n");
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

@@ -25,7 +25,7 @@ using namespace casc;
 namespace {
 
 constexpr Tick kMeanService = 1000;
-constexpr Tick kDuration = 1'000'000;
+Tick kDuration = 1'000'000;  // reduced under --smoke
 constexpr Addr kMboxBase = 0x02000000;
 
 struct RunResult {
@@ -144,17 +144,28 @@ RunResult RunBaseline(const ServiceDist& dist, double load, Tick quantum) {
   return r;
 }
 
-void Report(Table& t, const char* dist, double load, const char* design, const RunResult& r) {
+void Report(Table& t, BenchReport& rep, const char* dist, double load, const char* design,
+            const RunResult& r) {
   char loadbuf[16];
   std::snprintf(loadbuf, sizeof(loadbuf), "%.1f", load);
   t.Row(dist, loadbuf, design, (unsigned long long)r.sojourn.P50(),
         (unsigned long long)r.sojourn.P99(), (unsigned long long)r.slowdown.P99(),
         (unsigned long long)r.completed);
+  const std::string config = std::string(design) + ", " + dist + " @ " + loadbuf;
+  rep.Add("scheduling", config, "p50_sojourn_cycles", static_cast<double>(r.sojourn.P50()));
+  rep.Add("scheduling", config, "p99_sojourn_cycles", static_cast<double>(r.sojourn.P99()));
+  rep.Add("scheduling", config, "p99_slowdown", static_cast<double>(r.slowdown.P99()));
+  rep.Add("scheduling", config, "completed", static_cast<double>(r.completed));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e7_scheduling", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kDuration = report.Iters(1'000'000, 150'000);
   Banner("E7", "Scheduling under service-time variability: PS vs FCFS vs software RR",
          "fine-grain RR emulates processor sharing; with thread-per-request it is "
          "\"superior ... for server workloads with high execution-time variability\" (§4)");
@@ -164,9 +175,9 @@ int main() {
   for (const char* dist_name : {"fixed", "exp", "bimodal"}) {
     for (double load : {0.4, 0.7}) {
       const ServiceDist dist = ServiceDist::Parse(dist_name, kMeanService);
-      Report(t, dist_name, load, "htm PS (thread/request)", RunHtmPs(dist, load, 1));
-      Report(t, dist_name, load, "baseline FCFS", RunBaseline(dist, load, 0));
-      Report(t, dist_name, load, "baseline RR 10us", RunBaseline(dist, load, 30000));
+      Report(t, report, dist_name, load, "htm PS (thread/request)", RunHtmPs(dist, load, 1));
+      Report(t, report, dist_name, load, "baseline FCFS", RunBaseline(dist, load, 0));
+      Report(t, report, dist_name, load, "baseline RR 10us", RunBaseline(dist, load, 30000));
     }
   }
   t.Print();
@@ -177,5 +188,5 @@ int main() {
       "short requests queue behind long ones, while htm PS keeps slowdown low\n"
       "and flat. Software RR sits between: it approximates PS but pays a real\n"
       "context switch every quantum.\n");
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

@@ -28,6 +28,8 @@ struct RunResult {
   uint64_t dram = 0;
 };
 
+int kRounds = 4;  // reduced under --smoke
+
 RunResult Run(uint32_t num_threads) {
   MachineConfig cfg;
   cfg.hwt.threads_per_core = std::max(num_threads, 16u);
@@ -61,7 +63,6 @@ RunResult Run(uint32_t num_threads) {
   const uint64_t l30 = m.sim().stats().GetCounter("hwt.core0.restores_l3");
   const uint64_t dr0 = m.sim().stats().GetCounter("hwt.core0.restores_dram");
 
-  const int kRounds = 4;
   for (int round = 0; round < kRounds; round++) {
     for (uint32_t w = 0; w < num_threads; w++) {
       woken_at[w] = m.sim().now();
@@ -80,13 +81,21 @@ RunResult Run(uint32_t num_threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e8_capacity", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kRounds = static_cast<int>(report.Iters(4, 1));
+  const std::vector<uint32_t> sweep = report.smoke()
+                                          ? std::vector<uint32_t>{8u, 64u, 256u}
+                                          : std::vector<uint32_t>{8u, 16u, 64u, 256u, 512u, 1024u};
   Banner("E8", "Wake latency vs hardware-thread count (fixed on-chip tiers)",
          "RF/L2/L3 tiers support \"hundreds to thousands of threads per core in a "
          "cost-effective manner\"; spill past on-chip capacity degrades gracefully (§4)");
 
   Table t({"threads", "wake p50 cyc", "wake p99 cyc", "p99 ns", "restores rf/l2/l3/dram"});
-  for (uint32_t n : {8u, 16u, 64u, 256u, 512u, 1024u}) {
+  for (uint32_t n : sweep) {
     const RunResult r = Run(n);
     char mix[64];
     std::snprintf(mix, sizeof(mix), "%llu/%llu/%llu/%llu", (unsigned long long)r.rf,
@@ -94,6 +103,13 @@ int main() {
                   (unsigned long long)r.dram);
     t.Row(n, (unsigned long long)r.wake_latency.P50(), (unsigned long long)r.wake_latency.P99(),
           ToNs(r.wake_latency.P99()), mix);
+    const std::string config = std::to_string(n) + " threads";
+    report.Add("capacity", config, "wake_p50_cycles", static_cast<double>(r.wake_latency.P50()));
+    report.Add("capacity", config, "wake_p99_cycles", static_cast<double>(r.wake_latency.P99()));
+    report.Add("capacity", config, "restores_rf", static_cast<double>(r.rf));
+    report.Add("capacity", config, "restores_l2", static_cast<double>(r.l2));
+    report.Add("capacity", config, "restores_l3", static_cast<double>(r.l3));
+    report.Add("capacity", config, "restores_dram", static_cast<double>(r.dram));
   }
   t.Print();
 
@@ -102,5 +118,5 @@ int main() {
       "through L2/L3 slots they stay in the paper's 10-50 cycle band; only\n"
       "past all on-chip capacity (here 16+64+256 = 336 contexts) does the\n"
       "DRAM tier appear and p99 step up toward memory latency.\n");
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

@@ -27,7 +27,7 @@ namespace {
 constexpr uint64_t kServer = 1;
 constexpr uint64_t kClient = 9;
 constexpr Tick kMeanService = 2000;
-constexpr Tick kDuration = 1'500'000;
+Tick kDuration = 1'500'000;  // reduced under --smoke
 
 struct RunResult {
   Histogram rtt;
@@ -198,26 +198,35 @@ RunResult RunHtmScaleOut(uint32_t num_nodes, double per_node_load) {
   return r;
 }
 
-void Report(Table& t, const char* design, double load, const RunResult& r) {
+void Report(Table& t, BenchReport& rep, const char* design, double load, const RunResult& r) {
   char loadbuf[16];
   std::snprintf(loadbuf, sizeof(loadbuf), "%.1f", load);
   t.Row(design, loadbuf, (unsigned long long)r.rtt.P50(), (unsigned long long)r.rtt.P99(),
         ToNs(r.rtt.P99()) / 1000.0, (unsigned long long)r.completed);
+  const std::string config = std::string(design) + " @ " + loadbuf;
+  rep.Add("rpc", config, "rtt_p50_cycles", static_cast<double>(r.rtt.P50()));
+  rep.Add("rpc", config, "rtt_p99_cycles", static_cast<double>(r.rtt.P99()));
+  rep.Add("rpc", config, "completed", static_cast<double>(r.completed));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("e9_distributed", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kDuration = report.Iters(1'500'000, 200'000);
   Banner("E9", "Distributed RPC: blocking thread-per-request vs event loop vs software threads",
          "\"developers can assign one hardware thread per request and use simple blocking "
          "I/O semantics without suffering ... thread scheduling overheads\" (§2)");
 
   Table t({"server design", "load", "rtt p50 cyc", "rtt p99 cyc", "p99 us", "completed"});
   for (double load : {0.3, 0.6}) {
-    Report(t, "htm thread-per-request (16 workers)", load,
+    Report(t, report, "htm thread-per-request (16 workers)", load,
            RunHtm(RpcMode::kThreadPerRequest, 16, load));
-    Report(t, "htm event-loop", load, RunHtm(RpcMode::kEventLoop, 0, load));
-    Report(t, "baseline software threads", load, RunBaselineThreaded(load));
+    Report(t, report, "htm event-loop", load, RunHtm(RpcMode::kEventLoop, 0, load));
+    Report(t, report, "baseline software threads", load, RunBaselineThreaded(load));
   }
   t.Print();
 
@@ -227,6 +236,9 @@ int main() {
     const RunResult r = RunHtmScaleOut(n, 0.6);
     scale.Row(n, (unsigned long long)r.rtt.P50(), (unsigned long long)r.rtt.P99(),
               (unsigned long long)r.completed, (unsigned long long)(r.completed / n));
+    const std::string config = std::to_string(n) + " nodes";
+    report.Add("rpc_scale_out", config, "rtt_p99_cycles", static_cast<double>(r.rtt.P99()));
+    report.Add("rpc_scale_out", config, "completed", static_cast<double>(r.completed));
   }
   scale.Print();
 
@@ -236,5 +248,5 @@ int main() {
       "(no head-of-line blocking), while the software-threaded server adds\n"
       "IRQ + scheduler + context-switch costs to every request.\n",
       (unsigned long long)FabricConfig{}.wire_latency);
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

@@ -26,7 +26,11 @@ const char* Outcome(bool ok) { return ok ? "allowed" : "fault"; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("t1_tdt", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
   Banner("T1", "Example Thread Descriptor Table (§3.2, Table 1)",
          "4 permission bits gate start / stop / modify-some / modify-most per vtid; "
          "0b0000 entries are invalid");
@@ -91,6 +95,9 @@ int main() {
     std::snprintf(vtid_s, sizeof(vtid_s), "0x%x", e.vtid);
     results.Row(vtid_s, Outcome(attempts[0].ok), Outcome(attempts[1].ok),
                 Outcome(attempts[2].ok), Outcome(attempts[3].ok), Outcome(attempts[4].ok));
+    for (const Attempt& a : attempts) {
+      report.Add("tdt_permissions", std::string("vtid ") + vtid_s, a.op, a.ok ? 1.0 : 0.0);
+    }
   }
   results.Print();
 
@@ -99,5 +106,5 @@ int main() {
   std::printf("cannot express. Faults disabled the issuer and wrote a descriptor each\n");
   std::printf("time (exceptions raised: %llu).\n",
               (unsigned long long)sim.stats().GetCounter("hwt.exceptions"));
-  return 0;
+  return report.Finish() ? 0 : 1;
 }

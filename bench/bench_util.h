@@ -1,15 +1,21 @@
-// Shared helpers for the experiment harness binaries: aligned table output
-// and common measurement plumbing. Each bench binary reproduces one
-// experiment from DESIGN.md §3 and prints its table to stdout.
+// Shared helpers for the experiment harness binaries: aligned table output,
+// common measurement plumbing, and structured result reporting. Each bench
+// binary reproduces one experiment from DESIGN.md §3, prints its table to
+// stdout, and (with --json=<path>) also emits a machine-readable
+// BENCH_<name>.json so runs can be diffed and regression-checked.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <type_traits>
 #include <initializer_list>
 #include <string>
 #include <vector>
 
+#include "src/sim/config.h"
+#include "src/sim/json.h"
 #include "src/sim/types.h"
 
 namespace casc {
@@ -89,6 +95,89 @@ inline void Banner(const char* id, const char* title, const char* claim) {
 }
 
 inline double ToNs(Tick cycles, double ghz = 3.0) { return static_cast<double>(cycles) / ghz; }
+
+// Structured result sink shared by every bench binary. Flags:
+//   --json=<path>   write the collected results as JSON on Finish()
+//   --smoke         run a reduced-iteration configuration (see Iters) so the
+//                   bench-smoke ctest tier finishes in seconds
+//
+// Schema (validated by tools/casc_bench_check):
+//   {"bench": "<name>", "smoke": <bool>,
+//    "results": [{"experiment": "...", "config": "...",
+//                 "metric": "...", "value": <number>}, ...]}
+class BenchReport {
+ public:
+  BenchReport(std::string bench, int argc, const char* const* argv) : bench_(std::move(bench)) {
+    Config cfg;
+    std::string err;
+    if (!cfg.ParseArgs(argc, argv, &err)) {
+      std::fprintf(stderr, "%s: %s\n", bench_.c_str(), err.c_str());
+      parse_ok_ = false;
+      return;
+    }
+    smoke_ = cfg.GetBool("smoke", false);
+    json_path_ = cfg.GetString("json");
+  }
+
+  bool parse_ok() const { return parse_ok_; }
+  bool smoke() const { return smoke_; }
+
+  // Pick an iteration count / problem size: `full` normally, `reduced` under
+  // --smoke. Keeps the scaling decision next to the constant it replaces.
+  uint64_t Iters(uint64_t full, uint64_t reduced) const { return smoke_ ? reduced : full; }
+
+  void Add(const std::string& experiment, const std::string& config, const std::string& metric,
+           double value) {
+    results_.push_back({experiment, config, metric, value});
+  }
+
+  // Writes the JSON file if --json was given. Returns false (after printing
+  // an error) if the file could not be written. Call once, at the end of
+  // main: `return report.Finish() ? 0 : 1;` composes with existing checks.
+  bool Finish() const {
+    if (json_path_.empty()) {
+      return parse_ok_;
+    }
+    std::ofstream out(json_path_);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", bench_.c_str(), json_path_.c_str());
+      return false;
+    }
+    JsonWriter w(out);
+    w.BeginObject();
+    w.KeyValue("bench", bench_);
+    w.KeyValue("smoke", smoke_);
+    w.Key("results");
+    w.BeginArray();
+    for (const auto& r : results_) {
+      w.BeginObject();
+      w.KeyValue("experiment", r.experiment);
+      w.KeyValue("config", r.config);
+      w.KeyValue("metric", r.metric);
+      w.KeyValue("value", r.value);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out << "\n";
+    std::printf("results written to %s (%zu entries)\n", json_path_.c_str(), results_.size());
+    return parse_ok_ && out.good();
+  }
+
+ private:
+  struct Result {
+    std::string experiment;
+    std::string config;
+    std::string metric;
+    double value;
+  };
+
+  std::string bench_;
+  bool parse_ok_ = true;
+  bool smoke_ = false;
+  std::string json_path_;
+  std::vector<Result> results_;
+};
 
 }  // namespace casc
 

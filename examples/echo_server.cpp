@@ -5,10 +5,11 @@
 // ring and blocks again. While idle it consumes no cycles — unlike a polling
 // core — yet reacts within tens of nanoseconds — unlike an interrupt path.
 //
-// Build & run:  ./examples/echo_server [--frames=N]
+// Build & run:  ./examples/echo_server [--frames=N] [--trace] [--trace-json=out.json]
 #include <cstdio>
 #include <cstring>
 
+#include "examples/example_util.h"
 #include "src/cpu/machine.h"
 #include "src/dev/nic.h"
 #include "src/runtime/rpc.h"
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
   const uint64_t frames = cfg.GetUint("frames", 32);
 
   Machine m;
+  ExampleTrace trace(m, cfg);
   Nic nic(m.sim(), m.mem(), NicConfig{});
   const Addr region = 0x02000000;
   const NicRings rings = SetupNicRings(m.mem(), nic, region);
@@ -96,5 +98,8 @@ int main(int argc, char** argv) {
   std::printf("server mwait waits: %llu (slept between every burst)\n",
               (unsigned long long)stats.GetCounter("hwt.mwait_blocks"));
   std::printf("interrupts taken  : 0 — the NIC's tail-counter DMA is the only signal\n");
+  if (!trace.Finish(0, m.sim().now() + 1)) {
+    return 1;
+  }
   return echoed == frames ? 0 : 1;
 }

@@ -1,0 +1,63 @@
+// Shared --trace / --trace-json handling for the example binaries: every
+// example accepts
+//   --trace                 render a text timeline at exit
+//   --trace-json=<path>     write a Chrome trace_event JSON file
+// Both observe the same ThreadTracer; neither costs anything when absent.
+#ifndef EXAMPLES_EXAMPLE_UTIL_H_
+#define EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/cpu/machine.h"
+#include "src/hwt/tracer.h"
+#include "src/sim/config.h"
+
+namespace casc {
+
+class ExampleTrace {
+ public:
+  ExampleTrace(Machine& m, const Config& cfg)
+      : machine_(m),
+        text_(cfg.GetBool("trace", false)),
+        json_path_(cfg.GetString("trace-json")) {
+    if (enabled()) {
+      m.threads().SetTracer(&tracer_);
+    }
+  }
+
+  bool enabled() const { return text_ || !json_path_.empty(); }
+
+  // Emits whatever was requested over [from, to). Call once at the end of
+  // main; returns false if the JSON file could not be written.
+  bool Finish(Tick from, Tick to) {
+    if (text_) {
+      std::printf("\nthread timeline (%llu..%llu):\n", (unsigned long long)from,
+                  (unsigned long long)to);
+      tracer_.DumpTimeline(std::cout, from, to, 72);
+    }
+    if (!json_path_.empty()) {
+      std::ofstream out(json_path_);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", json_path_.c_str());
+        return false;
+      }
+      tracer_.DumpChromeTrace(out, machine_.config().ghz);
+      std::printf("trace written to %s (%zu events%s)\n", json_path_.c_str(),
+                  tracer_.events().size(), tracer_.dropped() > 0 ? ", TRUNCATED" : "");
+    }
+    return true;
+  }
+
+ private:
+  Machine& machine_;
+  ThreadTracer tracer_;
+  bool text_;
+  std::string json_path_;
+};
+
+}  // namespace casc
+
+#endif  // EXAMPLES_EXAMPLE_UTIL_H_

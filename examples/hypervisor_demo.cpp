@@ -7,16 +7,25 @@
 // authority is a thread descriptor table — wakes from mwait, trap-and-
 // emulates the instruction with rpull/rpush, and restarts the guest.
 //
-// Build & run:  ./examples/hypervisor_demo
+// Build & run:  ./examples/hypervisor_demo [--trace] [--trace-json=out.json]
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/cpu/machine.h"
 #include "src/runtime/hypervisor.h"
+#include "src/sim/config.h"
 
 using namespace casc;
 
-int main() {
+int main(int argc, char** argv) {
+  Config cfg;
+  std::string err;
+  if (!cfg.ParseArgs(argc, argv, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
   Machine m;
+  ExampleTrace trace(m, cfg);
   HypervisorConfig hv_cfg;
   hv_cfg.privileged = false;  // the headline configuration: ring-3 hypervisor
   Hypervisor hyp(m, 0, /*hyp_local=*/0, hv_cfg);
@@ -67,5 +76,8 @@ int main() {
   std::printf(")\n");
   std::printf("\nEvery 'VM exit' was a hardware-thread stop + descriptor write; the\n");
   std::printf("hypervisor's authority came entirely from its TDT permissions (§3.2).\n");
+  if (!trace.Finish(0, m.sim().now() + 1)) {
+    return 1;
+  }
   return hyp.exits_handled() == 3 && reports.size() == 2 ? 0 : 1;
 }

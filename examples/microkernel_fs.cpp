@@ -4,19 +4,28 @@
 // device and blocks on the completion queue tail — three layers of blocking
 // (app -> service -> device) with zero interrupts and zero mode switches.
 //
-// Build & run:  ./examples/microkernel_fs
+// Build & run:  ./examples/microkernel_fs [--trace] [--trace-json=out.json]
 #include <cstdio>
 #include <string>
 
+#include "examples/example_util.h"
 #include "src/cpu/machine.h"
 #include "src/dev/block_dev.h"
 #include "src/runtime/services.h"
 #include "src/runtime/syscall_layer.h"
+#include "src/sim/config.h"
 
 using namespace casc;
 
-int main() {
+int main(int argc, char** argv) {
+  Config cfg;
+  std::string err;
+  if (!cfg.ParseArgs(argc, argv, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
   Machine m;
+  ExampleTrace trace(m, cfg);
   BlockDevice disk(m.sim(), m.mem(), BlockConfig{});
 
   // "Format" the disk: a toy 1-sector-per-file filesystem.
@@ -83,5 +92,8 @@ int main() {
   std::printf("switch: the service hardware thread mwait'ed on the CQ tail while the\n");
   std::printf("flash access (%.1f us) was in flight.\n",
               m.sim().CyclesToNs(BlockConfig{}.read_latency) / 1000.0);
+  if (!trace.Finish(0, m.sim().now() + 1)) {
+    return 1;
+  }
   return contents.size() == 0 ? 0 : 0;
 }

@@ -5,18 +5,27 @@
 // a producer that wakes it with an ordinary store — run them, and show that
 // the wakeup takes nanoseconds, with no interrupt and no scheduler anywhere.
 //
-// Build & run:  ./examples/quickstart
+// Build & run:  ./examples/quickstart [--trace] [--trace-json=out.json]
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/cpu/machine.h"
+#include "src/sim/config.h"
 
 using namespace casc;
 
-int main() {
+int main(int argc, char** argv) {
+  Config cfg;
+  std::string err;
+  if (!cfg.ParseArgs(argc, argv, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
   MachineConfig config;
   config.hwt.threads_per_core = 64;  // 64 hardware threads on this core
   config.hwt.smt_width = 2;          // 2 SMT slots share the pipeline
   Machine m(config);
+  ExampleTrace trace(m, cfg);
 
   // Timestamps reported by the guest code via `hcall`.
   Tick produced_at = 0;
@@ -83,5 +92,8 @@ int main() {
               (unsigned long long)wake, m.sim().CyclesToNs(wake), m.config().ghz);
   std::printf("\nNo interrupt was taken, no run queue was touched: the store hit the\n");
   std::printf("monitor filter and the waiting hardware thread resumed in nanoseconds.\n");
+  if (!trace.Finish(0, m.sim().now() + 1)) {
+    return 1;
+  }
   return consumed_value == 1234 ? 0 : 1;
 }

@@ -11,12 +11,14 @@
 // applies default-deny, and keeps the machine running. Unlike eBPF, the
 // filter may loop arbitrarily: the kernel enforces a time budget with `stop`.
 //
-// Build & run:  ./examples/sandbox_filter
+// Build & run:  ./examples/sandbox_filter [--trace] [--trace-json=out.json]
 #include <cstdio>
 
+#include "examples/example_util.h"
 #include "src/cpu/machine.h"
 #include "src/dev/nic.h"
 #include "src/runtime/rpc.h"
+#include "src/sim/config.h"
 
 using namespace casc;
 
@@ -28,8 +30,15 @@ constexpr Addr kFilterEdp = 0x00901000;  // filter's exception descriptor
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  Config cfg;
+  std::string err;
+  if (!cfg.ParseArgs(argc, argv, &err)) {
+    std::fprintf(stderr, "%s\n", err.c_str());
+    return 1;
+  }
   Machine m;
+  ExampleTrace trace(m, cfg);
   Nic nic(m.sim(), m.mem(), NicConfig{});
   const NicRings rings = SetupNicRings(m.mem(), nic, 0x02000000);
 
@@ -122,5 +131,8 @@ int main() {
   std::printf("needs for safety — because its privilege domain, not a verifier,\n");
   std::printf("contains the damage. Its fault wrote a descriptor; the kernel thread\n");
   std::printf("woke from mwait and applied default-deny.\n");
+  if (!trace.Finish(0, m.sim().now() + 1)) {
+    return 1;
+  }
   return (passed == 3 && dropped == 1 && killed == 1 && !m.halted()) ? 0 : 1;
 }

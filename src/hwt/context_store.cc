@@ -89,6 +89,28 @@ void ContextStore::ReleaseTierSlot(StorageTier tier) {
   }
 }
 
+void ContextStore::AcquireTierSlot(StorageTier tier) {
+  switch (tier) {
+    case StorageTier::kL2:
+      l2_used_++;
+      break;
+    case StorageTier::kL3:
+      l3_used_++;
+      break;
+    default:
+      break;
+  }
+  AssertSlotAccounting();
+}
+
+void ContextStore::AssertSlotAccounting() const {
+  // Slot bookkeeping must never claim more occupancy than the hardware has;
+  // over-count here means a tier was double-acquired (or released twice) and
+  // every later spill decision is wrong.
+  assert(l2_used_ <= config_.l2_slots);
+  assert(l3_used_ <= config_.l3_slots);
+}
+
 bool ContextStore::EvictOne(Ptid except) {
   for (auto it = rf_lru_.begin(); it != rf_lru_.end(); ++it) {
     HwThread* victim = threads_.at(*it);
@@ -127,18 +149,25 @@ Tick ContextStore::EnsureResident(HwThread& thread) {
       stat_restores_dram_++;
       break;
   }
-  // Promote into the register file.
+  // Promote into the register file. Release the waking thread's tier slot
+  // *before* choosing the victim's spill tier: the slot being vacated is
+  // exactly the one the victim should be allowed to take, otherwise victims
+  // spill one level lower than necessary (e.g. to DRAM while an L2 slot is
+  // about to free).
+  ReleaseTierSlot(thread.tier());
   if (rf_lru_.size() >= config_.rf_slots) {
     if (!EvictOne(thread.ptid())) {
       // Everything is pinned or running; execute from the lower tier and pay
-      // its latency each wake (degenerate but safe).
+      // its latency each wake (degenerate but safe). The thread keeps its
+      // slot, so take the release back.
+      AcquireTierSlot(thread.tier());
       return latency;
     }
   }
-  ReleaseTierSlot(thread.tier());
   thread.set_tier(StorageTier::kRegFile);
   rf_lru_.push_back(thread.ptid());
   rf_pos_[thread.ptid()] = std::prev(rf_lru_.end());
+  AssertSlotAccounting();
   return latency;
 }
 

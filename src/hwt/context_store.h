@@ -41,6 +41,11 @@ class ContextStore {
 
   uint32_t rf_occupancy() const { return static_cast<uint32_t>(rf_lru_.size()); }
 
+  // Tier-slot accounting, exposed so tests and stats exports can check the
+  // invariant l2_used() <= l2_slots / l3_used() <= l3_slots.
+  uint32_t l2_used() const { return l2_used_; }
+  uint32_t l3_used() const { return l3_used_; }
+
   // Test/bench support: forcibly places a thread's saved state in `tier`,
   // releasing any slot it held (so e.g. repeated DRAM-tier wakes can be
   // measured without reconstructing the machine).
@@ -54,6 +59,8 @@ class ContextStore {
   bool EvictOne(Ptid except);
   StorageTier PickSpillTier();
   void ReleaseTierSlot(StorageTier tier);
+  void AcquireTierSlot(StorageTier tier);
+  void AssertSlotAccounting() const;
 
   Simulation& sim_;
   MemorySystem& mem_;

@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "src/sim/json.h"
+
 namespace casc {
 
 const char* TraceCauseName(TraceCause cause) {
@@ -65,6 +67,68 @@ void ThreadTracer::DumpTimeline(std::ostream& os, Tick from, Tick to, uint32_t w
     }
     os << "ptid " << ptid << " |" << line << "|\n";
   }
+  if (dropped_ > 0) {
+    os << "[tracer dropped " << dropped_ << " events past the " << max_events_
+       << "-event cap; timeline is truncated]\n";
+  }
+}
+
+void ThreadTracer::DumpChromeTrace(std::ostream& os, double ghz) const {
+  const double cycles_per_us = ghz * 1000.0;
+  std::map<Ptid, std::vector<Event>> per_thread;
+  Tick end = 0;
+  for (const Event& e : events_) {
+    per_thread[e.ptid].push_back(e);
+    if (e.tick > end) {
+      end = e.tick;
+    }
+  }
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  for (const auto& [ptid, evs] : per_thread) {
+    w.BeginObject();
+    w.KeyValue("name", "thread_name");
+    w.KeyValue("ph", "M");
+    w.KeyValue("pid", uint64_t{0});
+    w.KeyValue("tid", static_cast<uint64_t>(ptid));
+    w.Key("args");
+    w.BeginObject();
+    w.KeyValue("name", "ptid " + std::to_string(ptid));
+    w.EndObject();
+    w.EndObject();
+    // One span per state interval: from each event to the next (the final
+    // span extends to the last tick seen anywhere in the trace).
+    for (size_t i = 0; i < evs.size(); i++) {
+      const Tick begin = evs[i].tick;
+      const Tick until = i + 1 < evs.size() ? evs[i + 1].tick : end;
+      w.BeginObject();
+      w.KeyValue("name", ThreadStateName(evs[i].to));
+      w.KeyValue("ph", "X");
+      w.KeyValue("pid", uint64_t{0});
+      w.KeyValue("tid", static_cast<uint64_t>(ptid));
+      w.KeyValue("ts", static_cast<double>(begin) / cycles_per_us);
+      w.KeyValue("dur", static_cast<double>(until - begin) / cycles_per_us);
+      w.Key("args");
+      w.BeginObject();
+      w.KeyValue("cause", TraceCauseName(evs[i].cause));
+      w.KeyValue("tick", begin);
+      w.EndObject();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.KeyValue("displayTimeUnit", "ns");
+  w.Key("otherData");
+  w.BeginObject();
+  w.KeyValue("clock_ghz", ghz);
+  w.KeyValue("recorded_events", static_cast<uint64_t>(events_.size()));
+  w.KeyValue("dropped_events", dropped_);
+  w.KeyValue("truncated", dropped_ > 0);
+  w.EndObject();
+  w.EndObject();
+  os << "\n";
 }
 
 }  // namespace casc

@@ -38,12 +38,22 @@ class ThreadTracer {
   void Record(Tick tick, Ptid ptid, ThreadState from, ThreadState to, TraceCause cause) {
     if (events_.size() < max_events_) {
       events_.push_back({tick, ptid, from, to, cause});
+    } else {
+      // Count what the cap discards so consumers can tell a quiet tail from
+      // a truncated one.
+      dropped_++;
     }
   }
 
   const std::vector<Event>& events() const { return events_; }
-  void Clear() { events_.clear(); }
+  // Events discarded because the buffer reached max_events().
+  uint64_t dropped() const { return dropped_; }
+  void Clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
   void set_max_events(size_t n) { max_events_ = n; }
+  size_t max_events() const { return max_events_; }
 
   // Events touching one thread, in order.
   std::vector<Event> ForThread(Ptid ptid) const {
@@ -57,12 +67,20 @@ class ThreadTracer {
   }
 
   // Renders one line per thread over [from, to): 'R' runnable, 'w' waiting,
-  // '.' disabled, sampled into `width` buckets.
+  // '.' disabled, sampled into `width` buckets. Notes dropped events so a
+  // truncated trace is never silently presented as complete.
   void DumpTimeline(std::ostream& os, Tick from, Tick to, uint32_t width = 80) const;
+
+  // Chrome trace_event ("catapult") JSON: one track (tid) per ptid, one
+  // complete ("X") span per thread-state interval with the entering cause as
+  // an argument. Load the file at chrome://tracing or ui.perfetto.dev.
+  // `ghz` converts ticks (cycles) to the format's microsecond timestamps.
+  void DumpChromeTrace(std::ostream& os, double ghz = 3.0) const;
 
  private:
   std::vector<Event> events_;
   size_t max_events_ = 1 << 20;
+  uint64_t dropped_ = 0;
 };
 
 }  // namespace casc

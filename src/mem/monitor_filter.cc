@@ -1,6 +1,7 @@
 #include "src/mem/monitor_filter.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace casc {
 
@@ -13,11 +14,21 @@ MonitorFilter::MonitorFilter(const MonitorFilterConfig& config, StatsRegistry& s
 
 bool MonitorFilter::AddWatch(Ptid ptid, Addr addr) {
   const Addr line = LineBase(addr);
-  ThreadState& ts = threads_[ptid];
-  if (std::find(ts.lines.begin(), ts.lines.end(), line) != ts.lines.end()) {
-    return true;  // already watching this line
-  }
-  if (ts.lines.size() >= config_.max_watches_per_thread) {
+  // Do not default-create the thread entry until the watch is accepted: a
+  // rejected watch must leave no ThreadState behind, or rejected ptids
+  // accumulate stale records that skew ConsumePending/ClearWatches
+  // bookkeeping and never get reclaimed.
+  auto tit = threads_.find(ptid);
+  if (tit != threads_.end()) {
+    const ThreadState& ts = tit->second;
+    if (std::find(ts.lines.begin(), ts.lines.end(), line) != ts.lines.end()) {
+      return true;  // already watching this line
+    }
+    if (ts.lines.size() >= config_.max_watches_per_thread) {
+      stat_overflows_++;
+      return false;
+    }
+  } else if (config_.max_watches_per_thread == 0) {
     stat_overflows_++;
     return false;
   }
@@ -27,7 +38,7 @@ bool MonitorFilter::AddWatch(Ptid ptid, Addr addr) {
     return false;
   }
   watchers_[line].push_back(ptid);
-  ts.lines.push_back(line);
+  threads_[ptid].lines.push_back(line);
   stat_watch_adds_++;
   return true;
 }
@@ -72,10 +83,20 @@ void MonitorFilter::OnWrite(Addr addr, uint64_t len) {
   if (watchers_.empty()) {
     return;
   }
-  const Addr first = LineBase(addr);
-  const Addr last = LineBase(addr + (len > 0 ? len - 1 : 0));
-  for (Addr line = first; line <= last; line += kLineSize) {
+  // Clamp the end of the write to the top of the address space: `addr + len
+  // - 1` may wrap, and a `line <= last` loop would never terminate once
+  // `line + kLineSize` wraps past the final line. Iterate with an equality
+  // exit instead so a write ending at Addr max visits its last line exactly
+  // once.
+  const Addr max_addr = std::numeric_limits<Addr>::max();
+  const uint64_t span = len > 0 ? len - 1 : 0;
+  const Addr last_byte = span > max_addr - addr ? max_addr : addr + span;
+  const Addr last = LineBase(last_byte);
+  for (Addr line = LineBase(addr);; line += kLineSize) {
     TriggerLine(line);
+    if (line == last) {
+      break;
+    }
   }
 }
 

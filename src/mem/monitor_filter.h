@@ -61,6 +61,9 @@ class MonitorFilter {
   void OnWrite(Addr addr, uint64_t len);
 
   size_t WatchedLineCount() const { return watchers_.size(); }
+  // Ptids with per-thread filter state (watches or a pending flag). Rejected
+  // watches must not grow this.
+  size_t TrackedThreadCount() const { return threads_.size(); }
   bool IsWatching(Ptid ptid, Addr addr) const;
 
  private:

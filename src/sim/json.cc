@@ -1,0 +1,402 @@
+#include "src/sim/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace casc {
+
+void JsonWriter::EscapeTo(std::ostream& os, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+void JsonWriter::Newline() {
+  if (indent_ <= 0) {
+    return;
+  }
+  os_ << '\n';
+  for (int i = 0; i < depth_ * indent_; i++) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value follows its key on the same line
+  }
+  if (counts_.back() > 0) {
+    os_ << ',';
+  }
+  if (depth_ > 0) {
+    Newline();
+  }
+  counts_.back()++;
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  os_ << '{';
+  depth_++;
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndObject() {
+  assert(!counts_.empty() && depth_ > 0);
+  const bool empty = counts_.back() == 0;
+  counts_.pop_back();
+  depth_--;
+  if (!empty) {
+    Newline();
+  }
+  os_ << '}';
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  os_ << '[';
+  depth_++;
+  counts_.push_back(0);
+}
+
+void JsonWriter::EndArray() {
+  assert(!counts_.empty() && depth_ > 0);
+  const bool empty = counts_.back() == 0;
+  counts_.pop_back();
+  depth_--;
+  if (!empty) {
+    Newline();
+  }
+  os_ << ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  os_ << '"';
+  EscapeTo(os_, key);
+  os_ << "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view v) {
+  Separate();
+  os_ << '"';
+  EscapeTo(os_, v);
+  os_ << '"';
+}
+
+void JsonWriter::Value(double v) {
+  Separate();
+  if (!std::isfinite(v)) {
+    os_ << "null";  // JSON has no NaN/Inf; null keeps the document loadable
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);  // shortest round-trip
+  os_.write(buf, res.ptr - buf);
+}
+
+void JsonWriter::Value(uint64_t v) {
+  Separate();
+  os_ << v;
+}
+
+void JsonWriter::Value(int64_t v) {
+  Separate();
+  os_ << v;
+}
+
+void JsonWriter::Value(bool v) {
+  Separate();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Separate();
+  os_ << "null";
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  for (const auto& [k, v] : obj) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* err) : text_(text), err_(err) {}
+
+  bool Run(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) {
+      return false;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing data after JSON value");
+    }
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& msg) {
+    if (err_ != nullptr) {
+      *err_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      pos_++;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool Literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str_v);
+      case 't':
+        out->type = JsonValue::Type::kBool;
+        out->bool_v = true;
+        return Literal("true") || Fail("bad literal");
+      case 'f':
+        out->type = JsonValue::Type::kBool;
+        out->bool_v = false;
+        return Literal("false") || Fail("bad literal");
+      case 'n':
+        out->type = JsonValue::Type::kNull;
+        return Literal("null") || Fail("bad literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    pos_++;  // '{'
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return Fail("expected ':' in object");
+      }
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->obj.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Eat('}')) {
+        return true;
+      }
+      if (!Eat(',')) {
+        return Fail("expected ',' or '}' in object");
+      }
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    pos_++;  // '['
+    SkipWs();
+    if (Eat(']')) {
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v)) {
+        return false;
+      }
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (Eat(']')) {
+        return true;
+      }
+      if (!Eat(',')) {
+        return Fail("expected ',' or ']' in array");
+      }
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Eat('"')) {
+      return Fail("expected string");
+    }
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Fail("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; i++) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape");
+            }
+          }
+          // Validators only need ASCII; encode the rest as UTF-8.
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Fail("bad escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    Eat('-');
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      pos_++;
+    }
+    if (pos_ == start) {
+      return Fail("expected value");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->str_v.assign(text_.substr(start, pos_ - start));
+    const auto res =
+        std::from_chars(out->str_v.data(), out->str_v.data() + out->str_v.size(), out->num_v);
+    if (res.ec != std::errc() || res.ptr != out->str_v.data() + out->str_v.size()) {
+      return Fail("bad number");
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* err_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out, std::string* err) {
+  return Parser(text, err).Run(out);
+}
+
+}  // namespace casc

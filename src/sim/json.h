@@ -1,0 +1,96 @@
+// Minimal JSON support for the observability layer: a streaming writer with
+// deterministic output (callers control key order; no floating-point
+// surprises — non-finite doubles become null) and a small recursive-descent
+// parser used by the validators and round-trip tests. No external deps.
+#ifndef SRC_SIM_JSON_H_
+#define SRC_SIM_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace casc {
+
+// Streaming JSON writer. Usage:
+//   JsonWriter w(os);
+//   w.BeginObject();
+//   w.Key("count"); w.Value(uint64_t{3});
+//   w.Key("items"); w.BeginArray(); w.Value("a"); w.EndArray();
+//   w.EndObject();
+// Commas, quoting, and escaping are handled; nesting errors are the caller's
+// responsibility (asserted in debug builds). `indent` > 0 pretty-prints.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os, int indent = 1) : os_(os), indent_(indent) {}
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+
+  void Value(std::string_view v);
+  void Value(const char* v) { Value(std::string_view(v)); }
+  void Value(const std::string& v) { Value(std::string_view(v)); }
+  void Value(double v);
+  void Value(uint64_t v);
+  void Value(int64_t v);
+  void Value(uint32_t v) { Value(static_cast<uint64_t>(v)); }
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(bool v);
+  void Null();
+
+  // Writes `"key": value` in one call.
+  template <typename T>
+  void KeyValue(std::string_view key, T v) {
+    Key(key);
+    Value(v);
+  }
+
+  static void EscapeTo(std::ostream& os, std::string_view s);
+
+ private:
+  void Separate();  // comma/newline/indent before a new element
+  void Newline();
+
+  std::ostream& os_;
+  int indent_;
+  int depth_ = 0;
+  // Per-depth element count; index 0 is the top level.
+  std::vector<size_t> counts_{0};
+  bool after_key_ = false;
+};
+
+// Parsed JSON value. Numbers are stored as double (plus the raw text for
+// exact integer checks); object keys keep document order.
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  std::string str_v;  // string value, or raw number text for kNumber
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member lookup; nullptr if absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  // Parses `text` (entire input must be one JSON value plus whitespace).
+  // Returns false and fills `err` with a position-annotated message on
+  // malformed input.
+  static bool Parse(std::string_view text, JsonValue* out, std::string* err);
+};
+
+}  // namespace casc
+
+#endif  // SRC_SIM_JSON_H_

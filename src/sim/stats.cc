@@ -4,6 +4,8 @@
 #include <cmath>
 #include <iomanip>
 
+#include "src/sim/json.h"
+
 namespace casc {
 
 uint32_t Histogram::BucketIndex(uint64_t value) {
@@ -110,6 +112,25 @@ uint64_t Histogram::Quantile(double q) const {
   return max_;
 }
 
+uint64_t Histogram::BucketLowerBound(uint32_t index) {
+  if (index < kSub) {
+    return index;
+  }
+  const uint32_t octave = index / kSub - 1;
+  const uint32_t sub = index % kSub;
+  return (static_cast<uint64_t>(kSub) + sub) << octave;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::NonEmptyBuckets() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (uint32_t i = 0; i < buckets_.size(); i++) {
+    if (buckets_[i] != 0) {
+      out.emplace_back(BucketLowerBound(i), buckets_[i]);
+    }
+  }
+  return out;
+}
+
 uint64_t StatsRegistry::GetCounter(const std::string& name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
@@ -129,6 +150,45 @@ void StatsRegistry::Dump(std::ostream& os) const {
        << hist.mean() << " p50=" << hist.P50() << " p99=" << hist.P99() << " max=" << hist.max()
        << "\n";
   }
+}
+
+void StatsRegistry::DumpJson(std::ostream& os) const {
+  JsonWriter w(os);
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : counters_) {
+    w.KeyValue(name, value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, hist] : hists_) {
+    w.Key(name);
+    w.BeginObject();
+    w.KeyValue("count", hist.count());
+    w.KeyValue("mean", hist.mean());
+    w.KeyValue("stddev", hist.stddev());
+    w.KeyValue("min", hist.min());
+    w.KeyValue("max", hist.max());
+    w.KeyValue("p50", hist.P50());
+    w.KeyValue("p90", hist.P90());
+    w.KeyValue("p99", hist.P99());
+    w.KeyValue("p999", hist.P999());
+    w.Key("buckets");
+    w.BeginArray();
+    for (const auto& [lo, n] : hist.NonEmptyBuckets()) {
+      w.BeginArray();
+      w.Value(lo);
+      w.Value(n);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  os << "\n";
 }
 
 void StatsRegistry::Reset() {

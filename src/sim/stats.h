@@ -37,9 +37,14 @@ class Histogram {
   uint64_t P99() const { return Quantile(0.99); }
   uint64_t P999() const { return Quantile(0.999); }
 
+  // Non-empty buckets as (lower_bound, count), ascending — the raw data an
+  // exported histogram can be rebuilt from.
+  std::vector<std::pair<uint64_t, uint64_t>> NonEmptyBuckets() const;
+
  private:
   static uint32_t BucketIndex(uint64_t value);
   static uint64_t BucketMidpoint(uint32_t index);
+  static uint64_t BucketLowerBound(uint32_t index);
 
   std::vector<uint64_t> buckets_;  // lazily sized
   uint64_t count_ = 0;
@@ -60,6 +65,12 @@ class StatsRegistry {
   const Histogram* GetHist(const std::string& name) const;
 
   void Dump(std::ostream& os) const;
+
+  // Machine-readable export: every counter and full histogram (count, mean,
+  // stddev, min, max, p50/p90/p99/p999, and raw buckets) as one JSON object
+  // with deterministic (sorted) key order.
+  void DumpJson(std::ostream& os) const;
+
   void Reset();
 
  private:

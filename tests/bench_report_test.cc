@@ -1,0 +1,93 @@
+// Tests for the shared bench reporting API (bench/bench_util.h): flag
+// parsing, smoke-iteration selection, and the BENCH_*.json schema the
+// bench-smoke tier's validator expects.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/sim/json.h"
+
+namespace casc {
+namespace {
+
+std::string TempPath(const char* name) { return ::testing::TempDir() + name; }
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(BenchReportTest, ParsesSmokeAndJsonFlags) {
+  const std::string path = TempPath("report_flags.json");
+  const std::string json_flag = "--json=" + path;
+  const char* argv[] = {"bench", "--smoke", json_flag.c_str()};
+  BenchReport report("unit", 3, argv);
+  ASSERT_TRUE(report.parse_ok());
+  EXPECT_TRUE(report.smoke());
+  EXPECT_EQ(report.Iters(1000, 10), 10u);
+  report.Add("exp", "cfg", "metric", 1.5);
+  EXPECT_TRUE(report.Finish());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, DefaultsToFullIterationsWithoutSmoke) {
+  const char* argv[] = {"bench"};
+  BenchReport report("unit", 1, argv);
+  ASSERT_TRUE(report.parse_ok());
+  EXPECT_FALSE(report.smoke());
+  EXPECT_EQ(report.Iters(1000, 10), 1000u);
+  // No --json: Finish writes nothing and succeeds.
+  EXPECT_TRUE(report.Finish());
+}
+
+TEST(BenchReportTest, RejectsMalformedArgs) {
+  const char* argv[] = {"bench", "oops"};
+  BenchReport report("unit", 2, argv);
+  EXPECT_FALSE(report.parse_ok());
+  EXPECT_FALSE(report.Finish());
+}
+
+TEST(BenchReportTest, WritesSchemaConformingJson) {
+  const std::string path = TempPath("report_schema.json");
+  const std::string json_flag = "--json=" + path;
+  const char* argv[] = {"bench", "--smoke", json_flag.c_str()};
+  BenchReport report("e0_unit", 3, argv);
+  report.Add("wakeups", "htm, rf tier", "p50_cycles", 20.0);
+  report.Add("wakeups", "baseline", "p50_cycles", 2100.0);
+  ASSERT_TRUE(report.Finish());
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(ReadAll(path), &v, &err)) << err;
+  std::remove(path.c_str());
+
+  EXPECT_EQ(v.Find("bench")->str_v, "e0_unit");
+  EXPECT_TRUE(v.Find("smoke")->bool_v);
+  const JsonValue* results = v.Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_TRUE(results->is_array());
+  ASSERT_EQ(results->arr.size(), 2u);
+  const JsonValue& first = results->arr[0];
+  EXPECT_EQ(first.Find("experiment")->str_v, "wakeups");
+  EXPECT_EQ(first.Find("config")->str_v, "htm, rf tier");
+  EXPECT_EQ(first.Find("metric")->str_v, "p50_cycles");
+  EXPECT_DOUBLE_EQ(first.Find("value")->num_v, 20.0);
+  EXPECT_DOUBLE_EQ(results->arr[1].Find("value")->num_v, 2100.0);
+}
+
+TEST(BenchReportTest, FailsOnUnwritablePath) {
+  const char* argv[] = {"bench", "--json=/nonexistent-dir/x/y.json"};
+  BenchReport report("unit", 2, argv);
+  ASSERT_TRUE(report.parse_ok());
+  report.Add("exp", "cfg", "metric", 1.0);
+  EXPECT_FALSE(report.Finish());
+}
+
+}  // namespace
+}  // namespace casc

@@ -358,6 +358,55 @@ TEST_F(HwtTest, PinnedThreadsAreNotEvicted) {
   EXPECT_EQ(ts_.thread(cold).tier(), StorageTier::kDram);
 }
 
+TEST_F(HwtTest, WakeVictimSpillsIntoFreedTierSlot) {
+  // Regression: rf/l2/l3 = 4/4/4 with 16 threads means both spill tiers start
+  // full. Waking the L2-resident thread 4 frees its L2 slot; the evicted RF
+  // victim must reuse exactly that slot. The old code released the waker's
+  // slot only after picking the victim's spill tier, so the victim saw a full
+  // L2/L3 and dropped all the way to DRAM.
+  ContextStore& store = ts_.store(0);
+  ASSERT_EQ(ts_.thread(4).tier(), StorageTier::kL2);
+  ASSERT_EQ(store.l2_used(), 4u);
+  ASSERT_EQ(store.l3_used(), 4u);
+  store.EnsureResident(ts_.thread(4));
+  EXPECT_EQ(ts_.thread(4).tier(), StorageTier::kRegFile);
+  EXPECT_EQ(ts_.thread(0).tier(), StorageTier::kL2);  // LRU victim took the freed slot
+  EXPECT_EQ(store.l2_used(), 4u);
+  EXPECT_EQ(store.l3_used(), 4u);
+}
+
+TEST_F(HwtTest, TierSlotAccountingStaysBoundedAcrossWakes) {
+  ContextStore& store = ts_.store(0);
+  // Wake every spilled thread in turn. Each wake frees at most one slot and
+  // the victim takes it straight back, so the counters must never exceed
+  // capacity and must end exactly full.
+  for (Ptid p = 4; p < 16; p++) {
+    store.EnsureResident(ts_.thread(p));
+    EXPECT_LE(store.l2_used(), 4u);
+    EXPECT_LE(store.l3_used(), 4u);
+    EXPECT_EQ(store.rf_occupancy(), 4u);
+  }
+  EXPECT_EQ(store.l2_used(), 4u);
+  EXPECT_EQ(store.l3_used(), 4u);
+}
+
+TEST_F(HwtTest, AllPinnedWakeKeepsSlotAccounting) {
+  // Regression: when every RF thread is pinned the waker keeps its tier, so
+  // the slot released up front must be re-acquired. The old code leaked it,
+  // draining l2_used() one wake at a time until the counter underflowed.
+  ContextStore& store = ts_.store(0);
+  for (Ptid p = 0; p < 4; p++) {
+    ts_.thread(p).set_pinned(true);
+  }
+  for (int i = 0; i < 3; i++) {
+    store.EnsureResident(ts_.thread(4));
+    EXPECT_EQ(ts_.thread(4).tier(), StorageTier::kL2);
+    EXPECT_EQ(store.l2_used(), 4u);
+  }
+  EXPECT_EQ(store.rf_occupancy(), 4u);
+  EXPECT_EQ(store.l3_used(), 4u);
+}
+
 TEST_F(HwtTest, DirtyTrackingShrinksTransfer) {
   // A thread that used few registers restores faster than the full-state
   // transfer when dirty tracking is on.

@@ -2,6 +2,8 @@
 // MMIO dispatch, DMA, and the generalized monitor filter.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/mem/cache.h"
 #include "src/mem/memory_system.h"
 #include "src/mem/monitor_filter.h"
@@ -300,6 +302,64 @@ TEST_F(MonitorFilterTest, MultiLineWriteTriggersAllSpannedLines) {
   filter_.SetWaiting(2, true);
   filter_.OnWrite(0x1030, 32);  // spans both lines
   EXPECT_EQ(wakes_.size(), 2u);
+}
+
+TEST_F(MonitorFilterTest, WriteEndingAtAddressSpaceTopTerminatesAndWakes) {
+  // Regression: a write whose last byte is the final address used to wrap the
+  // `line <= last` iterator (line + kLineSize overflows to 0) and spin
+  // forever. The last line must trigger exactly once and the loop must exit.
+  const Addr kLastLine = LineBase(std::numeric_limits<Addr>::max());
+  ASSERT_TRUE(filter_.AddWatch(3, kLastLine));
+  filter_.SetWaiting(3, true);
+  filter_.OnWrite(std::numeric_limits<Addr>::max() - 7, 8);
+  ASSERT_EQ(wakes_.size(), 1u);
+  EXPECT_EQ(wakes_[0].second, kLastLine);
+}
+
+TEST_F(MonitorFilterTest, OversizedWriteClampsToAddressSpaceTop) {
+  // Regression: addr + len - 1 overflowing Addr made the spanned-line range
+  // empty, so watched lines near the top were silently skipped. The span must
+  // clamp to the top of the address space and trigger every covered line.
+  const Addr kLastLine = LineBase(std::numeric_limits<Addr>::max());
+  ASSERT_TRUE(filter_.AddWatch(1, kLastLine - kLineSize));
+  ASSERT_TRUE(filter_.AddWatch(2, kLastLine));
+  filter_.SetWaiting(1, true);
+  filter_.SetWaiting(2, true);
+  filter_.OnWrite(kLastLine - kLineSize, 0x100);  // end wraps past the top
+  EXPECT_EQ(wakes_.size(), 2u);
+}
+
+TEST_F(MonitorFilterTest, ZeroLengthWriteTouchesOnlyItsBaseLine) {
+  ASSERT_TRUE(filter_.AddWatch(3, 0x1000));
+  ASSERT_TRUE(filter_.AddWatch(4, 0x1040));
+  filter_.SetWaiting(3, true);
+  filter_.SetWaiting(4, true);
+  filter_.OnWrite(0x1000, 0);
+  ASSERT_EQ(wakes_.size(), 1u);
+  EXPECT_EQ(wakes_[0].first, 3u);
+}
+
+TEST_F(MonitorFilterTest, RejectedWatchLeavesNoThreadState) {
+  // Regression: AddWatch default-created the per-thread entry before checking
+  // capacity, so every rejected ptid left a stale ThreadState behind that
+  // ClearWatches never reclaimed.
+  MonitorFilterConfig cfg;
+  cfg.max_watch_lines = 1;
+  MonitorFilter f(cfg, stats_);
+  ASSERT_TRUE(f.AddWatch(1, 0x0));
+  EXPECT_FALSE(f.AddWatch(2, 0x40));  // global capacity hit
+  EXPECT_EQ(f.TrackedThreadCount(), 1u);
+  // The rejected ptid also has no phantom pending event.
+  EXPECT_FALSE(f.ConsumePending(2));
+}
+
+TEST_F(MonitorFilterTest, ZeroPerThreadCapacityTracksNothing) {
+  MonitorFilterConfig cfg;
+  cfg.max_watches_per_thread = 0;
+  MonitorFilter f(cfg, stats_);
+  EXPECT_FALSE(f.AddWatch(1, 0x0));
+  EXPECT_EQ(f.TrackedThreadCount(), 0u);
+  EXPECT_EQ(stats_.GetCounter("monitor.overflows"), 1u);
 }
 
 TEST_F(MonitorFilterTest, DmaWriteThroughMemorySystemWakes) {

@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <sstream>
 #include <vector>
 
 #include "src/sim/config.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/json.h"
 #include "src/sim/rng.h"
 #include "src/sim/simulation.h"
 #include "src/sim/stats.h"
@@ -204,6 +207,140 @@ TEST(SimulationTest, ClockConversions) {
   Simulation sim(3.0);
   EXPECT_DOUBLE_EQ(sim.CyclesToNs(30), 10.0);
   EXPECT_EQ(sim.NsToCycles(10.0), 30u);
+}
+
+TEST(JsonTest, WriterOutputRoundTripsThroughParser) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KeyValue("name", "casc");
+  w.KeyValue("count", uint64_t{42});
+  w.KeyValue("ratio", 0.5);
+  w.KeyValue("negative", int64_t{-7});
+  w.KeyValue("on", true);
+  w.Key("list");
+  w.BeginArray();
+  w.Value(uint64_t{1});
+  w.Value("two");
+  w.Value(false);
+  w.EndArray();
+  w.Key("empty");
+  w.BeginObject();
+  w.EndObject();
+  w.Key("none");
+  w.Null();
+  w.EndObject();
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(os.str(), &v, &err)) << err;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.Find("name")->str_v, "casc");
+  EXPECT_DOUBLE_EQ(v.Find("count")->num_v, 42.0);
+  EXPECT_DOUBLE_EQ(v.Find("ratio")->num_v, 0.5);
+  EXPECT_DOUBLE_EQ(v.Find("negative")->num_v, -7.0);
+  EXPECT_TRUE(v.Find("on")->bool_v);
+  ASSERT_TRUE(v.Find("list")->is_array());
+  ASSERT_EQ(v.Find("list")->arr.size(), 3u);
+  EXPECT_EQ(v.Find("list")->arr[1].str_v, "two");
+  EXPECT_TRUE(v.Find("empty")->is_object());
+  EXPECT_TRUE(v.Find("empty")->obj.empty());
+  EXPECT_EQ(v.Find("none")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(v.Find("absent"), nullptr);
+}
+
+TEST(JsonTest, StringsAreEscapedAndRecovered) {
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 end";
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KeyValue("s", nasty);
+  w.EndObject();
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(os.str(), &v, &err)) << err;
+  EXPECT_EQ(v.Find("s")->str_v, nasty);
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  // JSON has no NaN/Inf literals; the writer must emit null so the output
+  // always parses.
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.BeginObject();
+  w.KeyValue("nan", std::nan(""));
+  w.KeyValue("inf", std::numeric_limits<double>::infinity());
+  w.EndObject();
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(os.str(), &v, &err)) << err;
+  EXPECT_EQ(v.Find("nan")->type, JsonValue::Type::kNull);
+  EXPECT_EQ(v.Find("inf")->type, JsonValue::Type::kNull);
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(JsonValue::Parse("{\"a\": }", &v, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(JsonValue::Parse("[1, 2", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("{} trailing", &v, &err));
+  EXPECT_FALSE(JsonValue::Parse("", &v, &err));
+}
+
+TEST(StatsTest, DumpJsonRoundTrips) {
+  StatsRegistry stats;
+  stats.Counter("b.second") = 7;
+  stats.Counter("a.first") = 3;
+  Histogram& h = stats.Hist("lat");
+  for (uint64_t i = 1; i <= 100; i++) {
+    h.Record(i);
+  }
+  std::ostringstream os;
+  stats.DumpJson(os);
+
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(os.str(), &v, &err)) << err;
+  const JsonValue* counters = v.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_TRUE(counters->is_object());
+  // std::map iteration gives sorted, deterministic key order.
+  ASSERT_EQ(counters->obj.size(), 2u);
+  EXPECT_EQ(counters->obj[0].first, "a.first");
+  EXPECT_DOUBLE_EQ(counters->obj[0].second.num_v, 3.0);
+  EXPECT_EQ(counters->obj[1].first, "b.second");
+
+  const JsonValue* lat = v.Find("histograms")->Find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->Find("count")->num_v, 100.0);
+  EXPECT_DOUBLE_EQ(lat->Find("mean")->num_v, h.mean());
+  EXPECT_DOUBLE_EQ(lat->Find("min")->num_v, 1.0);
+  EXPECT_DOUBLE_EQ(lat->Find("max")->num_v, 100.0);
+  EXPECT_DOUBLE_EQ(lat->Find("p50")->num_v, static_cast<double>(h.P50()));
+  EXPECT_DOUBLE_EQ(lat->Find("p999")->num_v, static_cast<double>(h.P999()));
+  const JsonValue* buckets = lat->Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  // Buckets carry the raw data: their counts must sum back to count.
+  double total = 0;
+  for (const JsonValue& b : buckets->arr) {
+    ASSERT_TRUE(b.is_array());
+    ASSERT_EQ(b.arr.size(), 2u);
+    total += b.arr[1].num_v;
+  }
+  EXPECT_DOUBLE_EQ(total, 100.0);
+}
+
+TEST(StatsTest, EmptyRegistryDumpsValidJson) {
+  StatsRegistry stats;
+  std::ostringstream os;
+  stats.DumpJson(os);
+  JsonValue v;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(os.str(), &v, &err)) << err;
+  EXPECT_TRUE(v.Find("counters")->is_object());
+  EXPECT_TRUE(v.Find("histograms")->is_object());
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include "src/cpu/machine.h"
 #include "src/hwt/tracer.h"
+#include "src/sim/json.h"
 
 namespace casc {
 namespace {
@@ -80,6 +81,92 @@ TEST(TracerTest, MaxEventsCapsMemory) {
     tracer.Record(i, 0, ThreadState::kDisabled, ThreadState::kRunnable, TraceCause::kStart);
   }
   EXPECT_EQ(tracer.events().size(), 10u);
+}
+
+TEST(TracerTest, DroppedEventsCountedAndSurfaced) {
+  // Regression: events past the cap were silently discarded — dropped() must
+  // count them and the timeline must say it is truncated.
+  ThreadTracer tracer;
+  tracer.set_max_events(10);
+  for (int i = 0; i < 100; i++) {
+    tracer.Record(i, 0, ThreadState::kDisabled, ThreadState::kRunnable, TraceCause::kStart);
+  }
+  EXPECT_EQ(tracer.events().size(), 10u);
+  EXPECT_EQ(tracer.dropped(), 90u);
+  std::ostringstream os;
+  tracer.DumpTimeline(os, 0, 100, 10);
+  EXPECT_NE(os.str().find("timeline is truncated"), std::string::npos);
+  tracer.Clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(TracerTest, CompleteTimelineHasNoTruncationNote) {
+  ThreadTracer tracer;
+  tracer.Record(0, 1, ThreadState::kDisabled, ThreadState::kRunnable, TraceCause::kStart);
+  std::ostringstream os;
+  tracer.DumpTimeline(os, 0, 10, 10);
+  EXPECT_EQ(os.str().find("truncated"), std::string::npos);
+}
+
+TEST(TracerTest, ChromeTraceIsValidJsonWithSpans) {
+  ThreadTracer tracer;
+  tracer.Record(0, 1, ThreadState::kDisabled, ThreadState::kRunnable, TraceCause::kStart);
+  tracer.Record(500, 1, ThreadState::kRunnable, ThreadState::kWaiting, TraceCause::kMwait);
+  tracer.Record(900, 1, ThreadState::kWaiting, ThreadState::kDisabled, TraceCause::kStop);
+  tracer.Record(100, 2, ThreadState::kDisabled, ThreadState::kRunnable, TraceCause::kStart);
+  std::ostringstream os;
+  tracer.DumpChromeTrace(os, /*ghz=*/2.0);
+
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(os.str(), &root, &err)) << err;
+  const JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  size_t spans = 0;
+  size_t meta = 0;
+  for (const JsonValue& e : events->arr) {
+    const JsonValue* ph = e.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->str_v == "X") {
+      spans++;
+      ASSERT_TRUE(e.Find("ts") != nullptr && e.Find("ts")->is_number());
+      ASSERT_TRUE(e.Find("dur") != nullptr && e.Find("dur")->is_number());
+      EXPECT_GE(e.Find("ts")->num_v, 0.0);
+      EXPECT_GE(e.Find("dur")->num_v, 0.0);
+    } else if (ph->str_v == "M") {
+      meta++;
+    }
+  }
+  EXPECT_EQ(spans, 4u);  // three intervals for ptid 1, one for ptid 2
+  EXPECT_EQ(meta, 2u);   // one thread_name record per ptid
+  const JsonValue* other = root.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  ASSERT_NE(other->Find("clock_ghz"), nullptr);
+  EXPECT_DOUBLE_EQ(other->Find("clock_ghz")->num_v, 2.0);
+  EXPECT_DOUBLE_EQ(other->Find("recorded_events")->num_v, 4.0);
+  EXPECT_DOUBLE_EQ(other->Find("dropped_events")->num_v, 0.0);
+  ASSERT_NE(other->Find("truncated"), nullptr);
+  EXPECT_EQ(other->Find("truncated")->type, JsonValue::Type::kBool);
+  EXPECT_FALSE(other->Find("truncated")->bool_v);
+}
+
+TEST(TracerTest, TruncatedChromeTraceMarksDrops) {
+  ThreadTracer tracer;
+  tracer.set_max_events(2);
+  for (int i = 0; i < 5; i++) {
+    tracer.Record(i, 0, ThreadState::kDisabled, ThreadState::kRunnable, TraceCause::kStart);
+  }
+  std::ostringstream os;
+  tracer.DumpChromeTrace(os);
+  JsonValue root;
+  std::string err;
+  ASSERT_TRUE(JsonValue::Parse(os.str(), &root, &err)) << err;
+  const JsonValue* other = root.Find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->Find("dropped_events")->num_v, 3.0);
+  EXPECT_TRUE(other->Find("truncated")->bool_v);
 }
 
 TEST(TracerTest, CauseNamesResolve) {

@@ -1,0 +1,234 @@
+// casc-bench-check: schema validator for the JSON artifacts the repo emits.
+//
+//   casc-bench-check <BENCH_*.json> ...             validate bench reports
+//   casc-bench-check --trace <trace.json> ...       validate Chrome trace files
+//   casc-bench-check --stats <stats.json> ...       validate stats dumps
+//
+// Exit 0 if every file parses and satisfies its schema, 1 otherwise (every
+// violation is printed). Used by the bench-smoke ctest tier so a bench whose
+// reporting silently breaks fails CI rather than producing an empty file.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/sim/json.h"
+
+using namespace casc;
+
+namespace {
+
+int g_errors = 0;
+
+void Fail(const std::string& file, const std::string& msg) {
+  std::fprintf(stderr, "%s: %s\n", file.c_str(), msg.c_str());
+  g_errors++;
+}
+
+bool IsFiniteNumber(const JsonValue* v) {
+  return v != nullptr && v->is_number() && std::isfinite(v->num_v);
+}
+
+bool LoadJson(const std::string& path, JsonValue* out) {
+  std::ifstream in(path);
+  if (!in) {
+    Fail(path, "cannot read file");
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  if (!JsonValue::Parse(ss.str(), out, &err)) {
+    Fail(path, "invalid JSON: " + err);
+    return false;
+  }
+  return true;
+}
+
+// {"bench": str, "smoke": bool, "results": [{experiment, config, metric,
+//  value}...]} — results must be non-empty and every value finite.
+void CheckBenchReport(const std::string& path) {
+  JsonValue root;
+  if (!LoadJson(path, &root)) {
+    return;
+  }
+  if (!root.is_object()) {
+    Fail(path, "top level is not an object");
+    return;
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->str_v.empty()) {
+    Fail(path, "missing or empty \"bench\" name");
+  }
+  const JsonValue* smoke = root.Find("smoke");
+  if (smoke == nullptr || smoke->type != JsonValue::Type::kBool) {
+    Fail(path, "missing boolean \"smoke\"");
+  }
+  const JsonValue* results = root.Find("results");
+  if (results == nullptr || !results->is_array()) {
+    Fail(path, "missing \"results\" array");
+    return;
+  }
+  if (results->arr.empty()) {
+    Fail(path, "\"results\" is empty — the bench recorded nothing");
+    return;
+  }
+  for (size_t i = 0; i < results->arr.size(); i++) {
+    const JsonValue& r = results->arr[i];
+    const std::string at = "results[" + std::to_string(i) + "]";
+    if (!r.is_object()) {
+      Fail(path, at + " is not an object");
+      continue;
+    }
+    for (const char* key : {"experiment", "config", "metric"}) {
+      const JsonValue* v = r.Find(key);
+      if (v == nullptr || !v->is_string() || v->str_v.empty()) {
+        Fail(path, at + " missing or empty string \"" + key + "\"");
+      }
+    }
+    if (!IsFiniteNumber(r.Find("value"))) {
+      Fail(path, at + " \"value\" is missing, non-numeric, or non-finite");
+    }
+  }
+}
+
+// Chrome trace_event: {"traceEvents": [...]} where every event has ph/pid/
+// tid, "X" events carry finite ts and dur, and otherData records the clock.
+void CheckChromeTrace(const std::string& path) {
+  JsonValue root;
+  if (!LoadJson(path, &root)) {
+    return;
+  }
+  if (!root.is_object()) {
+    Fail(path, "top level is not an object");
+    return;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    Fail(path, "missing \"traceEvents\" array");
+    return;
+  }
+  if (events->arr.empty()) {
+    Fail(path, "\"traceEvents\" is empty — nothing was traced");
+  }
+  size_t spans = 0;
+  for (size_t i = 0; i < events->arr.size(); i++) {
+    const JsonValue& e = events->arr[i];
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (!e.is_object()) {
+      Fail(path, at + " is not an object");
+      continue;
+    }
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->str_v.empty()) {
+      Fail(path, at + " missing \"ph\"");
+      continue;
+    }
+    const JsonValue* name = e.Find("name");
+    if (name == nullptr || !name->is_string() || name->str_v.empty()) {
+      Fail(path, at + " missing \"name\"");
+    }
+    if (!IsFiniteNumber(e.Find("pid")) || !IsFiniteNumber(e.Find("tid"))) {
+      Fail(path, at + " missing numeric pid/tid");
+    }
+    if (ph->str_v == "X") {
+      spans++;
+      if (!IsFiniteNumber(e.Find("ts")) || !IsFiniteNumber(e.Find("dur"))) {
+        Fail(path, at + " complete event missing finite ts/dur");
+      } else if (e.Find("ts")->num_v < 0 || e.Find("dur")->num_v < 0) {
+        Fail(path, at + " has negative ts or dur");
+      }
+    }
+  }
+  if (!events->arr.empty() && spans == 0) {
+    Fail(path, "no \"X\" (complete) span events");
+  }
+  const JsonValue* other = root.Find("otherData");
+  if (other == nullptr || !other->is_object() ||
+      !IsFiniteNumber(other->Find("clock_ghz"))) {
+    Fail(path, "missing \"otherData\" with numeric clock_ghz");
+  }
+}
+
+// StatsRegistry::DumpJson: {"counters": {...}, "histograms": {name:
+// {count, mean, ..., buckets: [[lo, n]...]}}}.
+void CheckStatsDump(const std::string& path) {
+  JsonValue root;
+  if (!LoadJson(path, &root)) {
+    return;
+  }
+  const JsonValue* counters = root.Find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    Fail(path, "missing \"counters\" object");
+  } else {
+    for (const auto& [name, v] : counters->obj) {
+      if (!IsFiniteNumber(&v)) {
+        Fail(path, "counter \"" + name + "\" is not a finite number");
+      }
+    }
+  }
+  const JsonValue* hists = root.Find("histograms");
+  if (hists == nullptr || !hists->is_object()) {
+    Fail(path, "missing \"histograms\" object");
+    return;
+  }
+  for (const auto& [name, h] : hists->obj) {
+    if (!h.is_object()) {
+      Fail(path, "histogram \"" + name + "\" is not an object");
+      continue;
+    }
+    for (const char* key : {"count", "mean", "stddev", "min", "max", "p50", "p90", "p99",
+                            "p999"}) {
+      if (!IsFiniteNumber(h.Find(key))) {
+        Fail(path, "histogram \"" + name + "\" missing finite \"" + key + "\"");
+      }
+    }
+    const JsonValue* buckets = h.Find("buckets");
+    if (buckets == nullptr || !buckets->is_array()) {
+      Fail(path, "histogram \"" + name + "\" missing \"buckets\" array");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  enum class Mode { kBench, kTrace, kStats } mode = Mode::kBench;
+  int checked = 0;
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      mode = Mode::kTrace;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--stats") == 0) {
+      mode = Mode::kStats;
+      continue;
+    }
+    switch (mode) {
+      case Mode::kBench:
+        CheckBenchReport(argv[i]);
+        break;
+      case Mode::kTrace:
+        CheckChromeTrace(argv[i]);
+        break;
+      case Mode::kStats:
+        CheckStatsDump(argv[i]);
+        break;
+    }
+    checked++;
+  }
+  if (checked == 0) {
+    std::fprintf(stderr,
+                 "usage: casc-bench-check [--trace|--stats] <file.json> ...\n");
+    return 2;
+  }
+  if (g_errors > 0) {
+    std::fprintf(stderr, "%d problem%s in %d file%s\n", g_errors, g_errors == 1 ? "" : "s",
+                 checked, checked == 1 ? "" : "s");
+    return 1;
+  }
+  std::printf("%d file%s OK\n", checked, checked == 1 ? "" : "s");
+  return 0;
+}

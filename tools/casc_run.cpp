@@ -1,7 +1,8 @@
 // casc-run: assemble a .casm file and run it on a simulated machine.
 //
 //   casc-run prog.casm [--entry=symbol] [--supervisor=true] [--max-cycles=N]
-//            [--threads-per-core=64] [--trace] [--dump-stats] [--no-lint]
+//            [--threads-per-core=64] [--trace] [--trace-json=<path>]
+//            [--dump-stats] [--stats-json=<path>] [--no-lint]
 //
 // The program is linted by default before it runs (diagnostics go to stderr;
 // the simulation proceeds regardless — the simulator is the ground truth).
@@ -26,7 +27,8 @@ using namespace casc;
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr, "usage: casc-run <file.casm> [--entry=sym] [--max-cycles=N] "
-                         "[--trace] [--dump-stats]\n");
+                         "[--trace] [--trace-json=out.json] [--dump-stats] "
+                         "[--stats-json=out.json]\n");
     return 2;
   }
   const std::string path = argv[1];
@@ -63,7 +65,9 @@ int main(int argc, char** argv) {
 
   Machine m(mc);
   ThreadTracer tracer;
-  if (cfg.GetBool("trace", false)) {
+  const bool trace_text = cfg.GetBool("trace", false);
+  const std::string trace_json = cfg.GetString("trace-json");
+  if (trace_text || !trace_json.empty()) {
     m.threads().SetTracer(&tracer);
   }
   m.SetHcallHandler([&](Core&, HwThread& t, int64_t code) {
@@ -97,12 +101,31 @@ int main(int argc, char** argv) {
     std::printf(" a%u=%llu", r - 10, (unsigned long long)m.threads().thread(p).ReadGpr(r));
   }
   std::printf("\n");
-  if (cfg.GetBool("trace", false)) {
+  if (trace_text) {
     std::printf("timeline (start..now):\n");
     tracer.DumpTimeline(std::cout, start, m.sim().now() + 1, 72);
   }
+  if (!trace_json.empty()) {
+    std::ofstream out(trace_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_json.c_str());
+      return 2;
+    }
+    tracer.DumpChromeTrace(out);
+    std::printf("trace      : %s (%zu events%s)\n", trace_json.c_str(), tracer.events().size(),
+                tracer.dropped() > 0 ? ", TRUNCATED" : "");
+  }
   if (cfg.GetBool("dump-stats", false)) {
     m.sim().stats().Dump(std::cout);
+  }
+  const std::string stats_json = cfg.GetString("stats-json");
+  if (!stats_json.empty()) {
+    std::ofstream out(stats_json);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", stats_json.c_str());
+      return 2;
+    }
+    m.sim().stats().DumpJson(out);
   }
   return m.halted() ? 1 : 0;
 }
