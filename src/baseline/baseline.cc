@@ -19,10 +19,10 @@ BaselineCpu::BaselineCpu(Simulation& sim, MemorySystem& mem, const BaselineConfi
       config_(config),
       core_(core),
       step_event_([this] { Step(); }),
-      stat_switches_(sim.stats().Counter(StatName(core, "context_switches"))),
-      stat_irqs_(sim.stats().Counter(StatName(core, "irqs"))),
-      stat_mode_switches_(sim.stats().Counter(StatName(core, "mode_switches"))),
-      stat_busy_cycles_(sim.stats().Counter(StatName(core, "busy_cycles"))) {}
+      stat_switches_(sim.stats().Intern(StatName(core, "context_switches"))),
+      stat_irqs_(sim.stats().Intern(StatName(core, "irqs"))),
+      stat_mode_switches_(sim.stats().Intern(StatName(core, "mode_switches"))),
+      stat_busy_cycles_(sim.stats().Intern(StatName(core, "busy_cycles"))) {}
 
 BaselineCpu::~BaselineCpu() = default;
 

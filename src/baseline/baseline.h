@@ -193,8 +193,8 @@ class BaselineCpu : public IrqSink {
   void SetIrqHandler(uint32_t vector, IrqHandler handler);
 
   bool idle() const { return current_ == nullptr && runqueue_.empty() && pending_irqs_.empty(); }
-  uint64_t context_switches() const { return stat_switches_; }
-  uint64_t irqs_handled() const { return stat_irqs_; }
+  uint64_t context_switches() const { return stat_switches_.get(); }
+  uint64_t irqs_handled() const { return stat_irqs_.get(); }
 
  private:
   void Step();
@@ -222,10 +222,10 @@ class BaselineCpu : public IrqSink {
   std::vector<std::pair<uint32_t, IrqHandler>> irq_handlers_;
   LambdaEvent<std::function<void()>> step_event_;
 
-  uint64_t& stat_switches_;
-  uint64_t& stat_irqs_;
-  uint64_t& stat_mode_switches_;
-  uint64_t& stat_busy_cycles_;
+  StatsRegistry::CounterHandle stat_switches_;
+  StatsRegistry::CounterHandle stat_irqs_;
+  StatsRegistry::CounterHandle stat_mode_switches_;
+  StatsRegistry::CounterHandle stat_busy_cycles_;
 };
 
 }  // namespace casc

@@ -13,11 +13,26 @@ Core::Core(Simulation& sim, MemorySystem& mem, ThreadSystem& ts, CoreId id, Core
       ts_(ts),
       id_(id),
       timings_(timings),
-      tick_event_([this] { Cycle(); }),
-      stat_instructions_(sim.stats().Counter("cpu.core" + std::to_string(id) + ".instructions")),
-      stat_active_cycles_(sim.stats().Counter("cpu.core" + std::to_string(id) + ".active_cycles")),
-      stat_idle_wakeups_(sim.stats().Counter("cpu.core" + std::to_string(id) + ".idle_wakeups")) {
+      l1i_hit_latency_(mem.config().l1i.hit_latency),
+      tick_event_(this),
+      stat_instructions_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".instructions")),
+      stat_active_cycles_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".active_cycles")),
+      stat_idle_wakeups_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".idle_wakeups")) {
   picked_.reserve(ts.config().smt_width);
+  mem_.AddCodeWriteListener([this](Addr line) { InvalidatePredecodeLine(line); });
+}
+
+void Core::InvalidatePredecodeAll() {
+  for (PredecodedLine& line : predecode_) {
+    line.base = kNoCodeLine;
+  }
+}
+
+void Core::FillPredecodeLine(PredecodedLine& line, Addr base) {
+  for (size_t i = 0; i < line.insts.size(); i++) {
+    line.insts[i] = Decode(mem_.phys().Read32(base + i * kInstBytes));
+  }
+  line.base = base;
 }
 
 void Core::BindNative(Ptid ptid, NativeProgram program) {
@@ -25,6 +40,7 @@ void Core::BindNative(Ptid ptid, NativeProgram program) {
   NativeState ns;
   ns.program = std::move(program);
   native_[ptid] = std::move(ns);
+  has_native_ = true;
 }
 
 void Core::Kick() {
@@ -50,37 +66,46 @@ void Core::Cycle() {
     return;
   }
   SchedQueue& q = ts_.queue(id_);
-  const Tick now = sim_.now();
-  q.PickUpTo(now, ts_.config().smt_width, &picked_);
-  bool active = false;
-  for (HwThread* t : picked_) {
-    if (ts_.NeedsRestore(t->ptid())) {
-      // Prefetch-on-wake disabled: the restore begins only when the
-      // scheduler first reaches the thread (demand restore).
-      ts_.BeginDemandRestore(t->ptid());
-      continue;
+  const uint32_t width = ts_.config().smt_width;
+  for (;;) {
+    const Tick now = sim_.now();
+    q.PickUpTo(now, width, &picked_);
+    bool active = false;
+    for (HwThread* t : picked_) {
+      if (ts_.NeedsRestore(t->ptid())) {
+        // Prefetch-on-wake disabled: the restore begins only when the
+        // scheduler first reaches the thread (demand restore).
+        ts_.BeginDemandRestore(t->ptid());
+        continue;
+      }
+      Step(*t);
+      active = true;
+      if (ts_.halted()) {
+        return;
+      }
     }
-    Step(*t);
-    active = true;
-    if (ts_.halted()) {
+    if (active) {
+      stat_active_cycles_++;
+    }
+    // Sleep until the next tick at which some thread can issue. When this
+    // core is the only live actor, advance the clock in place and keep
+    // stepping — same timing, no event dispatch round trip per tick.
+    const Tick next = q.NextWorkTick(now + 1);
+    if (next == std::numeric_limits<Tick>::max()) {
       return;
     }
-  }
-  if (active) {
-    stat_active_cycles_++;
-  }
-  // Sleep until the next tick at which some thread can issue.
-  const Tick next = q.NextWorkTick(now + 1);
-  if (next != std::numeric_limits<Tick>::max()) {
-    sim_.queue().Schedule(&tick_event_, next);
+    if (!sim_.queue().AdvanceIfIdle(next)) {
+      sim_.queue().Schedule(&tick_event_, next);
+      return;
+    }
   }
 }
 
 Tick Core::Step(HwThread& t) {
   Tick latency = 0;
-  auto it = native_.find(t.ptid());
-  if (it != native_.end()) {
-    latency = StepNative(t, it->second);
+  if (has_native_) {
+    auto it = native_.find(t.ptid());
+    latency = it != native_.end() ? StepNative(t, it->second) : StepInterpreted(t);
   } else {
     latency = StepInterpreted(t);
   }
@@ -93,11 +118,26 @@ Tick Core::Step(HwThread& t) {
 }
 
 Tick Core::StepInterpreted(HwThread& t) {
+  const Addr pc = t.arch().pc;
+  if (predecode_enabled_) {
+    PredecodedLine& line = predecode_[(pc >> 6) & (kPredecodeLines - 1)];
+    const Addr base = LineBase(pc);
+    if (line.base == base) {
+      stat_predecode_hits_++;
+    } else {
+      FillPredecodeLine(line, base);
+      stat_predecode_misses_++;
+    }
+    // The timed fetch still runs through the simulated hierarchy (and counts
+    // in mem.fetches); only the functional word read + Decode are skipped.
+    const Tick fetch = mem_.Fetch(id_, pc, nullptr);
+    const Tick fetch_penalty = fetch > l1i_hit_latency_ ? fetch - l1i_hit_latency_ : 0;
+    return fetch_penalty + ExecuteInstruction(t, line.insts[(pc & (kLineSize - 1)) / kInstBytes]);
+  }
   uint32_t word = 0;
-  const Tick fetch = mem_.Fetch(id_, t.arch().pc, &word);
+  const Tick fetch = mem_.Fetch(id_, pc, &word);
   // Warm fetches are pipelined away; only the miss penalty stalls issue.
-  const Tick l1i_hit = mem_.config().l1i.hit_latency;
-  const Tick fetch_penalty = fetch > l1i_hit ? fetch - l1i_hit : 0;
+  const Tick fetch_penalty = fetch > l1i_hit_latency_ ? fetch - l1i_hit_latency_ : 0;
   return fetch_penalty + ExecuteInstruction(t, Decode(word));
 }
 

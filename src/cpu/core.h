@@ -6,6 +6,7 @@
 #ifndef SRC_CPU_CORE_H_
 #define SRC_CPU_CORE_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -48,7 +49,20 @@ class Core {
   // ThreadSystem wake hook.
   void Kick();
 
-  uint64_t instructions_retired() const { return stat_instructions_; }
+  uint64_t instructions_retired() const { return stat_instructions_.get(); }
+
+  // Enables/disables the predecoded I-cache (on by default). Turning it off
+  // falls back to per-fetch Decode — used by benches/tests to isolate the
+  // predecode contribution and to cross-check trace equivalence.
+  void set_predecode_enabled(bool enabled) { predecode_enabled_ = enabled; }
+  bool predecode_enabled() const { return predecode_enabled_; }
+
+  // Drops every predecoded line. Needed after writes that bypass the memory
+  // system, e.g. Program::LoadInto at Machine::Load time.
+  void InvalidatePredecodeAll();
+
+  uint64_t predecode_hits() const { return stat_predecode_hits_; }
+  uint64_t predecode_misses() const { return stat_predecode_misses_; }
 
  private:
   struct NativeState {
@@ -57,7 +71,31 @@ class Core {
     std::unique_ptr<GuestContext> ctx;
   };
 
+  // The per-cycle tick fires every simulated tick the core is active; a
+  // devirtualizable member call avoids std::function dispatch on that path.
+  struct TickEvent final : public Event {
+    explicit TickEvent(Core* c) : core(c) {}
+    void Fire() override { core->Cycle(); }
+    Core* core;
+  };
+
+  // Predecoded I-cache (host-side speedup, no timing effect): each line of
+  // instruction memory is decoded once on first fetch and replayed as
+  // `Instruction` structs until a write to the line invalidates it. Timed
+  // fetches still run through the simulated cache hierarchy.
+  static constexpr size_t kPredecodeLines = 512;  // direct-mapped, 32 KB of code
+  static constexpr Addr kNoCodeLine = ~Addr{0};   // not line-aligned: matches nothing
+  struct PredecodedLine {
+    Addr base = kNoCodeLine;
+    std::array<Instruction, kLineSize / kInstBytes> insts;
+  };
+
   void Cycle();
+  void FillPredecodeLine(PredecodedLine& line, Addr base);
+  void InvalidatePredecodeLine(Addr line) {
+    // Unconditional: clearing an aliased entry only costs a future refill.
+    predecode_[(line >> 6) & (kPredecodeLines - 1)].base = kNoCodeLine;
+  }
   // Executes one step for `t`; returns the latency consumed.
   Tick Step(HwThread& t);
   Tick StepInterpreted(HwThread& t);
@@ -71,13 +109,19 @@ class Core {
   ThreadSystem& ts_;
   CoreId id_;
   CoreTimings timings_;
-  LambdaEvent<std::function<void()>> tick_event_;
+  Tick l1i_hit_latency_;  // hoisted from mem config: read once per instruction
+  TickEvent tick_event_;
   std::vector<HwThread*> picked_;  // scratch for PickUpTo
   std::unordered_map<Ptid, NativeState> native_;
+  bool has_native_ = false;  // skips the native_ lookup on all-interpreted cores
   HcallHandler hcall_;
-  uint64_t& stat_instructions_;
-  uint64_t& stat_active_cycles_;
-  uint64_t& stat_idle_wakeups_;
+  bool predecode_enabled_ = true;
+  std::array<PredecodedLine, kPredecodeLines> predecode_;
+  uint64_t stat_predecode_hits_ = 0;
+  uint64_t stat_predecode_misses_ = 0;
+  StatsRegistry::CounterHandle stat_instructions_;
+  StatsRegistry::CounterHandle stat_active_cycles_;
+  StatsRegistry::CounterHandle stat_idle_wakeups_;
 };
 
 }  // namespace casc

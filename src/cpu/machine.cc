@@ -20,6 +20,11 @@ Machine::Machine(const MachineConfig& config)
 Ptid Machine::Load(CoreId core, uint32_t local_thread, const Program& program, bool supervisor,
                    const std::string& entry, Addr edp) {
   program.LoadInto(mem_->phys());
+  // LoadInto writes physical memory directly (no MemorySystem::Write), so the
+  // code-write listeners never saw it — drop all predecoded lines.
+  for (auto& c : cores_) {
+    c->InvalidatePredecodeAll();
+  }
   const Ptid ptid = ts_->PtidOf(core, local_thread);
   const Addr pc = entry.empty() ? program.base : program.Symbol(entry);
   ts_->InitThread(ptid, pc, supervisor, edp);
@@ -49,6 +54,12 @@ void Machine::Start(Ptid ptid) { ts_->MakeRunnable(ptid); }
 void Machine::SetHcallHandler(Core::HcallHandler handler) {
   for (auto& core : cores_) {
     core->SetHcallHandler(handler);
+  }
+}
+
+void Machine::SetPredecodeEnabled(bool enabled) {
+  for (auto& core : cores_) {
+    core->set_predecode_enabled(enabled);
   }
 }
 

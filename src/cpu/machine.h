@@ -57,6 +57,9 @@ class Machine {
 
   void SetHcallHandler(Core::HcallHandler handler);
 
+  // Toggles the predecoded I-cache on every core (benchmarks/tests only).
+  void SetPredecodeEnabled(bool enabled);
+
   // --- driving the simulation ---------------------------------------------
   void RunFor(Tick cycles) { sim_.queue().RunUntil(sim_.now() + cycles); }
   void RunUntil(Tick tick) { sim_.queue().RunUntil(tick); }

@@ -18,19 +18,21 @@ ContextStore::ContextStore(Simulation& sim, MemorySystem& mem, const HwtConfig& 
       mem_(mem),
       config_(config),
       core_(core),
-      stat_restores_rf_(sim.stats().Counter(StatName(core, "restores_rf"))),
-      stat_restores_l2_(sim.stats().Counter(StatName(core, "restores_l2"))),
-      stat_restores_l3_(sim.stats().Counter(StatName(core, "restores_l3"))),
-      stat_restores_dram_(sim.stats().Counter(StatName(core, "restores_dram"))),
-      stat_evictions_(sim.stats().Counter(StatName(core, "evictions"))),
-      stat_evicted_bytes_(sim.stats().Counter(StatName(core, "evicted_bytes"))),
-      stat_restore_latency_(sim.stats().Hist(StatName(core, "restore_latency"))) {}
+      stat_restores_rf_(sim.stats().Intern(StatName(core, "restores_rf"))),
+      stat_restores_l2_(sim.stats().Intern(StatName(core, "restores_l2"))),
+      stat_restores_l3_(sim.stats().Intern(StatName(core, "restores_l3"))),
+      stat_restores_dram_(sim.stats().Intern(StatName(core, "restores_dram"))),
+      stat_evictions_(sim.stats().Intern(StatName(core, "evictions"))),
+      stat_evicted_bytes_(sim.stats().Intern(StatName(core, "evicted_bytes"))),
+      stat_restore_latency_(sim.stats().InternHist(StatName(core, "restore_latency"))) {}
 
 void ContextStore::AdmitThread(HwThread& thread) {
   threads_[thread.ptid()] = &thread;
   if (rf_lru_.size() < config_.rf_slots) {
     rf_lru_.push_back(thread.ptid());
-    rf_pos_[thread.ptid()] = std::prev(rf_lru_.end());
+    RfPos& pos = PosFor(thread.ptid());
+    pos.it = std::prev(rf_lru_.end());
+    pos.resident = true;
     thread.set_tier(StorageTier::kRegFile);
   } else {
     thread.set_tier(PickSpillTier());
@@ -124,7 +126,7 @@ bool ContextStore::EvictOne(Ptid except) {
     stat_evicted_bytes_ += TransferBytes(*victim);
     victim->set_tier(PickSpillTier());
     victim->ResetUsedRegs();
-    rf_pos_.erase(*it);
+    rf_pos_[*it].resident = false;
     rf_lru_.erase(it);
     return true;
   }
@@ -166,23 +168,26 @@ Tick ContextStore::EnsureResident(HwThread& thread) {
   }
   thread.set_tier(StorageTier::kRegFile);
   rf_lru_.push_back(thread.ptid());
-  rf_pos_[thread.ptid()] = std::prev(rf_lru_.end());
+  RfPos& pos = PosFor(thread.ptid());
+  pos.it = std::prev(rf_lru_.end());
+  pos.resident = true;
   AssertSlotAccounting();
   return latency;
 }
 
 void ContextStore::ForceTier(HwThread& thread, StorageTier tier) {
-  auto it = rf_pos_.find(thread.ptid());
-  if (it != rf_pos_.end()) {
-    rf_lru_.erase(it->second);
-    rf_pos_.erase(it);
+  RfPos& pos = PosFor(thread.ptid());
+  if (pos.resident) {
+    rf_lru_.erase(pos.it);
+    pos.resident = false;
   } else {
     ReleaseTierSlot(thread.tier());
   }
   switch (tier) {
     case StorageTier::kRegFile:
       rf_lru_.push_back(thread.ptid());
-      rf_pos_[thread.ptid()] = std::prev(rf_lru_.end());
+      pos.it = std::prev(rf_lru_.end());
+      pos.resident = true;
       break;
     case StorageTier::kL2:
       l2_used_++;
@@ -197,12 +202,16 @@ void ContextStore::ForceTier(HwThread& thread, StorageTier tier) {
 }
 
 void ContextStore::Touch(HwThread& thread) {
-  auto it = rf_pos_.find(thread.ptid());
-  if (it == rf_pos_.end()) {
+  const Ptid ptid = thread.ptid();
+  if (ptid >= rf_pos_.size() || !rf_pos_[ptid].resident) {
     return;
   }
-  rf_lru_.splice(rf_lru_.end(), rf_lru_, it->second);
-  it->second = std::prev(rf_lru_.end());
+  RfPos& pos = rf_pos_[ptid];
+  if (std::next(pos.it) == rf_lru_.end()) {
+    return;  // already most recently used
+  }
+  // splice() keeps pos.it valid and pointing at the same node, now at the back.
+  rf_lru_.splice(rf_lru_.end(), rf_lru_, pos.it);
 }
 
 }  // namespace casc

@@ -67,20 +67,32 @@ class ContextStore {
   const HwtConfig& config_;
   CoreId core_;
 
-  // RF residency in LRU order (front = least recently used).
+  // RF residency in LRU order (front = least recently used). The position
+  // index is a ptid-indexed vector rather than a hash map: Touch runs once
+  // per retired instruction, so the lookup must be a plain array load.
   std::list<Ptid> rf_lru_;
-  std::unordered_map<Ptid, std::list<Ptid>::iterator> rf_pos_;
+  struct RfPos {
+    std::list<Ptid>::iterator it;
+    bool resident = false;
+  };
+  std::vector<RfPos> rf_pos_;
+  RfPos& PosFor(Ptid ptid) {
+    if (ptid >= rf_pos_.size()) {
+      rf_pos_.resize(ptid + 1);
+    }
+    return rf_pos_[ptid];
+  }
   std::unordered_map<Ptid, HwThread*> threads_;
   uint32_t l2_used_ = 0;
   uint32_t l3_used_ = 0;
 
-  uint64_t& stat_restores_rf_;
-  uint64_t& stat_restores_l2_;
-  uint64_t& stat_restores_l3_;
-  uint64_t& stat_restores_dram_;
-  uint64_t& stat_evictions_;
-  uint64_t& stat_evicted_bytes_;
-  Histogram& stat_restore_latency_;
+  StatsRegistry::CounterHandle stat_restores_rf_;
+  StatsRegistry::CounterHandle stat_restores_l2_;
+  StatsRegistry::CounterHandle stat_restores_l3_;
+  StatsRegistry::CounterHandle stat_restores_dram_;
+  StatsRegistry::CounterHandle stat_evictions_;
+  StatsRegistry::CounterHandle stat_evicted_bytes_;
+  StatsRegistry::HistHandle stat_restore_latency_;
 };
 
 }  // namespace casc

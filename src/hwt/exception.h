@@ -25,6 +25,8 @@ enum class ExceptionType : uint32_t {
   kHypercall = 10,             // software-raised by guest code
 };
 
+inline constexpr uint32_t kNumExceptionTypes = 11;
+
 const char* ExceptionTypeName(ExceptionType type);
 
 // 64-byte record written by hardware at the faulting thread's EDP.

@@ -52,9 +52,12 @@ void SchedQueue::PickUpTo(Tick now, uint32_t width, std::vector<HwThread*>* out)
     return;
   }
   // Move the cursor to the next ready thread (skipping blocked/restoring).
+  // Index wrap is a compare, not a modulo: this runs every simulated tick.
   size_t scanned = 0;
   while (scanned < n && !Ready(*rotation_[cursor_].thread, now)) {
-    cursor_ = (cursor_ + 1) % n;
+    if (++cursor_ == n) {
+      cursor_ = 0;
+    }
     scanned++;
   }
   if (scanned == n) {
@@ -66,7 +69,9 @@ void SchedQueue::PickUpTo(Tick now, uint32_t width, std::vector<HwThread*>* out)
     if (Ready(*rotation_[idx].thread, now)) {
       out->push_back(rotation_[idx].thread);
     }
-    idx = (idx + 1) % n;
+    if (++idx == n) {
+      idx = 0;
+    }
   }
   // Weighted RR: the head thread holds the cursor for `prio` picks.
   Slot& head = rotation_[cursor_];
@@ -75,7 +80,9 @@ void SchedQueue::PickUpTo(Tick now, uint32_t width, std::vector<HwThread*>* out)
   }
   if (head.credits == 0) {
     head.credits = FullCredits(*head.thread);
-    cursor_ = (cursor_ + 1) % n;
+    if (++cursor_ == n) {
+      cursor_ = 0;
+    }
   }
 }
 

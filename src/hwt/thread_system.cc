@@ -40,13 +40,17 @@ ThreadSystem::ThreadSystem(Simulation& sim, MemorySystem& mem, const HwtConfig& 
       num_cores_(num_cores),
       queues_(num_cores),
       wake_hooks_(num_cores),
-      stat_starts_(sim.stats().Counter("hwt.starts")),
-      stat_stops_(sim.stats().Counter("hwt.stops")),
-      stat_exceptions_(sim.stats().Counter("hwt.exceptions")),
-      stat_mwait_blocks_(sim.stats().Counter("hwt.mwait_blocks")),
-      stat_mwait_immediate_(sim.stats().Counter("hwt.mwait_immediate")),
-      stat_vtid_hits_(sim.stats().Counter("hwt.vtid_cache_hits")),
-      stat_vtid_misses_(sim.stats().Counter("hwt.vtid_cache_misses")) {
+      stat_starts_(sim.stats().Intern("hwt.starts")),
+      stat_stops_(sim.stats().Intern("hwt.stops")),
+      stat_exceptions_(sim.stats().Intern("hwt.exceptions")),
+      stat_mwait_blocks_(sim.stats().Intern("hwt.mwait_blocks")),
+      stat_mwait_immediate_(sim.stats().Intern("hwt.mwait_immediate")),
+      stat_vtid_hits_(sim.stats().Intern("hwt.vtid_cache_hits")),
+      stat_vtid_misses_(sim.stats().Intern("hwt.vtid_cache_misses")) {
+  for (uint32_t i = 0; i < kNumExceptionTypes; i++) {
+    stat_exception_by_type_[i] = sim.stats().Intern(
+        std::string("hwt.exception.") + ExceptionTypeName(static_cast<ExceptionType>(i)));
+  }
   const uint32_t total = num_cores * config_.threads_per_core;
   threads_.reserve(total);
   needs_restore_.assign(total, 0);
@@ -420,7 +424,8 @@ OpResult ThreadSystem::WriteCsr(Ptid issuer, Csr csr, uint64_t value) {
 
 void ThreadSystem::RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode) {
   stat_exceptions_++;
-  sim_.stats().Counter(std::string("hwt.exception.") + ExceptionTypeName(type))++;
+  const uint32_t type_idx = static_cast<uint32_t>(type);
+  stat_exception_by_type_[type_idx < kNumExceptionTypes ? type_idx : 0]++;
   HwThread& t = thread(ptid);
   const Addr edp = t.arch().edp;
   // The faulting thread stops executing first (its handler may rpull state).

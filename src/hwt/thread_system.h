@@ -6,6 +6,7 @@
 #ifndef SRC_HWT_THREAD_SYSTEM_H_
 #define SRC_HWT_THREAD_SYSTEM_H_
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <string>
@@ -125,13 +126,16 @@ class ThreadSystem {
   std::string halt_reason_;
   uint64_t exception_seq_ = 0;
 
-  uint64_t& stat_starts_;
-  uint64_t& stat_stops_;
-  uint64_t& stat_exceptions_;
-  uint64_t& stat_mwait_blocks_;
-  uint64_t& stat_mwait_immediate_;
-  uint64_t& stat_vtid_hits_;
-  uint64_t& stat_vtid_misses_;
+  StatsRegistry::CounterHandle stat_starts_;
+  StatsRegistry::CounterHandle stat_stops_;
+  StatsRegistry::CounterHandle stat_exceptions_;
+  StatsRegistry::CounterHandle stat_mwait_blocks_;
+  StatsRegistry::CounterHandle stat_mwait_immediate_;
+  StatsRegistry::CounterHandle stat_vtid_hits_;
+  StatsRegistry::CounterHandle stat_vtid_misses_;
+  // Per-type exception counters, interned up front so RaiseException never
+  // builds a "hwt.exception.<name>" string on the fault path.
+  std::array<StatsRegistry::CounterHandle, kNumExceptionTypes> stat_exception_by_type_;
 };
 
 }  // namespace casc

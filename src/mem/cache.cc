@@ -10,6 +10,9 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   assert(lines >= config_.ways);
   num_sets_ = static_cast<uint32_t>(lines / config_.ways);
   assert(num_sets_ > 0);
+  if (std::has_single_bit(num_sets_)) {
+    set_shift_ = std::countr_zero(num_sets_);
+  }
   lines_.resize(static_cast<size_t>(num_sets_) * config_.ways);
 }
 
@@ -26,24 +29,7 @@ bool Cache::IsPinnedAddr(Addr addr) const {
   return false;
 }
 
-bool Cache::Access(Addr addr, bool is_write, bool* evicted_dirty) {
-  if (evicted_dirty != nullptr) {
-    *evicted_dirty = false;
-  }
-  const uint32_t set = SetIndex(addr);
-  const Addr tag = TagOf(addr);
-  const bool fill_pinned = !pinned_ranges_.empty() && IsPinnedAddr(addr);
-  Line* base = &lines_[static_cast<size_t>(set) * config_.ways];
-  for (uint32_t w = 0; w < config_.ways; w++) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      line.lru = ++lru_clock_;
-      line.dirty = line.dirty || is_write;
-      line.pinned = line.pinned || fill_pinned;
-      hits_++;
-      return true;
-    }
-  }
+bool Cache::Fill(Line* base, Addr tag, bool is_write, bool fill_pinned, bool* evicted_dirty) {
   misses_++;
   // Victim: an invalid way if any, else the LRU among eligible ways. Pinned
   // lines are only evictable by pinned fills (the partition guarantee).

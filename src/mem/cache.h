@@ -4,6 +4,7 @@
 #ifndef SRC_MEM_CACHE_H_
 #define SRC_MEM_CACHE_H_
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -26,7 +27,30 @@ class Cache {
   // Tag lookup with fill-on-miss. Returns true on hit. On miss the line is
   // installed; `evicted_dirty` (if non-null) reports whether a dirty victim
   // was written back.
-  bool Access(Addr addr, bool is_write, bool* evicted_dirty = nullptr);
+  //
+  // The hit path lives in the header so the per-instruction fetch chain
+  // (Core -> MemorySystem -> Cache) inlines end to end; misses take the
+  // out-of-line Fill.
+  bool Access(Addr addr, bool is_write, bool* evicted_dirty = nullptr) {
+    if (evicted_dirty != nullptr) {
+      *evicted_dirty = false;
+    }
+    const uint32_t set = SetIndex(addr);
+    const Addr tag = TagOf(addr);
+    const bool fill_pinned = !pinned_ranges_.empty() && IsPinnedAddr(addr);
+    Line* base = &lines_[static_cast<size_t>(set) * config_.ways];
+    for (uint32_t w = 0; w < config_.ways; w++) {
+      Line& line = base[w];
+      if (line.valid && line.tag == tag) {
+        line.lru = ++lru_clock_;
+        line.dirty = line.dirty || is_write;
+        line.pinned = line.pinned || fill_pinned;
+        hits_++;
+        return true;
+      }
+    }
+    return Fill(base, tag, is_write, fill_pinned, evicted_dirty);
+  }
 
   // Lookup without side effects.
   bool Probe(Addr addr) const;
@@ -62,13 +86,25 @@ class Cache {
     uint64_t lru = 0;  // higher = more recently used
   };
 
+  // Set count is a power of two for every stock config; the masked path keeps
+  // two 64-bit divisions off the per-access critical path. Results are
+  // identical to the div/mod form either way.
   uint32_t SetIndex(Addr addr) const {
-    return static_cast<uint32_t>((addr / kLineSize) % num_sets_);
+    const Addr line = addr / kLineSize;
+    return static_cast<uint32_t>(set_shift_ >= 0 ? (line & (num_sets_ - 1))
+                                                 : (line % num_sets_));
   }
-  Addr TagOf(Addr addr) const { return addr / kLineSize / num_sets_; }
+  Addr TagOf(Addr addr) const {
+    const Addr line = addr / kLineSize;
+    return set_shift_ >= 0 ? (line >> set_shift_) : (line / num_sets_);
+  }
+
+  // Miss path: victim selection + install. Returns false (miss).
+  bool Fill(Line* base, Addr tag, bool is_write, bool fill_pinned, bool* evicted_dirty);
 
   CacheConfig config_;
   uint32_t num_sets_;
+  int set_shift_ = -1;  // log2(num_sets_) when a power of two, else -1
   std::vector<Line> lines_;  // num_sets_ * ways, set-major
   std::vector<std::pair<Addr, Addr>> pinned_ranges_;  // [base, end)
   uint64_t lru_clock_ = 0;

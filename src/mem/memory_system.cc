@@ -8,10 +8,10 @@ MemorySystem::MemorySystem(Simulation& sim, const MemConfig& config, uint32_t nu
     : sim_(sim),
       config_(config),
       monitors_(config.monitor, sim.stats()),
-      stat_reads_(sim.stats().Counter("mem.reads")),
-      stat_writes_(sim.stats().Counter("mem.writes")),
-      stat_fetches_(sim.stats().Counter("mem.fetches")),
-      stat_dma_writes_(sim.stats().Counter("mem.dma_writes")) {
+      stat_reads_(sim.stats().Intern("mem.reads")),
+      stat_writes_(sim.stats().Intern("mem.writes")),
+      stat_fetches_(sim.stats().Intern("mem.fetches")),
+      stat_dma_writes_(sim.stats().Intern("mem.dma_writes")) {
   core_caches_.reserve(num_cores);
   for (uint32_t i = 0; i < num_cores; i++) {
     CoreCaches cc;
@@ -38,25 +38,6 @@ void MemorySystem::RegisterMmio(Addr base, uint64_t size, MmioDevice* device) {
   mmio_.push_back(MmioRegion{base, size, device});
 }
 
-Tick MemorySystem::AccessLatency(CoreId core, Addr addr, bool is_write, bool is_fetch) {
-  assert(core < core_caches_.size());
-  CoreCaches& cc = core_caches_[core];
-  Cache& l1 = is_fetch ? *cc.l1i : *cc.l1d;
-  Tick lat = l1.config().hit_latency;
-  if (l1.Access(addr, is_write)) {
-    return lat;
-  }
-  lat += cc.l2->config().hit_latency;
-  if (cc.l2->Access(addr, is_write)) {
-    return lat;
-  }
-  lat += l3_->config().hit_latency;
-  if (l3_->Access(addr, is_write)) {
-    return lat;
-  }
-  return lat + config_.dram_latency;
-}
-
 void MemorySystem::InvalidateForWrite(Addr addr, size_t len, CoreId writer) {
   const Addr first = LineBase(addr);
   const Addr last = LineBase(addr + (len > 0 ? len - 1 : 0));
@@ -68,6 +49,11 @@ void MemorySystem::InvalidateForWrite(Addr addr, size_t len, CoreId writer) {
       core_caches_[c].l1i->Invalidate(line);
       core_caches_[c].l1d->Invalidate(line);
       core_caches_[c].l2->Invalidate(line);
+    }
+    // Unlike the cache invalidation above, predecode invalidation includes
+    // the writer: its own predecoded copy of the line is stale too.
+    for (const CodeWriteListener& listener : code_write_listeners_) {
+      listener(line);
     }
   }
 }
@@ -113,14 +99,6 @@ Tick MemorySystem::AtomicAdd(CoreId core, Addr addr, uint64_t delta, uint64_t* o
   return lat + 4;  // lock/RMW penalty
 }
 
-Tick MemorySystem::Fetch(CoreId core, Addr addr, uint32_t* inst) {
-  stat_fetches_++;
-  if (inst != nullptr) {
-    *inst = phys_.Read32(addr);
-  }
-  return AccessLatency(core, addr, /*is_write=*/false, /*is_fetch=*/true);
-}
-
 void MemorySystem::DmaWrite(Addr addr, const void* data, size_t len) {
   stat_dma_writes_++;
   phys_.Write(addr, data, len);
@@ -138,6 +116,9 @@ void MemorySystem::DmaWrite(Addr addr, const void* data, size_t len) {
       l3_->Access(line, /*is_write=*/true);
     } else {
       l3_->Invalidate(line);
+    }
+    for (const CodeWriteListener& listener : code_write_listeners_) {
+      listener(line);
     }
   }
   monitors_.OnWrite(addr, len);

@@ -6,7 +6,9 @@
 #ifndef SRC_MEM_MEMORY_SYSTEM_H_
 #define SRC_MEM_MEMORY_SYSTEM_H_
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -55,13 +57,38 @@ class MemorySystem {
   // read/write (including MMIO dispatch and monitor notification).
   Tick Read(CoreId core, Addr addr, size_t len, uint64_t* out);
   Tick Write(CoreId core, Addr addr, size_t len, uint64_t value);
-  Tick Fetch(CoreId core, Addr addr, uint32_t* inst);
+  // Defined inline: the fetch path runs once per simulated instruction and
+  // must inline into the core's step loop together with Cache::Access.
+  Tick Fetch(CoreId core, Addr addr, uint32_t* inst) {
+    stat_fetches_++;
+    if (inst != nullptr) {
+      *inst = phys_.Read32(addr);
+    }
+    return AccessLatency(core, addr, /*is_write=*/false, /*is_fetch=*/true);
+  }
   // Atomic fetch-add (8 bytes): returns the old value via `old`. Charged as
   // a write plus a small RMW penalty; visible to the monitor filter.
   Tick AtomicAdd(CoreId core, Addr addr, uint64_t delta, uint64_t* old);
 
   // Timing-only probe used by bulk movers; does not touch functional state.
-  Tick AccessLatency(CoreId core, Addr addr, bool is_write, bool is_fetch);
+  Tick AccessLatency(CoreId core, Addr addr, bool is_write, bool is_fetch) {
+    assert(core < core_caches_.size());
+    CoreCaches& cc = core_caches_[core];
+    Cache& l1 = is_fetch ? *cc.l1i : *cc.l1d;
+    Tick lat = l1.config().hit_latency;
+    if (l1.Access(addr, is_write)) {
+      return lat;
+    }
+    lat += cc.l2->config().hit_latency;
+    if (cc.l2->Access(addr, is_write)) {
+      return lat;
+    }
+    lat += l3_->config().hit_latency;
+    if (l3_->Access(addr, is_write)) {
+      return lat;
+    }
+    return lat + config_.dram_latency;
+  }
 
   // --- Device-side (DMA) accesses ----------------------------------------
   // Functional effect + cache invalidation + monitor notification. DMA does
@@ -105,6 +132,17 @@ class MemorySystem {
     core_caches_[core].l2->PinRange(base, size);
   }
 
+  // --- Code-write notification --------------------------------------------
+  // Called once per written line for every memory-backed write (CPU store,
+  // atomic, or DMA — not MMIO, which is never fetched). Cores register here
+  // to invalidate predecoded instructions; writes that bypass the memory
+  // system (PhysicalMemory loads at program-load time) must invalidate
+  // explicitly.
+  using CodeWriteListener = std::function<void(Addr line)>;
+  void AddCodeWriteListener(CodeWriteListener fn) {
+    code_write_listeners_.push_back(std::move(fn));
+  }
+
   // Per-core cache access (tests, warmup helpers).
   Cache& l1d(CoreId core) { return *core_caches_[core].l1d; }
   Cache& l1i(CoreId core) { return *core_caches_[core].l1i; }
@@ -133,11 +171,12 @@ class MemorySystem {
   std::vector<CoreCaches> core_caches_;
   std::unique_ptr<Cache> l3_;
   std::vector<MmioRegion> mmio_;
+  std::vector<CodeWriteListener> code_write_listeners_;
   std::vector<std::pair<Addr, Addr>> supervisor_only_;  // [base, end)
-  uint64_t& stat_reads_;
-  uint64_t& stat_writes_;
-  uint64_t& stat_fetches_;
-  uint64_t& stat_dma_writes_;
+  StatsRegistry::CounterHandle stat_reads_;
+  StatsRegistry::CounterHandle stat_writes_;
+  StatsRegistry::CounterHandle stat_fetches_;
+  StatsRegistry::CounterHandle stat_dma_writes_;
 };
 
 }  // namespace casc

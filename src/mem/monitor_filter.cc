@@ -7,10 +7,10 @@ namespace casc {
 
 MonitorFilter::MonitorFilter(const MonitorFilterConfig& config, StatsRegistry& stats)
     : config_(config),
-      stat_watch_adds_(stats.Counter("monitor.watch_adds")),
-      stat_triggers_(stats.Counter("monitor.triggers")),
-      stat_wakes_(stats.Counter("monitor.wakes")),
-      stat_overflows_(stats.Counter("monitor.overflows")) {}
+      stat_watch_adds_(stats.Intern("monitor.watch_adds")),
+      stat_triggers_(stats.Intern("monitor.triggers")),
+      stat_wakes_(stats.Intern("monitor.wakes")),
+      stat_overflows_(stats.Intern("monitor.overflows")) {}
 
 bool MonitorFilter::AddWatch(Ptid ptid, Addr addr) {
   const Addr line = LineBase(addr);
@@ -33,9 +33,12 @@ bool MonitorFilter::AddWatch(Ptid ptid, Addr addr) {
     return false;
   }
   auto it = watchers_.find(line);
-  if (it == watchers_.end() && watchers_.size() >= config_.max_watch_lines) {
-    stat_overflows_++;
-    return false;
+  if (it == watchers_.end()) {
+    if (watchers_.size() >= config_.max_watch_lines) {
+      stat_overflows_++;
+      return false;
+    }
+    summary_[SummarySlot(line)]++;  // line becomes watched
   }
   watchers_[line].push_back(ptid);
   threads_[ptid].lines.push_back(line);
@@ -57,6 +60,7 @@ void MonitorFilter::ClearWatches(Ptid ptid) {
     vec.erase(std::remove(vec.begin(), vec.end(), ptid), vec.end());
     if (vec.empty()) {
       watchers_.erase(wit);
+      summary_[SummarySlot(line)]--;  // last watcher of the line is gone
     }
   }
   threads_.erase(it);
@@ -93,7 +97,11 @@ void MonitorFilter::OnWrite(Addr addr, uint64_t len) {
   const Addr last_byte = span > max_addr - addr ? max_addr : addr + span;
   const Addr last = LineBase(last_byte);
   for (Addr line = LineBase(addr);; line += kLineSize) {
-    TriggerLine(line);
+    // Summary filter first: a zero slot proves no watcher on this line, so
+    // the common unwatched write never touches the hash map.
+    if (summary_[SummarySlot(line)] != 0) {
+      TriggerLine(line);
+    }
     if (line == last) {
       break;
     }

@@ -19,6 +19,7 @@
 #ifndef SRC_MEM_MONITOR_FILTER_H_
 #define SRC_MEM_MONITOR_FILTER_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
@@ -73,16 +74,28 @@ class MonitorFilter {
     bool waiting = false;
   };
 
+  // Summary filter over watched lines: a counting Bloom-style array indexed
+  // by a hash of the line address. OnWrite consults it before the per-line
+  // hash-map probe, so writes to unwatched lines — the overwhelming majority
+  // — cost one multiply and one array load. uint16 cannot saturate: at most
+  // `max_watch_lines` (4096 by default) distinct lines are ever counted.
+  static constexpr size_t kSummarySlots = 4096;
+  static size_t SummarySlot(Addr line) {
+    // Multiply-shift hash of the line number (Fibonacci hashing); top 12 bits.
+    return static_cast<size_t>(((line >> 6) * 0x9E3779B97F4A7C15ull) >> 52);
+  }
+
   void TriggerLine(Addr line);
 
   MonitorFilterConfig config_;
   WakeHandler wake_handler_;
   std::unordered_map<Addr, std::vector<Ptid>> watchers_;  // line -> ptids
   std::unordered_map<Ptid, ThreadState> threads_;
-  uint64_t& stat_watch_adds_;
-  uint64_t& stat_triggers_;
-  uint64_t& stat_wakes_;
-  uint64_t& stat_overflows_;
+  std::array<uint16_t, kSummarySlots> summary_{};  // distinct watched lines per slot
+  StatsRegistry::CounterHandle stat_watch_adds_;
+  StatsRegistry::CounterHandle stat_triggers_;
+  StatsRegistry::CounterHandle stat_wakes_;
+  StatsRegistry::CounterHandle stat_overflows_;
 };
 
 }  // namespace casc

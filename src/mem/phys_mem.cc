@@ -16,6 +16,9 @@ PhysicalMemory::Page& PhysicalMemory::EnsurePage(Addr addr) {
     slot = std::make_unique<Page>();
     std::memset(slot->bytes, 0, sizeof(slot->bytes));
   }
+  memo_idx_ = addr >> kPageBits;
+  memo_page_ = slot.get();
+  memo_valid_ = true;
   return *slot;
 }
 
@@ -47,18 +50,6 @@ void PhysicalMemory::Write(Addr addr, const void* data, size_t len) {
     src += chunk;
     len -= chunk;
   }
-}
-
-uint64_t PhysicalMemory::ReadUint(Addr addr, size_t len) const {
-  assert(len <= 8);
-  uint64_t v = 0;
-  Read(addr, &v, len);  // little-endian host assumed (x86-64 / aarch64-le)
-  return v;
-}
-
-void PhysicalMemory::WriteUint(Addr addr, uint64_t value, size_t len) {
-  assert(len <= 8);
-  Write(addr, &value, len);
 }
 
 }  // namespace casc

@@ -3,6 +3,7 @@
 #ifndef SRC_MEM_PHYS_MEM_H_
 #define SRC_MEM_PHYS_MEM_H_
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -20,8 +21,34 @@ class PhysicalMemory {
   void Read(Addr addr, void* out, size_t len) const;
   void Write(Addr addr, const void* data, size_t len);
 
-  uint64_t ReadUint(Addr addr, size_t len) const;
-  void WriteUint(Addr addr, uint64_t value, size_t len);
+  // Word accessors run once per simulated fetch/load/store; the single-page
+  // fast path plus the one-entry page memo keeps them free of hash lookups
+  // for the (overwhelmingly common) page-local access streams.
+  uint64_t ReadUint(Addr addr, size_t len) const {
+    assert(len <= 8);
+    const Addr off = addr & (kPageSize - 1);
+    if (off + len <= kPageSize) {
+      const Page* page = FindPageFast(addr);
+      if (page == nullptr) {
+        return 0;
+      }
+      uint64_t v = 0;
+      std::memcpy(&v, page->bytes + off, len);  // little-endian host assumed
+      return v;
+    }
+    uint64_t v = 0;
+    Read(addr, &v, len);
+    return v;
+  }
+  void WriteUint(Addr addr, uint64_t value, size_t len) {
+    assert(len <= 8);
+    const Addr off = addr & (kPageSize - 1);
+    if (off + len <= kPageSize) {
+      std::memcpy(EnsurePage(addr).bytes + off, &value, len);
+      return;
+    }
+    Write(addr, &value, len);
+  }
 
   uint8_t Read8(Addr a) const { return static_cast<uint8_t>(ReadUint(a, 1)); }
   uint16_t Read16(Addr a) const { return static_cast<uint16_t>(ReadUint(a, 2)); }
@@ -43,7 +70,27 @@ class PhysicalMemory {
   const Page* FindPage(Addr addr) const;
   Page& EnsurePage(Addr addr);
 
+  // Pages are only ever added, and unique_ptr keeps them at stable addresses,
+  // so a positive memo entry can never go stale. Misses are not memoized
+  // (a later write may materialize the page).
+  const Page* FindPageFast(Addr addr) const {
+    const Addr idx = addr >> kPageBits;
+    if (memo_valid_ && idx == memo_idx_) {
+      return memo_page_;
+    }
+    const Page* page = FindPage(addr);
+    if (page != nullptr) {
+      memo_idx_ = idx;
+      memo_page_ = page;
+      memo_valid_ = true;
+    }
+    return page;
+  }
+
   std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  mutable Addr memo_idx_ = 0;
+  mutable const Page* memo_page_ = nullptr;
+  mutable bool memo_valid_ = false;
 };
 
 }  // namespace casc

@@ -8,7 +8,12 @@ namespace casc {
 
 Hypervisor::Hypervisor(Machine& machine, CoreId core, uint32_t hyp_local,
                        const HypervisorConfig& config)
-    : machine_(machine), core_(core), hyp_local_(hyp_local), config_(config) {}
+    : machine_(machine),
+      core_(core),
+      hyp_local_(hyp_local),
+      config_(config),
+      exits_handled_(machine.sim().stats().Intern("runtime.hyp.exits_handled")),
+      guests_killed_(machine.sim().stats().Intern("runtime.hyp.guests_killed")) {}
 
 Ptid Hypervisor::AddGuest(uint32_t guest_local) {
   const Ptid ptid = machine_.threads().PtidOf(core_, guest_local);

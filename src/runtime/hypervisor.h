@@ -39,8 +39,8 @@ class Hypervisor {
     return config_.desc_base + guest_index * ExceptionDescriptor::kBytes;
   }
 
-  uint64_t exits_handled() const { return exits_handled_; }
-  uint64_t guests_killed() const { return guests_killed_; }
+  uint64_t exits_handled() const { return exits_handled_.get(); }
+  uint64_t guests_killed() const { return guests_killed_.get(); }
   // Value last written by a guest to a privileged CSR (the emulated state).
   uint64_t VirtualCsr(uint32_t guest_index, Csr csr) const;
 
@@ -56,8 +56,8 @@ class Hypervisor {
   std::vector<Ptid> guests_;
   std::vector<uint64_t> last_seq_;
   std::vector<std::map<Csr, uint64_t>> virtual_csrs_;
-  uint64_t exits_handled_ = 0;
-  uint64_t guests_killed_ = 0;
+  StatsRegistry::CounterHandle exits_handled_;
+  StatsRegistry::CounterHandle guests_killed_;
 };
 
 }  // namespace casc

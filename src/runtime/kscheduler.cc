@@ -7,7 +7,12 @@ namespace casc {
 
 KernelScheduler::KernelScheduler(Machine& machine, CoreId core, uint32_t local_slot,
                                  const SchedulerConfig& config)
-    : machine_(machine), core_(core), local_slot_(local_slot), config_(config) {}
+    : machine_(machine),
+      core_(core),
+      local_slot_(local_slot),
+      config_(config),
+      placements_(machine.sim().stats().Intern("runtime.sched.placements")),
+      migrations_(machine.sim().stats().Intern("runtime.sched.migrations")) {}
 
 void KernelScheduler::AddWorkerPool(CoreId core, uint32_t first_local, uint32_t count) {
   Pool pool;

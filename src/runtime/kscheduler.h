@@ -46,8 +46,8 @@ class KernelScheduler {
   void Install();
 
   Ptid sched_ptid() const { return sched_ptid_; }
-  uint64_t placements() const { return placements_; }
-  uint64_t migrations() const { return migrations_; }
+  uint64_t placements() const { return placements_.get(); }
+  uint64_t migrations() const { return migrations_.get(); }
   // Which hardware thread a software thread currently occupies.
   Ptid LocationOf(uint64_t soft_id) const;
 
@@ -81,8 +81,8 @@ class KernelScheduler {
   std::vector<SoftThreadInfo> softs_;
   std::deque<uint64_t> pending_;  // soft ids awaiting placement
   uint64_t doorbell_seq_ = 0;
-  uint64_t placements_ = 0;
-  uint64_t migrations_ = 0;
+  StatsRegistry::CounterHandle placements_;
+  StatsRegistry::CounterHandle migrations_;
 };
 
 }  // namespace casc

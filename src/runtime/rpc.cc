@@ -46,7 +46,9 @@ RpcNode::RpcNode(Machine& machine, CoreId core, uint64_t node_id, Nic* nic, Addr
       nic_(nic),
       region_(region),
       num_workers_(num_workers),
-      mode_(mode) {}
+      mode_(mode),
+      served_(machine.sim().stats().Intern("runtime.rpc.node" + std::to_string(node_id) +
+                                           ".served")) {}
 
 void RpcNode::Install() {
   rings_ = SetupNicRings(machine_.mem(), *nic_, region_, kRingEntries);
@@ -187,7 +189,7 @@ GuestTask RpcNode::EventLoop(GuestContext& ctx) {
 
       co_await ctx.Compute(service);
 
-      const Addr staging = TxStaging(served_);
+      const Addr staging = TxStaging(served_.get());
       co_await ctx.Store(staging, client);
       co_await ctx.Store(staging + 8, node_id_);
       co_await ctx.Store(staging + RpcFrame::kReqIdOff, req_id);

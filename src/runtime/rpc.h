@@ -56,7 +56,7 @@ class RpcNode {
   void Install();
 
   uint64_t node_id() const { return node_id_; }
-  uint64_t served() const { return served_; }
+  uint64_t served() const { return served_.get(); }
 
  private:
   // Memory map inside the node's region.
@@ -84,8 +84,8 @@ class RpcNode {
   uint32_t num_workers_;
   RpcMode mode_;
   NicRings rings_;
-  uint64_t served_ = 0;
-  uint64_t tx_produced_ = 0;
+  StatsRegistry::CounterHandle served_;
+  uint64_t tx_produced_ = 0;  // TX ring slot allocator, not a statistic
 };
 
 }  // namespace casc

@@ -6,9 +6,19 @@
 //  * One-shot callbacks scheduled with `ScheduleFn` (owned by the queue).
 //
 // Events scheduled for the same tick fire in FIFO order of scheduling.
+//
+// Internally a hierarchical timing wheel: events within `kWheelTicks` of
+// now() live in per-tick buckets selected by `when % kWheelTicks` (an O(1)
+// append), with a bitmap tracking occupied buckets so the next-event scan is
+// a handful of word operations instead of heap churn. Far-future events
+// overflow into a small binary heap and migrate into the wheel as now()
+// advances. Cancellation and reschedule are O(1) via generation counters;
+// stale entries are skipped at fire time and compacted away whenever they
+// outnumber live ones.
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <utility>
@@ -37,7 +47,7 @@ class Event {
  private:
   friend class EventQueue;
   Tick when_ = 0;
-  uint64_t generation_ = 0;  // bumped on every (de)schedule to invalidate stale heap entries
+  uint64_t generation_ = 0;  // bumped on every (de)schedule to invalidate stale entries
   bool scheduled_ = false;
 };
 
@@ -54,11 +64,32 @@ class LambdaEvent final : public Event {
 
 class EventQueue {
  public:
+  // Wheel span in ticks. At the default 3 GHz that is ~1.4 us of simulated
+  // time — larger than every in-flight latency the simulator charges (cache
+  // misses, IPIs, context restores), so in practice only long timers take
+  // the heap overflow path.
+  static constexpr Tick kWheelTicks = 4096;
+
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
   Tick now() const { return now_; }
+
+  // Quiet-advance fast path for self-rescheduling actors (the per-core tick):
+  // when nothing else is live, the actor may move the clock to `t` directly
+  // instead of scheduling an event and paying a full dispatch round trip.
+  // Refused — caller must schedule normally — if any live event exists, if
+  // `t` is behind now(), or if `t` lies beyond the innermost RunUntil/RunAll
+  // limit (so RunFor(x) still returns control at exactly x). Dead wheel/heap
+  // entries are reclaimed lazily by the normal scan paths.
+  bool AdvanceIfIdle(Tick t) {
+    if (live_count_ != 0 || t < now_ || t > advance_limit_) {
+      return false;
+    }
+    now_ = t;
+    return true;
+  }
 
   // Schedules `ev` to fire at absolute tick `when` (>= now). If `ev` is
   // already scheduled it is rescheduled.
@@ -79,6 +110,14 @@ class EventQueue {
   bool Empty() const { return live_count_ == 0; }
   size_t LiveCount() const { return live_count_; }
 
+  // Total events fired since construction (reusable + one-shot). Used by the
+  // host-throughput bench to derive events/sec.
+  uint64_t events_fired() const { return fired_count_; }
+
+  // Internal storage footprint including dead (rescheduled/cancelled)
+  // entries. Exposed so tests can assert dead-entry growth stays bounded.
+  size_t InternalEntryCount() const { return entry_count_; }
+
   // Tick of the earliest live event, or Tick max if empty.
   Tick NextTick() const;
 
@@ -92,31 +131,68 @@ class EventQueue {
   uint64_t RunAll(uint64_t max_events = UINT64_MAX);
 
  private:
-  struct HeapEntry {
+  static constexpr uint64_t kWheelMask = kWheelTicks - 1;
+  static constexpr size_t kBitmapWords = kWheelTicks / 64;
+
+  struct Entry {
     Tick when;
     uint64_t seq;                // tie-break for FIFO order within a tick
     Event* ev;                   // nullptr for one-shot fn entries
     uint64_t generation;         // must match ev->generation_ to be live
     std::function<void()> fn;    // one-shot payload when ev == nullptr
 
-    bool After(const HeapEntry& o) const {
+    bool After(const Entry& o) const {
       return when != o.when ? when > o.when : seq > o.seq;
     }
   };
   struct HeapCmp {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const { return a.After(b); }
+    bool operator()(const Entry& a, const Entry& b) const { return a.After(b); }
   };
 
-  bool IsLive(const HeapEntry& e) const {
-    return e.ev == nullptr || (e.ev->scheduled_ && e.ev->generation_ == e.generation);
+  // A fired entry is marked consumed (ev and fn both null) and is no longer
+  // live; a cancelled/rescheduled Event entry goes dead via its generation.
+  bool IsLive(const Entry& e) const {
+    return e.ev != nullptr ? (e.ev->scheduled_ && e.ev->generation_ == e.generation)
+                           : static_cast<bool>(e.fn);
   }
-  void PopDead();
 
-  std::vector<HeapEntry> heap_;
+  bool InWheelWindow(Tick when) const { return when - now_ < kWheelTicks; }
+  void AddEntry(Entry entry);
+  void SetBit(size_t bucket) { bitmap_[bucket >> 6] |= 1ull << (bucket & 63); }
+  void ClearBucket(size_t bucket);
+  // Scans the bucket for a live entry, starting at the fire cursor when the
+  // bucket is the active one. Returns the entry index or SIZE_MAX.
+  size_t FindLive(size_t bucket) const;
+  // Distance in ticks from now() to the earliest occupied wheel bucket with a
+  // live entry (cleaning exhausted buckets along the way), or SIZE_MAX.
+  // When found and `pos` is non-null, also reports the bucket and entry index
+  // so RunOne does not rescan.
+  struct WheelPos {
+    size_t bucket;
+    size_t idx;
+  };
+  size_t ScanWheel(WheelPos* pos = nullptr);
+  // Migrates heap entries that entered the wheel window into their buckets.
+  // Must run after every advance of now_ so overflow entries land in bucket
+  // order before any same-tick direct schedule (preserves FIFO by seq).
+  void DrainHeap();
+  void PopDeadHeap();
+  void MaybeCompact();
+
+  std::array<std::vector<Entry>, kWheelTicks> wheel_;
+  std::array<uint64_t, kBitmapWords> bitmap_{};
+  std::vector<Entry> heap_;    // far-future overflow (when - now >= kWheelTicks)
+  // Fire cursor: entries [0, active_idx_) of bucket active_bucket_ are
+  // consumed or dead. Advanced before Fire() so reentrant schedules are safe.
+  size_t active_bucket_ = 0;
+  size_t active_idx_ = 0;
   Tick now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t generation_counter_ = 0;
   size_t live_count_ = 0;
+  size_t entry_count_ = 0;     // live + not-yet-reclaimed dead, wheel + heap
+  uint64_t fired_count_ = 0;
+  Tick advance_limit_ = 0;     // AdvanceIfIdle ceiling; raised inside RunUntil/RunAll
 };
 
 }  // namespace casc

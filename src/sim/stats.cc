@@ -192,8 +192,14 @@ void StatsRegistry::DumpJson(std::ostream& os) const {
 }
 
 void StatsRegistry::Reset() {
-  counters_.clear();
-  hists_.clear();
+  // Zero in place rather than clearing the maps: interned handles and
+  // references point at the map nodes and must survive a reset.
+  for (auto& [name, value] : counters_) {
+    value = 0;
+  }
+  for (auto& [name, hist] : hists_) {
+    hist.Reset();
+  }
 }
 
 }  // namespace casc

@@ -56,10 +56,56 @@ class Histogram {
 
 // A simulation-scoped registry of named counters and histograms. Components
 // obtain references once at construction; lookups are by full dotted name.
+//
+// Hot paths hold `CounterHandle`/`HistHandle` members interned once at
+// construction via Intern()/InternHist() — after that no string lookup ever
+// runs per event. Handles (like the raw references) stay valid for the
+// registry's lifetime because the backing std::map nodes never move; Reset()
+// invalidates nothing (it clears values in place — see Reset()).
 class StatsRegistry {
  public:
+  // An interned counter: a stable pointer into the registry with counter
+  // ergonomics (`h++`, `h += n`).
+  class CounterHandle {
+   public:
+    CounterHandle() = default;
+    uint64_t operator++(int) { return (*value_)++; }
+    CounterHandle& operator++() {
+      ++*value_;
+      return *this;
+    }
+    CounterHandle& operator+=(uint64_t delta) {
+      *value_ += delta;
+      return *this;
+    }
+    uint64_t get() const { return *value_; }
+    bool valid() const { return value_ != nullptr; }
+
+   private:
+    friend class StatsRegistry;
+    explicit CounterHandle(uint64_t* value) : value_(value) {}
+    uint64_t* value_ = nullptr;
+  };
+
+  // An interned histogram.
+  class HistHandle {
+   public:
+    HistHandle() = default;
+    void Record(uint64_t value, uint64_t weight = 1) { hist_->Record(value, weight); }
+    const Histogram& hist() const { return *hist_; }
+    bool valid() const { return hist_ != nullptr; }
+
+   private:
+    friend class StatsRegistry;
+    explicit HistHandle(Histogram* hist) : hist_(hist) {}
+    Histogram* hist_ = nullptr;
+  };
+
   uint64_t& Counter(const std::string& name) { return counters_[name]; }
   Histogram& Hist(const std::string& name) { return hists_[name]; }
+
+  CounterHandle Intern(const std::string& name) { return CounterHandle(&Counter(name)); }
+  HistHandle InternHist(const std::string& name) { return HistHandle(&Hist(name)); }
 
   uint64_t GetCounter(const std::string& name) const;
   const Histogram* GetHist(const std::string& name) const;

@@ -4,8 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <functional>
+#include <tuple>
+#include <vector>
 
 #include "src/cpu/machine.h"
+#include "src/hwt/tracer.h"
 #include "src/isa/isa.h"
 
 namespace casc {
@@ -269,6 +272,83 @@ TEST(InterpGoldenTest, R0IsHardwiredZero) {
   m.RunToQuiescence();
   EXPECT_EQ(m.threads().thread(p).ReadGpr(0), 0u);
   EXPECT_EQ(m.threads().thread(p).ReadGpr(12), 0u);
+}
+
+// --- predecoded I-cache -------------------------------------------------------
+
+// The predecode cache is a host-side speedup only: with it on or off, the
+// same program must retire the same instructions at the same ticks and leave
+// identical architectural state.
+TEST(PredecodeTest, TraceEquivalentToPerFetchDecode) {
+  struct TraceResult {
+    uint64_t retired;
+    Tick end;
+    uint64_t a0;
+    std::vector<std::tuple<Tick, Ptid, int, int, int>> events;
+  };
+  auto run = [](bool predecode) {
+    Machine m;
+    ThreadTracer tracer;
+    m.threads().SetTracer(&tracer);
+    m.SetPredecodeEnabled(predecode);
+    const Ptid p = m.LoadSource(0, 0,
+                                "  li a0, 0\n"
+                                "  li a1, 200\n"
+                                "  li a2, 0x8000\n"
+                                "loop:\n"
+                                "  add a0, a0, a1\n"
+                                "  sd a0, 0(a2)\n"
+                                "  ld a3, 0(a2)\n"
+                                "  addi a1, a1, -1\n"
+                                "  bne a1, r0, loop\n"
+                                "  halt\n",
+                                /*supervisor=*/true);
+    m.Start(p);
+    m.RunToQuiescence();
+    TraceResult r;
+    r.retired = m.core(0).instructions_retired();
+    r.end = m.sim().now();
+    r.a0 = m.threads().thread(p).ReadGpr(10);
+    for (const ThreadTracer::Event& e : tracer.events()) {
+      r.events.push_back({e.tick, e.ptid, static_cast<int>(e.from), static_cast<int>(e.to),
+                          static_cast<int>(e.cause)});
+    }
+    if (predecode) {
+      EXPECT_GT(m.core(0).predecode_hits(), 0u);
+    } else {
+      EXPECT_EQ(m.core(0).predecode_hits(), 0u);
+      EXPECT_EQ(m.core(0).predecode_misses(), 0u);
+    }
+    return r;
+  };
+  const TraceResult with = run(true);
+  const TraceResult without = run(false);
+  EXPECT_GT(with.retired, 1000u);  // the loop actually ran
+  EXPECT_EQ(with.retired, without.retired);
+  EXPECT_EQ(with.end, without.end);
+  EXPECT_EQ(with.a0, without.a0);
+  EXPECT_EQ(with.events, without.events);
+}
+
+TEST(PredecodeTest, SelfModifyingCodeObservedAfterStore) {
+  // Overwriting an already-predecoded instruction word must invalidate the
+  // cached line: the rewritten instruction executes, not the stale decode.
+  for (bool predecode : {true, false}) {
+    Machine m;
+    m.SetPredecodeEnabled(predecode);
+    const Ptid p = m.LoadSource(0, 0,
+                                "  la a1, target\n"
+                                "  sw a2, 0(a1)\n"
+                                "target:\n"
+                                "  addi a0, r0, 55\n"
+                                "  halt\n",
+                                /*supervisor=*/true);
+    // a2 holds the replacement encoding "addi a0, r0, 77".
+    m.threads().thread(p).WriteGpr(12, Encode(Instruction{Opcode::kAddi, 10, 0, 0, 77}));
+    m.Start(p);
+    m.RunToQuiescence();
+    EXPECT_EQ(m.threads().thread(p).ReadGpr(10), 77u) << "predecode=" << predecode;
+  }
 }
 
 }  // namespace

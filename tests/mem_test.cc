@@ -362,6 +362,44 @@ TEST_F(MonitorFilterTest, ZeroPerThreadCapacityTracksNothing) {
   EXPECT_EQ(stats_.GetCounter("monitor.overflows"), 1u);
 }
 
+TEST_F(MonitorFilterTest, UnwatchedWriteNeverTriggers) {
+  // The summary filter short-circuits writes to unwatched lines; a watched
+  // line must still count a trigger.
+  ASSERT_TRUE(filter_.AddWatch(1, 0x1000));
+  filter_.OnWrite(0x40000, 8);
+  EXPECT_EQ(stats_.GetCounter("monitor.triggers"), 0u);
+  filter_.OnWrite(0x1000, 8);
+  EXPECT_EQ(stats_.GetCounter("monitor.triggers"), 1u);
+}
+
+TEST_F(MonitorFilterTest, SummaryCountsWatchersClearOfOneKeepsOtherLive) {
+  // Two ptids watch the same line. Clearing one must not zero the summary
+  // slot (it counts distinct watched lines, not watchers): the write still
+  // wakes the remaining watcher.
+  ASSERT_TRUE(filter_.AddWatch(1, 0x1000));
+  ASSERT_TRUE(filter_.AddWatch(2, 0x1000));
+  filter_.ClearWatches(1);
+  filter_.SetWaiting(2, true);
+  filter_.OnWrite(0x1000, 8);
+  ASSERT_EQ(wakes_.size(), 1u);
+  EXPECT_EQ(wakes_[0].first, 2u);
+  // Clearing the last watcher releases the line entirely.
+  filter_.ClearWatches(2);
+  ASSERT_TRUE(filter_.AddWatch(3, 0x9000));  // keeps the watcher map non-empty
+  filter_.OnWrite(0x1000, 8);
+  EXPECT_EQ(stats_.GetCounter("monitor.triggers"), 1u);
+}
+
+TEST_F(MonitorFilterTest, RewatchAfterClearStillWakes) {
+  ASSERT_TRUE(filter_.AddWatch(1, 0x1000));
+  filter_.ClearWatches(1);
+  ASSERT_TRUE(filter_.AddWatch(1, 0x1000));
+  filter_.SetWaiting(1, true);
+  filter_.OnWrite(0x1000, 8);
+  ASSERT_EQ(wakes_.size(), 1u);
+  EXPECT_EQ(wakes_[0].first, 1u);
+}
+
 TEST_F(MonitorFilterTest, DmaWriteThroughMemorySystemWakes) {
   Simulation sim;
   MemorySystem mem(sim, MemConfig{}, 1);

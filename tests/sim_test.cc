@@ -2,8 +2,11 @@
 // histogram accuracy, RNG distribution sanity, and config parsing.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -99,6 +102,214 @@ TEST(EventQueueTest, ScheduleFromWithinCallback) {
   q.ScheduleFn(1, [&] { q.ScheduleFn(4, [&] { late = static_cast<int>(q.now()); }); });
   q.RunAll();
   EXPECT_EQ(late, 4);
+}
+
+TEST(EventQueueTest, DescheduleOfPendingEventThenReschedule) {
+  EventQueue q;
+  int fired = 0;
+  LambdaEvent ev([&] { fired++; });
+  q.Schedule(&ev, 10);
+  q.Deschedule(&ev);
+  EXPECT_FALSE(ev.scheduled());
+  q.RunUntil(20);
+  EXPECT_EQ(fired, 0);
+  // The object is immediately reusable after cancellation.
+  q.Schedule(&ev, 25);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 25u);
+}
+
+TEST(EventQueueTest, RescheduleWhilePendingMovesBothDirections) {
+  EventQueue q;
+  std::vector<Tick> fired_at;
+  LambdaEvent ev([&] { fired_at.push_back(q.now()); });
+  // Near -> far: the wheel entry goes stale, the heap entry is live.
+  q.Schedule(&ev, 10);
+  q.Schedule(&ev, EventQueue::kWheelTicks + 500);
+  q.RunUntil(100);
+  EXPECT_TRUE(fired_at.empty());
+  q.RunAll();
+  ASSERT_EQ(fired_at.size(), 1u);
+  EXPECT_EQ(fired_at[0], EventQueue::kWheelTicks + 500);
+  // Far -> near: the heap entry goes stale, the wheel entry is live. The
+  // stale far entry must neither fire nor drag now() forward.
+  const Tick base = q.now();
+  q.Schedule(&ev, base + EventQueue::kWheelTicks + 500);
+  q.Schedule(&ev, base + 3);
+  q.RunAll();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_EQ(fired_at[1], base + 3);
+  EXPECT_EQ(q.now(), base + 3);
+}
+
+TEST(EventQueueTest, FarFutureSchedulingFiresInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const Tick far = 3 * EventQueue::kWheelTicks + 7;  // beyond the wheel window
+  q.ScheduleFn(far, [&] { order.push_back(2); });
+  q.ScheduleFn(far + 1, [&] { order.push_back(3); });
+  q.ScheduleFn(5, [&] { order.push_back(1); });
+  EXPECT_EQ(q.NextTick(), 5u);
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(q.now(), far + 1);
+}
+
+TEST(EventQueueTest, HeapToWheelMigrationKeepsFifoWithinTick) {
+  // An entry scheduled while far-future (heap overflow) and one scheduled
+  // directly into the wheel for the same tick must fire in schedule order.
+  EventQueue q;
+  std::vector<int> order;
+  const Tick t = EventQueue::kWheelTicks + 10;
+  q.ScheduleFn(t, [&] { order.push_back(1); });  // heap at schedule time
+  q.RunUntil(t - 1);                             // migrates into the wheel
+  q.ScheduleFn(t, [&] { order.push_back(2); });  // direct same-tick append
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, RunUntilCrossesEmptyWheelSpans) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleFn(3, [&] { fired++; });
+  q.RunAll();
+  // Jump now() across several full wheel wraps with nothing scheduled.
+  const Tick target = 10 * EventQueue::kWheelTicks + 123;
+  q.RunUntil(target);
+  EXPECT_EQ(q.now(), target);
+  EXPECT_TRUE(q.Empty());
+  // The wheel must still index correctly after the jump.
+  q.ScheduleFn(target + 2, [&] { fired++; });
+  q.ScheduleFn(target + EventQueue::kWheelTicks + 2, [&] { fired++; });
+  q.RunAll();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(q.now(), target + EventQueue::kWheelTicks + 2);
+}
+
+TEST(EventQueueTest, RepeatedRescheduleKeepsStorageBounded) {
+  // Regression: every reschedule/cancel leaves a dead entry behind, and these
+  // used to accumulate until a full drain. Compaction must keep internal
+  // storage proportional to the live population.
+  EventQueue q;
+  LambdaEvent ev([] {});
+  for (Tick t = 1; t <= 10000; t++) {
+    q.Schedule(&ev, t);  // spans both the wheel and the heap overflow
+  }
+  EXPECT_EQ(q.LiveCount(), 1u);
+  EXPECT_LT(q.InternalEntryCount(), 256u);
+  EXPECT_EQ(q.RunAll(), 1u);
+  EXPECT_EQ(q.now(), 10000u);
+  EXPECT_FALSE(ev.scheduled());
+
+  // Schedule/cancel churn with zero live survivors is also bounded.
+  LambdaEvent other([] {});
+  for (int i = 0; i < 10000; i++) {
+    q.Schedule(&other, q.now() + 1 + (i % 100));
+    q.Deschedule(&other);
+  }
+  EXPECT_EQ(q.LiveCount(), 0u);
+  EXPECT_LT(q.InternalEntryCount(), 256u);
+}
+
+TEST(EventQueueTest, RandomizedDifferentialAgainstReferenceModel) {
+  // Drive the queue with random schedules/cancels/runs and check every fire
+  // against a brute-force reference model ordered by (when, schedule-seq).
+  EventQueue q;
+  Rng rng(2026);
+  std::vector<int> got;
+  std::vector<int> want;
+
+  struct Ref {
+    Tick when;
+    uint64_t seq;
+    int id;
+  };
+  std::vector<Ref> ref;  // live entries in the reference model
+  uint64_t next_seq = 0;
+  Tick model_now = 0;
+  int next_id = 0;
+
+  constexpr int kPool = 6;  // reusable events; slot i fires id 1000000 + i
+  std::vector<std::unique_ptr<LambdaEvent<std::function<void()>>>> pool;
+  for (int i = 0; i < kPool; i++) {
+    pool.push_back(std::make_unique<LambdaEvent<std::function<void()>>>(
+        [&got, i] { got.push_back(1000000 + i); }));
+  }
+  auto ref_min = [&]() -> size_t {
+    size_t best = SIZE_MAX;
+    for (size_t j = 0; j < ref.size(); j++) {
+      if (best == SIZE_MAX || ref[j].when < ref[best].when ||
+          (ref[j].when == ref[best].when && ref[j].seq < ref[best].seq)) {
+        best = j;
+      }
+    }
+    return best;
+  };
+  auto ref_erase_slot = [&](int i) {
+    for (size_t j = 0; j < ref.size(); j++) {
+      if (ref[j].id == 1000000 + i) {
+        ref.erase(ref.begin() + j);
+        return;
+      }
+    }
+  };
+
+  for (int step = 0; step < 4000; step++) {
+    const uint64_t op = rng.NextBounded(100);
+    if (op < 40) {
+      const Tick when = model_now + rng.NextBounded(3 * EventQueue::kWheelTicks);
+      const int id = next_id++;
+      ref.push_back({when, next_seq++, id});
+      q.ScheduleFn(when, [&got, id] { got.push_back(id); });
+    } else if (op < 60) {
+      const int i = static_cast<int>(rng.NextBounded(kPool));
+      const Tick when = model_now + rng.NextBounded(3 * EventQueue::kWheelTicks);
+      ref_erase_slot(i);  // a reschedule supersedes the earlier entry
+      ref.push_back({when, next_seq++, 1000000 + i});
+      q.Schedule(pool[i].get(), when);
+    } else if (op < 70) {
+      const int i = static_cast<int>(rng.NextBounded(kPool));
+      ref_erase_slot(i);
+      q.Deschedule(pool[i].get());
+    } else if (op < 85) {
+      const size_t j = ref_min();
+      if (j == SIZE_MAX) {
+        EXPECT_FALSE(q.RunOne());
+      } else {
+        want.push_back(ref[j].id);
+        model_now = ref[j].when;
+        ref.erase(ref.begin() + j);
+        EXPECT_TRUE(q.RunOne());
+        EXPECT_EQ(q.now(), model_now);
+      }
+    } else {
+      const Tick limit = model_now + rng.NextBounded(2 * EventQueue::kWheelTicks);
+      for (;;) {
+        const size_t j = ref_min();
+        if (j == SIZE_MAX || ref[j].when > limit) {
+          break;
+        }
+        want.push_back(ref[j].id);
+        ref.erase(ref.begin() + j);
+      }
+      model_now = std::max(model_now, limit);
+      q.RunUntil(limit);
+      EXPECT_EQ(q.now(), model_now);
+    }
+    ASSERT_EQ(got, want) << "diverged at step " << step;
+  }
+  q.RunAll();
+  for (;;) {
+    const size_t j = ref_min();
+    if (j == SIZE_MAX) {
+      break;
+    }
+    want.push_back(ref[j].id);
+    ref.erase(ref.begin() + j);
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_TRUE(q.Empty());
 }
 
 TEST(HistogramTest, ExactForSmallValues) {
@@ -201,6 +412,38 @@ TEST(ConfigTest, RejectsMalformed) {
   std::string err;
   EXPECT_FALSE(cfg.ParseArgs(2, argv, &err));
   EXPECT_NE(err.find("oops"), std::string::npos);
+}
+
+TEST(ConfigTest, MalformedValueReturnsDefaultAndRecordsError) {
+  Config cfg;
+  cfg.Set("threads", "12abc");  // trailing junk
+  cfg.Set("load", "fast");      // not a number
+  cfg.Set("size", "-5");        // must not wrap around to a huge uint
+  EXPECT_EQ(cfg.GetInt("threads", 7), 7);
+  EXPECT_DOUBLE_EQ(cfg.GetDouble("load", 0.5), 0.5);
+  EXPECT_EQ(cfg.GetUint("size", 9u), 9u);
+  // Each failure is recorded once even when re-queried (the error path is
+  // memoized too).
+  EXPECT_EQ(cfg.GetInt("threads", 7), 7);
+  ASSERT_EQ(cfg.parse_errors().size(), 3u);
+  EXPECT_EQ(cfg.parse_errors()[0], "threads=12abc (int)");
+  EXPECT_EQ(cfg.parse_errors()[1], "load=fast (double)");
+  EXPECT_EQ(cfg.parse_errors()[2], "size=-5 (uint)");
+}
+
+TEST(ConfigTest, TypedAccessorsMemoizeAndSetInvalidates) {
+  Config cfg;
+  cfg.Set("n", "5");
+  EXPECT_EQ(cfg.GetInt("n", 0), 5);
+  cfg.Set("n", "9");  // must invalidate the memoized parse
+  EXPECT_EQ(cfg.GetInt("n", 0), 9);
+  // A key that becomes valid after Set also drops its recorded error.
+  cfg.Set("x", "oops");
+  EXPECT_EQ(cfg.GetInt("x", -1), -1);
+  EXPECT_EQ(cfg.parse_errors().size(), 1u);
+  cfg.Set("x", "0x10");
+  EXPECT_EQ(cfg.GetInt("x", -1), 16);
+  EXPECT_TRUE(cfg.parse_errors().empty());
 }
 
 TEST(SimulationTest, ClockConversions) {

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Release-build bench-smoke tier.
+#
+# The default tree builds RelWithDebInfo; host-throughput numbers (bench
+# t2_simhost) and the perf-sensitive hot paths are only meaningful at full
+# optimization, so CI also runs the bench-smoke ctest tier from a Release
+# tree: every bench with reduced iterations, then casc_bench_check over each
+# BENCH_*.json artifact.
+#
+#   tools/bench_smoke_release.sh            # uses ./build-rel
+#   BUILD=/tmp/rel tools/bench_smoke_release.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD:-build-rel}
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j"$(nproc)"
+ctest --test-dir "$BUILD" -L bench-smoke -j"$(nproc)" --output-on-failure

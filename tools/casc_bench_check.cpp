@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -90,6 +91,47 @@ void CheckBenchReport(const std::string& path) {
     }
     if (!IsFiniteNumber(r.Find("value"))) {
       Fail(path, at + " \"value\" is missing, non-numeric, or non-finite");
+    }
+  }
+
+  // The simhost bench measures host wall-time; every other metric in the repo
+  // is sim-side, so the generic checks above cannot tell a broken timer from
+  // a healthy one. Require each config to report positive host wall-time and
+  // host throughput.
+  if (bench != nullptr && bench->is_string() && bench->str_v == "t2_simhost") {
+    std::map<std::string, bool> host_ms_ok;
+    std::map<std::string, bool> throughput_ok;
+    for (const JsonValue& r : results->arr) {
+      if (!r.is_object()) {
+        continue;
+      }
+      const JsonValue* config = r.Find("config");
+      const JsonValue* metric = r.Find("metric");
+      const JsonValue* value = r.Find("value");
+      if (config == nullptr || !config->is_string() || metric == nullptr ||
+          !metric->is_string()) {
+        continue;
+      }
+      host_ms_ok.try_emplace(config->str_v, false);
+      throughput_ok.try_emplace(config->str_v, false);
+      const bool positive = IsFiniteNumber(value) && value->num_v > 0;
+      if (metric->str_v == "host_ms" && positive) {
+        host_ms_ok[config->str_v] = true;
+      }
+      if (metric->str_v == "sim_insts_per_sec" && positive) {
+        throughput_ok[config->str_v] = true;
+      }
+    }
+    for (const auto& [config, ok] : host_ms_ok) {
+      if (!ok) {
+        Fail(path, "simhost config \"" + config + "\" missing positive \"host_ms\"");
+      }
+    }
+    for (const auto& [config, ok] : throughput_ok) {
+      if (!ok) {
+        Fail(path,
+             "simhost config \"" + config + "\" missing positive \"sim_insts_per_sec\"");
+      }
     }
   }
 }
