@@ -6,6 +6,7 @@
 // core — yet reacts within tens of nanoseconds — unlike an interrupt path.
 //
 // Build & run:  ./examples/echo_server [--frames=N] [--trace] [--trace-json=out.json]
+//                                      [--stats-json=out.json]
 #include <cstdio>
 #include <cstring>
 
@@ -98,7 +99,7 @@ int main(int argc, char** argv) {
   std::printf("server mwait waits: %llu (slept between every burst)\n",
               (unsigned long long)stats.GetCounter("hwt.mwait_blocks"));
   std::printf("interrupts taken  : 0 — the NIC's tail-counter DMA is the only signal\n");
-  if (!trace.Finish(0, m.sim().now() + 1)) {
+  if (!trace.Finish(0, m.sim().now() + 1) || !MaybeWriteStatsJson(m, cfg)) {
     return 1;
   }
   return echoed == frames ? 0 : 1;

@@ -1,8 +1,9 @@
-// Shared --trace / --trace-json handling for the example binaries: every
-// example accepts
+// Shared --trace / --trace-json / --stats-json handling for the example
+// binaries: every example accepts
 //   --trace                 render a text timeline at exit
 //   --trace-json=<path>     write a Chrome trace_event JSON file
-// Both observe the same ThreadTracer; neither costs anything when absent.
+//   --stats-json=<path>     write the final stats registry as JSON
+// All observe existing machine state; none costs anything when absent.
 #ifndef EXAMPLES_EXAMPLE_UTIL_H_
 #define EXAMPLES_EXAMPLE_UTIL_H_
 
@@ -14,6 +15,7 @@
 #include "src/cpu/machine.h"
 #include "src/hwt/tracer.h"
 #include "src/sim/config.h"
+#include "src/sim/stats.h"
 
 namespace casc {
 
@@ -57,6 +59,24 @@ class ExampleTrace {
   bool text_;
   std::string json_path_;
 };
+
+// Writes the machine's stats registry to the --stats-json path, if given.
+// The dump is a pure function of simulated state, so two runs of the same
+// binary with the same flags must produce byte-identical files (the
+// determinism_examples test relies on this). Returns false only on I/O error.
+inline bool MaybeWriteStatsJson(Machine& m, const Config& cfg) {
+  const std::string path = cfg.GetString("stats-json");
+  if (path.empty()) {
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  m.sim().stats().DumpJson(out);
+  return static_cast<bool>(out);
+}
 
 }  // namespace casc
 

@@ -6,6 +6,7 @@
 // the wakeup takes nanoseconds, with no interrupt and no scheduler anywhere.
 //
 // Build & run:  ./examples/quickstart [--trace] [--trace-json=out.json]
+//                                     [--stats-json=out.json]
 #include <cstdio>
 
 #include "examples/example_util.h"
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
               (unsigned long long)wake, m.sim().CyclesToNs(wake), m.config().ghz);
   std::printf("\nNo interrupt was taken, no run queue was touched: the store hit the\n");
   std::printf("monitor filter and the waiting hardware thread resumed in nanoseconds.\n");
-  if (!trace.Finish(0, m.sim().now() + 1)) {
+  if (!trace.Finish(0, m.sim().now() + 1) || !MaybeWriteStatsJson(m, cfg)) {
     return 1;
   }
   return consumed_value == 1234 ? 0 : 1;

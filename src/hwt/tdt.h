@@ -52,6 +52,16 @@ class VtidCache {
 
   size_t size() const { return entries_.size(); }
 
+  // Visit every cached (vtid, translation) pair, in unspecified order. Used
+  // by the differential fuzzer to check cached entries against a fresh TDT
+  // walk; hardware would never need this.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [vtid, t] : entries_) {
+      fn(vtid, t);
+    }
+  }
+
  private:
   uint32_t capacity_;
   std::unordered_map<Vtid, Translation> entries_;

@@ -93,6 +93,10 @@ class ThreadSystem {
   // cache. Public for tests and for the runtime.
   Translation Translate(Ptid issuer, Vtid vtid, Tick* latency);
 
+  // Read-only view of a thread's translation cache, for invariant checks
+  // (every cached entry must agree with a fresh walk of the current TDT).
+  const VtidCache& vtid_cache(Ptid ptid) const { return vtid_caches_[ptid]; }
+
   // ---- Machine halt (triple-fault analog, §3.2) ---------------------------
   bool halted() const { return halted_; }
   const std::string& halt_reason() const { return halt_reason_; }

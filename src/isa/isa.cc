@@ -136,6 +136,37 @@ const char* OpcodeName(Opcode op) {
 
 std::string RegisterName(uint32_t index) { return "r" + std::to_string(index & 0x1f); }
 
+const char* CsrName(Csr csr) {
+  switch (csr) {
+    case Csr::kMode: return "mode";
+    case Csr::kEdp: return "edp";
+    case Csr::kTdtr: return "tdtr";
+    case Csr::kTdtSize: return "tdtsize";
+    case Csr::kPrio: return "prio";
+    case Csr::kPtid: return "ptid";
+    case Csr::kCoreId: return "coreid";
+    case Csr::kCycle: return "cycle";
+    case Csr::kSelfKey: return "selfkey";
+    case Csr::kAuthKey: return "authkey";
+    default: return nullptr;
+  }
+}
+
+std::string RemoteRegName(uint32_t index) {
+  if (index < kNumGprs) {
+    return RegisterName(index);
+  }
+  switch (static_cast<RemoteReg>(index)) {
+    case RemoteReg::kPc: return "pc";
+    case RemoteReg::kMode: return "mode";
+    case RemoteReg::kEdp: return "edp";
+    case RemoteReg::kTdtr: return "tdtr";
+    case RemoteReg::kTdtSize: return "tdtsize";
+    case RemoteReg::kPrio: return "prio";
+    default: return "";
+  }
+}
+
 int ParseRegister(const std::string& name) {
   if (name == "zero") {
     return 0;

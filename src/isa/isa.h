@@ -138,6 +138,11 @@ bool IsJFormat(Opcode op);
 bool IsIFormat(Opcode op);
 
 const char* OpcodeName(Opcode op);
+// Assembler-accepted CSR name ("mode", "edp", ...), or nullptr if out of range.
+const char* CsrName(Csr csr);
+// Assembler-accepted remote-register name for rpull/rpush ("r7", "pc", ...).
+// Returns an empty string if out of range.
+std::string RemoteRegName(uint32_t index);
 std::string Disassemble(const Instruction& inst);
 std::string Disassemble(uint32_t word);
 

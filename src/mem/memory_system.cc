@@ -1,8 +1,23 @@
 #include "src/mem/memory_system.h"
 
 #include <cassert>
+#include <limits>
 
 namespace casc {
+
+namespace {
+// Last line touched by a write of `len` bytes at `addr`, clamped to the top
+// of the address space: `addr + len - 1` may wrap, and a `line <= last` loop
+// would never terminate once `line + kLineSize` wraps past the final line.
+// Same idiom as MonitorFilter::OnWrite (found by casc_fuzz; callers iterate
+// with an equality exit).
+Addr LastLineClamped(Addr addr, size_t len) {
+  const Addr max_addr = std::numeric_limits<Addr>::max();
+  const uint64_t span = len > 0 ? len - 1 : 0;
+  const Addr last_byte = span > max_addr - addr ? max_addr : addr + span;
+  return LineBase(last_byte);
+}
+}  // namespace
 
 MemorySystem::MemorySystem(Simulation& sim, const MemConfig& config, uint32_t num_cores)
     : sim_(sim),
@@ -39,9 +54,8 @@ void MemorySystem::RegisterMmio(Addr base, uint64_t size, MmioDevice* device) {
 }
 
 void MemorySystem::InvalidateForWrite(Addr addr, size_t len, CoreId writer) {
-  const Addr first = LineBase(addr);
-  const Addr last = LineBase(addr + (len > 0 ? len - 1 : 0));
-  for (Addr line = first; line <= last; line += kLineSize) {
+  const Addr last = LastLineClamped(addr, len);
+  for (Addr line = LineBase(addr);; line += kLineSize) {
     for (uint32_t c = 0; c < core_caches_.size(); c++) {
       if (c == writer) {
         continue;
@@ -54,6 +68,9 @@ void MemorySystem::InvalidateForWrite(Addr addr, size_t len, CoreId writer) {
     // the writer: its own predecoded copy of the line is stale too.
     for (const CodeWriteListener& listener : code_write_listeners_) {
       listener(line);
+    }
+    if (line == last) {
+      break;
     }
   }
 }
@@ -104,9 +121,8 @@ void MemorySystem::DmaWrite(Addr addr, const void* data, size_t len) {
   phys_.Write(addr, data, len);
   // DMA invalidates every core's private lines; optionally allocates into the
   // shared L3 (DDIO-style) so the woken consumer hits on-chip.
-  const Addr first = LineBase(addr);
-  const Addr last = LineBase(addr + (len > 0 ? len - 1 : 0));
-  for (Addr line = first; line <= last; line += kLineSize) {
+  const Addr last = LastLineClamped(addr, len);
+  for (Addr line = LineBase(addr);; line += kLineSize) {
     for (auto& cc : core_caches_) {
       cc.l1i->Invalidate(line);
       cc.l1d->Invalidate(line);
@@ -119,6 +135,9 @@ void MemorySystem::DmaWrite(Addr addr, const void* data, size_t len) {
     }
     for (const CodeWriteListener& listener : code_write_listeners_) {
       listener(line);
+    }
+    if (line == last) {
+      break;
     }
   }
   monitors_.OnWrite(addr, len);

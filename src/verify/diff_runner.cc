@@ -1,0 +1,187 @@
+#include "src/verify/diff_runner.h"
+
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "src/verify/prog_gen.h"
+
+namespace casc {
+namespace verify {
+
+namespace {
+
+MachineConfig BaseMachine() {
+  MachineConfig cfg;
+  cfg.num_cores = 1;
+  cfg.hwt.threads_per_core = kGenThreads;
+  return cfg;
+}
+
+std::vector<LatticePoint> BuildLattice() {
+  std::vector<LatticePoint> points;
+
+  points.push_back({"default", BaseMachine(), /*predecode=*/true});
+
+  {
+    LatticePoint p{"nopredecode-smt1", BaseMachine(), /*predecode=*/false};
+    p.machine.hwt.smt_width = 1;
+    points.push_back(p);
+  }
+  {
+    LatticePoint p{"smt4-tiny-tiers", BaseMachine(), true};
+    p.machine.hwt.smt_width = 4;
+    p.machine.hwt.rf_slots = 2;
+    p.machine.hwt.l2_slots = 2;
+    p.machine.hwt.l3_slots = 2;
+    points.push_back(p);
+  }
+  {
+    LatticePoint p{"nodirty", BaseMachine(), true};
+    p.machine.hwt.dirty_register_tracking = false;
+    points.push_back(p);
+  }
+  {
+    LatticePoint p{"smt1-rf-only", BaseMachine(), true};
+    p.machine.hwt.smt_width = 1;
+    p.machine.hwt.prefetch_on_wake = false;
+    p.machine.hwt.l2_slots = 0;
+    p.machine.hwt.l3_slots = 0;
+    points.push_back(p);
+  }
+  {
+    LatticePoint p{"monitor2", BaseMachine(), true};
+    p.machine.mem.monitor.max_watches_per_thread = 2;
+    points.push_back(p);
+  }
+  {
+    LatticePoint p{"secretkey", BaseMachine(), true};
+    p.machine.hwt.security_model = SecurityModel::kSecretKey;
+    points.push_back(p);
+  }
+  return points;
+}
+
+// Architectural signature: the parameters that are allowed to change
+// architectural outcomes. Lattice points with equal signatures must agree
+// with each other and with one shared reference run.
+using ArchSig = std::tuple<uint8_t, uint32_t, uint32_t, uint32_t>;
+
+ArchSig SignatureOf(const LatticePoint& p) {
+  return {static_cast<uint8_t>(p.machine.hwt.security_model), p.machine.hwt.threads_per_core,
+          p.machine.mem.monitor.max_watches_per_thread, p.machine.mem.monitor.max_watch_lines};
+}
+
+RefConfig RefConfigFor(const LatticePoint& p) {
+  RefConfig cfg;
+  cfg.security_model = p.machine.hwt.security_model;
+  cfg.num_threads = p.machine.hwt.threads_per_core;
+  cfg.max_watches_per_thread = p.machine.mem.monitor.max_watches_per_thread;
+  cfg.max_watch_lines = p.machine.mem.monitor.max_watch_lines;
+  return cfg;
+}
+
+DiffFailure Fail(const std::string& config, const std::string& category,
+                 const std::string& detail) {
+  return DiffFailure{true, config, category, detail};
+}
+
+std::string StatsJson(Machine& machine) {
+  std::ostringstream os;
+  machine.sim().stats().DumpJson(os);
+  return os.str();
+}
+
+}  // namespace
+
+const std::vector<LatticePoint>& DefaultLattice() {
+  static const std::vector<LatticePoint> kLattice = BuildLattice();
+  return kLattice;
+}
+
+DiffFailure RunDifferential(const Program& program, const DiffOptions& opts) {
+  const std::vector<LatticePoint>& lattice = DefaultLattice();
+  std::vector<size_t> points = opts.points;
+  if (points.empty()) {
+    for (size_t i = 0; i < lattice.size(); i++) {
+      points.push_back(i);
+    }
+  }
+  for (size_t i : points) {
+    if (i >= lattice.size()) {
+      return Fail("", "setup", "lattice point index out of range: " + std::to_string(i));
+    }
+  }
+
+  const std::vector<ThreadSpec> specs = ParseThreadSpecs(program, kGenThreads);
+  const auto masks = DescriptorMaskRanges(specs);
+
+  // One reference run per architectural signature.
+  std::map<ArchSig, Snapshot> oracles;
+  for (size_t i : points) {
+    const LatticePoint& p = lattice[i];
+    const ArchSig sig = SignatureOf(p);
+    if (oracles.count(sig)) {
+      continue;
+    }
+    Snapshot ref = RunOnRef(program, specs, RefConfigFor(p), opts.oracle_step_cap);
+    if (!ref.quiesced) {
+      return Fail(p.name, "timeout", "reference model hit the step cap (generated program "
+                  "violates the termination contract, or the cap is too low)");
+    }
+    oracles.emplace(sig, std::move(ref));
+  }
+
+  for (size_t i : points) {
+    const LatticePoint& p = lattice[i];
+    SimRun run(program, specs, p.machine, p.predecode);
+    Snapshot sim = run.Run(opts.max_events);
+    if (!sim.quiesced) {
+      return Fail(p.name, "quiesce", "simulator hit the event cap before quiescing");
+    }
+    const Snapshot& ref = oracles.at(SignatureOf(p));
+    std::string diff = CompareSnapshots(ref, sim, masks, "ref", "sim:" + p.name);
+    if (!diff.empty()) {
+      // Coarse category from the first difference, for shrinker matching.
+      std::string category = "state";
+      if (diff.find("halt") != std::string::npos) {
+        category = "halt";
+      } else if (diff.find("mem[") != std::string::npos) {
+        category = "mem";
+      } else if (diff.find("exception") != std::string::npos) {
+        category = "exceptions";
+      }
+      return Fail(p.name, category, diff);
+    }
+    if (opts.check_invariants) {
+      std::string inv = run.CheckInvariants();
+      if (!inv.empty()) {
+        return Fail(p.name, "invariant", inv);
+      }
+    }
+  }
+
+  if (opts.check_determinism && !points.empty()) {
+    const LatticePoint& p = lattice[points[0]];
+    SimRun a(program, specs, p.machine, p.predecode);
+    a.Run(opts.max_events);
+    SimRun b(program, specs, p.machine, p.predecode);
+    b.Run(opts.max_events);
+    if (StatsJson(a.machine()) != StatsJson(b.machine())) {
+      return Fail(p.name, "determinism", "two identical runs produced different stats JSON");
+    }
+  }
+
+  return DiffFailure{};
+}
+
+DiffFailure RunDifferentialSource(const std::string& source, const DiffOptions& opts) {
+  AssembleResult res = Assembler::Assemble(source, 0x1000);
+  if (!res.ok) {
+    return Fail("", "assemble", res.error);
+  }
+  return RunDifferential(res.program, opts);
+}
+
+}  // namespace verify
+}  // namespace casc

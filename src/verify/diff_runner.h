@@ -1,0 +1,57 @@
+// Differential runner: executes one program across a lattice of simulator
+// timing configurations, checks each against the untimed reference model for
+// its architectural signature, and cross-checks simulator-internal
+// invariants. Timing parameters (SMT width, predecode, storage tiers, dirty
+// tracking, prefetch) must never change architectural outcomes; architectural
+// parameters (security model, monitor capacities) get their own oracle run.
+#ifndef SRC_VERIFY_DIFF_RUNNER_H_
+#define SRC_VERIFY_DIFF_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/isa/assembler.h"
+#include "src/verify/harness.h"
+
+namespace casc {
+namespace verify {
+
+struct LatticePoint {
+  std::string name;
+  MachineConfig machine;
+  bool predecode = true;
+};
+
+// The built-in configuration lattice. Points 0..4 share one architectural
+// signature; "monitor2" narrows the per-thread watch cap and "secretkey"
+// switches the security model (each gets its own reference run).
+const std::vector<LatticePoint>& DefaultLattice();
+
+struct DiffOptions {
+  uint64_t max_events = 2'000'000;      // simulator event cap per point
+  uint64_t oracle_step_cap = 1'000'000; // reference-model step cap
+  bool check_invariants = true;
+  bool check_determinism = false;  // re-run point 0, compare stats JSON
+  std::vector<size_t> points;      // lattice indices; empty = all
+};
+
+struct DiffFailure {
+  bool failed = false;
+  std::string config;    // lattice point name ("" for oracle/setup issues)
+  std::string category;  // "assemble","timeout","halt","state","mem",
+                         // "exceptions","quiesce","invariant","determinism"
+  std::string detail;
+};
+
+// Runs the program across the selected lattice points. Returns the first
+// failure, or a non-failed DiffFailure when every comparison passes.
+DiffFailure RunDifferential(const Program& program, const DiffOptions& opts);
+
+// Assembles `source` at base 0x1000 first; assembly errors come back as
+// category "assemble".
+DiffFailure RunDifferentialSource(const std::string& source, const DiffOptions& opts);
+
+}  // namespace verify
+}  // namespace casc
+
+#endif  // SRC_VERIFY_DIFF_RUNNER_H_

@@ -1,0 +1,316 @@
+#include "src/verify/harness.h"
+
+#include <sstream>
+
+namespace casc {
+namespace verify {
+
+namespace {
+
+std::string Hex(uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+bool Masked(Addr addr, const std::vector<std::pair<Addr, Addr>>& masks) {
+  for (const auto& [start, end] : masks) {
+    if (addr >= start && addr < end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ThreadSpec> ParseThreadSpecs(const Program& program, uint32_t num_threads) {
+  std::vector<ThreadSpec> specs;
+  for (Ptid p = 0; p < num_threads; p++) {
+    const std::string prefix = "t" + std::to_string(p) + "_";
+    auto entry = program.symbols.find(prefix + "entry");
+    if (entry == program.symbols.end()) {
+      continue;
+    }
+    ThreadSpec spec;
+    spec.ptid = p;
+    spec.entry = entry->second;
+    spec.auto_start = program.symbols.count(prefix + "main") != 0;
+    spec.supervisor = program.symbols.count(prefix + "user") == 0;
+    auto edp = program.symbols.find(prefix + "edp");
+    if (edp != program.symbols.end()) {
+      spec.edp = edp->second;
+    }
+    auto tdt = program.symbols.find(prefix + "tdt");
+    auto tdt_end = program.symbols.find(prefix + "tdt_end");
+    if (tdt != program.symbols.end() && tdt_end != program.symbols.end() &&
+        tdt_end->second > tdt->second) {
+      spec.tdtr = tdt->second;
+      spec.tdt_size = (tdt_end->second - tdt->second) / TdtEntry::kBytes;
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+std::vector<std::pair<Addr, Addr>> DescriptorMaskRanges(const std::vector<ThreadSpec>& specs) {
+  std::vector<std::pair<Addr, Addr>> masks;
+  for (const ThreadSpec& s : specs) {
+    if (s.edp != 0) {
+      masks.emplace_back(s.edp + 32, s.edp + 48);  // tick + seq
+    }
+  }
+  return masks;
+}
+
+std::string CompareSnapshots(const Snapshot& a, const Snapshot& b,
+                             const std::vector<std::pair<Addr, Addr>>& mem_masks,
+                             const std::string& a_name, const std::string& b_name) {
+  std::ostringstream os;
+  if (a.quiesced != b.quiesced) {
+    os << "quiescence: " << a_name << "=" << a.quiesced << " " << b_name << "=" << b.quiesced;
+    return os.str();
+  }
+  if (a.halted != b.halted) {
+    os << "halted: " << a_name << "=" << a.halted << " (" << a.halt_reason << ") " << b_name
+       << "=" << b.halted << " (" << b.halt_reason << ")";
+    return os.str();
+  }
+  if (a.halted) {
+    // A machine halt stops execution mid-flight; per-thread state at that
+    // point is interleaving-dependent, so only the halt itself is compared.
+    if (a.halt_reason != b.halt_reason) {
+      os << "halt reason: " << a_name << "=\"" << a.halt_reason << "\" " << b_name << "=\""
+         << b.halt_reason << "\"";
+      return os.str();
+    }
+    return "";
+  }
+  for (uint32_t i = 0; i < kNumExceptionTypes; i++) {
+    if (a.exc_counts[i] != b.exc_counts[i]) {
+      os << "exception count " << ExceptionTypeName(static_cast<ExceptionType>(i)) << ": "
+         << a_name << "=" << a.exc_counts[i] << " " << b_name << "=" << b.exc_counts[i];
+      return os.str();
+    }
+  }
+  const size_t n = std::min(a.threads.size(), b.threads.size());
+  if (a.threads.size() != b.threads.size()) {
+    os << "thread count: " << a_name << "=" << a.threads.size() << " " << b_name << "="
+       << b.threads.size();
+    return os.str();
+  }
+  for (size_t p = 0; p < n; p++) {
+    const RefThread& x = a.threads[p];
+    const RefThread& y = b.threads[p];
+    if (x.state != y.state) {
+      os << "ptid " << p << " state: " << a_name << "=" << ThreadStateName(x.state) << " "
+         << b_name << "=" << ThreadStateName(y.state);
+      return os.str();
+    }
+    auto field = [&](const char* name, uint64_t va, uint64_t vb) {
+      if (va != vb && os.str().empty()) {
+        os << "ptid " << p << " " << name << ": " << a_name << "=" << Hex(va) << " " << b_name
+           << "=" << Hex(vb);
+      }
+    };
+    for (uint32_t r = 0; r < kNumGprs; r++) {
+      field(("r" + std::to_string(r)).c_str(), x.arch.gpr[r], y.arch.gpr[r]);
+      if (!os.str().empty()) {
+        return os.str();
+      }
+    }
+    field("pc", x.arch.pc, y.arch.pc);
+    field("mode", x.arch.mode, y.arch.mode);
+    field("edp", x.arch.edp, y.arch.edp);
+    field("tdtr", x.arch.tdtr, y.arch.tdtr);
+    field("tdt_size", x.arch.tdt_size, y.arch.tdt_size);
+    field("prio", x.arch.prio, y.arch.prio);
+    field("self_key", x.arch.self_key, y.arch.self_key);
+    field("auth_key", x.arch.auth_key, y.arch.auth_key);
+    if (!os.str().empty()) {
+      return os.str();
+    }
+  }
+  if (a.mem_end != b.mem_end) {
+    os << "mem_end: " << a_name << "=" << Hex(a.mem_end) << " " << b_name << "=" << Hex(b.mem_end);
+    return os.str();
+  }
+  for (Addr addr = 0; addr < a.mem_end; addr++) {
+    if (Masked(addr, mem_masks)) {
+      continue;
+    }
+    if (a.mem[addr] != b.mem[addr]) {
+      os << "mem[" << Hex(addr) << "]: " << a_name << "=" << Hex(a.mem[addr]) << " " << b_name
+         << "=" << Hex(b.mem[addr]);
+      return os.str();
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Simulator side
+// ---------------------------------------------------------------------------
+
+SimRun::SimRun(const Program& program, const std::vector<ThreadSpec>& specs,
+               const MachineConfig& cfg, bool predecode)
+    : program_(program), specs_(specs), machine_(cfg) {
+  machine_.mem().AddSupervisorOnlyRange(0, 0x1000);
+  program_.LoadInto(machine_.mem().phys());
+  // Fresh machine: no lines are predecoded yet, so loading straight into
+  // physical memory needs no predecode invalidation here.
+  machine_.SetPredecodeEnabled(predecode);
+  for (const ThreadSpec& s : specs_) {
+    machine_.threads().InitThread(s.ptid, s.entry, s.supervisor, s.edp, s.tdtr, s.tdt_size);
+  }
+  for (const ThreadSpec& s : specs_) {
+    if (s.auto_start) {
+      machine_.Start(s.ptid);
+    }
+  }
+}
+
+Snapshot SimRun::Run(uint64_t max_events) {
+  Snapshot snap;
+  snap.quiesced = machine_.RunToQuiescence(max_events);
+  snap.halted = machine_.halted();
+  snap.halt_reason = machine_.halt_reason();
+  const uint32_t n = machine_.threads().num_threads();
+  snap.threads.resize(n);
+  for (Ptid p = 0; p < n; p++) {
+    const HwThread& t = machine_.threads().thread(p);
+    snap.threads[p].arch = t.arch();
+    snap.threads[p].state = t.state();
+  }
+  snap.mem_end = program_.end();
+  snap.mem.resize(snap.mem_end);
+  for (Addr a = 0; a < snap.mem_end; a++) {
+    snap.mem[a] = machine_.mem().phys().Read8(a);
+  }
+  for (uint32_t i = 0; i < kNumExceptionTypes; i++) {
+    snap.exc_counts[i] = machine_.sim().stats().GetCounter(
+        std::string("hwt.exception.") + ExceptionTypeName(static_cast<ExceptionType>(i)));
+  }
+  return snap;
+}
+
+std::string SimRun::CheckInvariants() const {
+  std::ostringstream os;
+  Machine& m = const_cast<Machine&>(machine_);
+  const ThreadSystem& ts = m.threads();
+  const HwtConfig& hc = ts.config();
+  for (CoreId c = 0; c < m.num_cores(); c++) {
+    const ContextStore& store = m.threads().store(c);
+    if (store.rf_occupancy() > hc.rf_slots) {
+      return "context store: rf_occupancy " + std::to_string(store.rf_occupancy()) +
+             " > rf_slots " + std::to_string(hc.rf_slots);
+    }
+    if (store.l2_used() > hc.l2_slots) {
+      return "context store: l2_used " + std::to_string(store.l2_used()) + " > l2_slots " +
+             std::to_string(hc.l2_slots);
+    }
+    if (store.l3_used() > hc.l3_slots) {
+      return "context store: l3_used " + std::to_string(store.l3_used()) + " > l3_slots " +
+             std::to_string(hc.l3_slots);
+    }
+    // No double-occupancy: each thread's tier() claims exactly one slot, and
+    // the per-tier claims must add up to the store's counters.
+    uint32_t in_rf = 0;
+    uint32_t in_l2 = 0;
+    uint32_t in_l3 = 0;
+    for (uint32_t local = 0; local < hc.threads_per_core; local++) {
+      switch (ts.thread(ts.PtidOf(c, local)).tier()) {
+        case StorageTier::kRegFile:
+          in_rf++;
+          break;
+        case StorageTier::kL2:
+          in_l2++;
+          break;
+        case StorageTier::kL3:
+          in_l3++;
+          break;
+        case StorageTier::kDram:
+          break;
+      }
+    }
+    if (in_rf != store.rf_occupancy() || in_l2 != store.l2_used() || in_l3 != store.l3_used()) {
+      os << "context store tier mismatch on core " << c << ": threads rf/l2/l3 " << in_rf << "/"
+         << in_l2 << "/" << in_l3 << " vs store " << store.rf_occupancy() << "/"
+         << store.l2_used() << "/" << store.l3_used();
+      return os.str();
+    }
+  }
+  // Every cached vtid translation must agree with a fresh walk of the
+  // issuer's current in-memory TDT (the `invtid`-managed cache must be
+  // transparent when the table is static).
+  if (hc.security_model == SecurityModel::kTdt) {
+    const PhysicalMemory& phys = m.mem().phys();
+    for (Ptid p = 0; p < ts.num_threads(); p++) {
+      const ArchState& arch = ts.thread(p).arch();
+      if (arch.tdtr == 0) {
+        continue;
+      }
+      std::string err;
+      ts.vtid_cache(p).ForEach([&](Vtid vtid, const Translation& cached) {
+        if (!err.empty()) {
+          return;
+        }
+        const Addr entry_addr = arch.tdtr + static_cast<Addr>(vtid) * TdtEntry::kBytes;
+        const Ptid walk_ptid = phys.Read32(entry_addr);
+        const uint8_t walk_perms = phys.Read8(entry_addr + 4);
+        if (!cached.valid || cached.ptid != walk_ptid || cached.perms != walk_perms ||
+            walk_perms == 0) {
+          err = "vtid cache of ptid " + std::to_string(p) + " entry vtid " +
+                std::to_string(vtid) + ": cached (ptid " + std::to_string(cached.ptid) +
+                ", perms " + std::to_string(cached.perms) + ") vs walk (ptid " +
+                std::to_string(walk_ptid) + ", perms " + std::to_string(walk_perms) + ")";
+        }
+      });
+      if (!err.empty()) {
+        return err;
+      }
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Reference side
+// ---------------------------------------------------------------------------
+
+Snapshot RunOnRef(const Program& program, const std::vector<ThreadSpec>& specs,
+                  const RefConfig& cfg, uint64_t max_steps) {
+  RefMachine ref(cfg);
+  ref.AddSupervisorOnlyRange(0, 0x1000);
+  if (!program.bytes.empty()) {
+    ref.mem().Write(program.base, program.bytes.data(), program.bytes.size());
+  }
+  for (const ThreadSpec& s : specs) {
+    ref.InitThread(s.ptid, s.entry, s.supervisor, s.edp, s.tdtr, s.tdt_size);
+  }
+  for (const ThreadSpec& s : specs) {
+    if (s.auto_start) {
+      ref.Start(s.ptid);
+    }
+  }
+  Snapshot snap;
+  snap.quiesced = ref.Run(max_steps);
+  snap.halted = ref.halted();
+  snap.halt_reason = ref.halt_reason();
+  snap.threads.resize(cfg.num_threads);
+  for (Ptid p = 0; p < cfg.num_threads; p++) {
+    snap.threads[p] = ref.thread(p);
+  }
+  snap.mem_end = program.end();
+  snap.mem.resize(snap.mem_end);
+  for (Addr a = 0; a < snap.mem_end; a++) {
+    snap.mem[a] = ref.mem().Read8(a);
+  }
+  for (uint32_t i = 0; i < kNumExceptionTypes; i++) {
+    snap.exc_counts[i] = ref.exception_count(static_cast<ExceptionType>(i));
+  }
+  return snap;
+}
+
+}  // namespace verify
+}  // namespace casc

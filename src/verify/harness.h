@@ -1,0 +1,91 @@
+// Differential-fuzzing harness: runs one assembled program on the full
+// simulator and on the untimed reference model, extracts comparable
+// architectural snapshots, and checks simulator-internal invariants.
+//
+// Thread participation is declared through program symbols (one `.casm` file
+// fully describes a machine setup, so repro files are self-contained):
+//   tN_entry    ptid N participates; entry pc for the thread
+//   tN_main     ptid N is started at boot (otherwise it waits for `start`)
+//   tN_user     ptid N runs in user mode (default: supervisor)
+//   tN_edp      ptid N's exception descriptor pointer
+//   tN_tdt      ptid N's TDT base; size = (tN_tdt_end - tN_tdt) / 16
+// The address range [0, 0x1000) is registered supervisor-only (the page-fault
+// analog's target). Everything runs on one core.
+#ifndef SRC_VERIFY_HARNESS_H_
+#define SRC_VERIFY_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/cpu/machine.h"
+#include "src/isa/assembler.h"
+#include "src/verify/ref_model.h"
+
+namespace casc {
+namespace verify {
+
+struct ThreadSpec {
+  Ptid ptid = 0;
+  Addr entry = 0;
+  bool auto_start = false;
+  bool supervisor = true;
+  Addr edp = 0;
+  Addr tdtr = 0;
+  uint64_t tdt_size = 0;
+};
+
+// Parses the tN_* symbol conventions. Threads without a tN_entry symbol do
+// not participate (they stay disabled at pc 0 and compare trivially).
+std::vector<ThreadSpec> ParseThreadSpecs(const Program& program, uint32_t num_threads);
+
+// Comparable final state of either executor.
+struct Snapshot {
+  bool quiesced = false;  // event/step cap not hit
+  bool halted = false;
+  std::string halt_reason;
+  std::vector<RefThread> threads;
+  std::vector<uint8_t> mem;  // contents of [0, mem_end)
+  Addr mem_end = 0;
+  std::array<uint64_t, kNumExceptionTypes> exc_counts{};
+};
+
+// Byte ranges ignored in the memory comparison (exception-descriptor tick and
+// seq words: timing/global-ordering artifacts, see DESIGN.md §4f).
+std::vector<std::pair<Addr, Addr>> DescriptorMaskRanges(const std::vector<ThreadSpec>& specs);
+
+// Returns "" when equal, else a description of the first difference.
+// `a_name`/`b_name` label the two sides in the message.
+std::string CompareSnapshots(const Snapshot& a, const Snapshot& b,
+                             const std::vector<std::pair<Addr, Addr>>& mem_masks,
+                             const std::string& a_name, const std::string& b_name);
+
+// One simulator execution under a given timing configuration.
+class SimRun {
+ public:
+  SimRun(const Program& program, const std::vector<ThreadSpec>& specs, const MachineConfig& cfg,
+         bool predecode);
+
+  // Runs to quiescence (or the event cap). Returns the snapshot.
+  Snapshot Run(uint64_t max_events);
+
+  // Post-run internal invariants: context-store slot accounting, storage-tier
+  // consistency, vtid-cache coherence with the in-memory TDTs. Returns "" or
+  // a description of the first violation.
+  std::string CheckInvariants() const;
+
+  Machine& machine() { return machine_; }
+
+ private:
+  const Program& program_;
+  const std::vector<ThreadSpec>& specs_;
+  Machine machine_;
+};
+
+// One reference-model execution under a given architectural configuration.
+Snapshot RunOnRef(const Program& program, const std::vector<ThreadSpec>& specs,
+                  const RefConfig& cfg, uint64_t max_steps);
+
+}  // namespace verify
+}  // namespace casc
+
+#endif  // SRC_VERIFY_HARNESS_H_

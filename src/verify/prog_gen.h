@@ -1,0 +1,39 @@
+// Constrained random CASC program generator for differential fuzzing.
+//
+// Emits `.casm` source following the harness symbol conventions (harness.h).
+// Programs exercise the full ISA — ALU ops, loads/stores, branches, jalr,
+// amoadd, monitor/mwait, start/stop, rpull/rpush, invtid, CSR access, and
+// deliberate faulting sequences — while staying inside the differential
+// contract:
+//   * always terminating: the only back edge is a counted loop driven by a
+//     dedicated register; all other branches are forward
+//   * interleaving-insensitive: each thread reads and writes only its own
+//     data region; the only cross-thread memory write is a worker's single
+//     store to its owner's monitored sync line (ordered by monitor -> start
+//     -> mwait); started/stopped/rpull'd targets are uniquely owned and each
+//     worker is started at most once; stores stay in the lower half of the
+//     data region while watches cover only the upper half (plus the sync
+//     line), so no thread ever wakes itself and every mwait outcome is
+//     decided by program order, not timing
+//   * no timing reads: `csrrd cycle` is never emitted
+// Within those rules anything goes, including mid-program faults (which
+// deterministically disable the thread) and permission-check failures.
+#ifndef SRC_VERIFY_PROG_GEN_H_
+#define SRC_VERIFY_PROG_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace casc {
+namespace verify {
+
+// Number of hardware threads the generated programs assume (must match the
+// config lattice's threads_per_core on a single core).
+inline constexpr uint32_t kGenThreads = 16;
+
+std::string GenerateProgram(uint64_t seed);
+
+}  // namespace verify
+}  // namespace casc
+
+#endif  // SRC_VERIFY_PROG_GEN_H_

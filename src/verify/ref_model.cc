@@ -1,0 +1,770 @@
+#include "src/verify/ref_model.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "src/hwt/perm.h"
+
+namespace casc {
+namespace verify {
+
+// ---------------------------------------------------------------------------
+// RefMemory
+// ---------------------------------------------------------------------------
+
+uint8_t RefMemory::Read8(Addr addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  if (it == pages_.end()) {
+    return 0;
+  }
+  return it->second->bytes[addr & (kPageSize - 1)];
+}
+
+void RefMemory::Write8(Addr addr, uint8_t value) {
+  auto& page = pages_[addr >> kPageBits];
+  if (page == nullptr) {
+    page = std::make_unique<Page>();
+  }
+  page->bytes[addr & (kPageSize - 1)] = value;
+}
+
+uint64_t RefMemory::ReadUint(Addr addr, size_t len) const {
+  uint64_t v = 0;
+  for (size_t i = 0; i < len && i < 8; i++) {
+    v |= static_cast<uint64_t>(Read8(addr + i)) << (8 * i);  // little-endian
+  }
+  return v;
+}
+
+void RefMemory::WriteUint(Addr addr, uint64_t value, size_t len) {
+  for (size_t i = 0; i < len && i < 8; i++) {
+    Write8(addr + i, static_cast<uint8_t>(value >> (8 * i)));
+  }
+}
+
+void RefMemory::Write(Addr addr, const void* data, size_t len) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; i++) {
+    Write8(addr + i, bytes[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RefMachine: setup
+// ---------------------------------------------------------------------------
+
+RefMachine::RefMachine(const RefConfig& config) : config_(config), threads_(config.num_threads) {}
+
+void RefMachine::AddSupervisorOnlyRange(Addr base, uint64_t size) {
+  supervisor_ranges_.emplace_back(base, size);
+}
+
+bool RefMachine::IsSupervisorOnly(Addr addr) const {
+  for (const auto& [base, size] : supervisor_ranges_) {
+    if (addr >= base && addr - base < size) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RefMachine::InitThread(Ptid ptid, Addr pc, bool supervisor, Addr edp, Addr tdtr,
+                            uint64_t tdt_size) {
+  RefThread& t = threads_[ptid];
+  t.arch.pc = pc;
+  t.arch.mode = supervisor ? 1 : 0;
+  t.arch.edp = edp;
+  t.arch.tdtr = tdtr;
+  t.arch.tdt_size = tdt_size;
+}
+
+void RefMachine::Start(Ptid ptid) { MakeRunnable(ptid); }
+
+// ---------------------------------------------------------------------------
+// Monitor filter replica (mem/monitor_filter.cc observable semantics,
+// including capacity-check ordering and the wrap clamp in OnWrite)
+// ---------------------------------------------------------------------------
+
+bool RefMachine::AddWatch(Ptid ptid, Addr addr) {
+  const Addr line = LineBase(addr);
+  auto tit = mon_threads_.find(ptid);
+  if (tit != mon_threads_.end()) {
+    const MonState& ms = tit->second;
+    if (std::find(ms.lines.begin(), ms.lines.end(), line) != ms.lines.end()) {
+      return true;  // already watching this line
+    }
+    if (ms.lines.size() >= config_.max_watches_per_thread) {
+      return false;
+    }
+  } else if (config_.max_watches_per_thread == 0) {
+    return false;
+  }
+  auto it = watchers_.find(line);
+  if (it == watchers_.end() && watchers_.size() >= config_.max_watch_lines) {
+    return false;
+  }
+  watchers_[line].push_back(ptid);
+  mon_threads_[ptid].lines.push_back(line);
+  return true;
+}
+
+void RefMachine::ClearWatches(Ptid ptid) {
+  auto it = mon_threads_.find(ptid);
+  if (it == mon_threads_.end()) {
+    return;
+  }
+  for (Addr line : it->second.lines) {
+    auto wit = watchers_.find(line);
+    if (wit == watchers_.end()) {
+      continue;
+    }
+    auto& vec = wit->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), ptid), vec.end());
+    if (vec.empty()) {
+      watchers_.erase(wit);
+    }
+  }
+  mon_threads_.erase(it);
+}
+
+bool RefMachine::ConsumePending(Ptid ptid) {
+  auto it = mon_threads_.find(ptid);
+  if (it == mon_threads_.end()) {
+    return false;
+  }
+  const bool pending = it->second.pending;
+  it->second.pending = false;
+  return pending;
+}
+
+void RefMachine::SetWaiting(Ptid ptid, bool waiting) {
+  auto it = mon_threads_.find(ptid);
+  if (it != mon_threads_.end()) {
+    it->second.waiting = waiting;
+  }
+}
+
+void RefMachine::OnWrite(Addr addr, uint64_t len) {
+  if (watchers_.empty()) {
+    return;
+  }
+  const Addr max_addr = std::numeric_limits<Addr>::max();
+  const uint64_t span = len > 0 ? len - 1 : 0;
+  const Addr last_byte = span > max_addr - addr ? max_addr : addr + span;
+  const Addr last = LineBase(last_byte);
+  for (Addr line = LineBase(addr);; line += kLineSize) {
+    TriggerLine(line);
+    if (line == last) {
+      break;
+    }
+  }
+}
+
+void RefMachine::TriggerLine(Addr line) {
+  auto it = watchers_.find(line);
+  if (it == watchers_.end()) {
+    return;
+  }
+  const std::vector<Ptid> ptids = it->second;  // copy: wake may mutate maps
+  for (Ptid ptid : ptids) {
+    auto tit = mon_threads_.find(ptid);
+    if (tit == mon_threads_.end()) {
+      continue;
+    }
+    if (tit->second.waiting) {
+      tit->second.waiting = false;  // wake exactly once
+      if (threads_[ptid].state == ThreadState::kWaiting) {
+        MakeRunnable(ptid);
+      }
+    } else {
+      tit->second.pending = true;
+    }
+  }
+}
+
+void RefMachine::StoreUint(Addr addr, uint64_t value, size_t len) {
+  mem_.WriteUint(addr, value, len);
+  OnWrite(addr, len);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-system replica (hwt/thread_system.cc observable semantics)
+// ---------------------------------------------------------------------------
+
+Translation RefMachine::Translate(Ptid issuer, Vtid vtid) const {
+  const RefThread& t = threads_[issuer];
+  Translation result;
+  if (config_.security_model == SecurityModel::kSecretKey) {
+    if (vtid >= num_threads()) {
+      return result;
+    }
+    result.valid = true;
+    result.ptid = vtid;
+    const RefThread& target = threads_[vtid];
+    const bool authorized =
+        t.arch.is_supervisor() ||
+        (target.arch.self_key != 0 && t.arch.auth_key == target.arch.self_key);
+    result.perms = authorized ? kPermAll : 0;
+    return result;
+  }
+  if (t.arch.tdtr == 0) {
+    if (t.arch.is_supervisor() && vtid < num_threads()) {
+      result.valid = true;
+      result.ptid = vtid;
+      result.perms = kPermAll;
+    }
+    return result;
+  }
+  if (vtid >= t.arch.tdt_size) {
+    return result;
+  }
+  // The model always walks the in-memory table; the simulator's vtid cache
+  // must be transparent (programs in the fuzz contract never modify TDT
+  // entries after first use — the runner separately checks cached entries
+  // against fresh walks).
+  const Addr entry_addr = t.arch.tdtr + static_cast<Addr>(vtid) * TdtEntry::kBytes;
+  const Ptid entry_ptid = static_cast<Ptid>(mem_.ReadUint(entry_addr, 4));
+  const uint8_t entry_perms = mem_.Read8(entry_addr + 4);
+  if (entry_perms == 0 || entry_ptid >= num_threads()) {
+    return result;
+  }
+  result.valid = true;
+  result.ptid = entry_ptid;
+  result.perms = entry_perms;
+  return result;
+}
+
+bool RefMachine::CheckTranslated(Ptid issuer, Vtid vtid, const Translation& t,
+                                 uint8_t required_perms) {
+  if (!t.valid) {
+    RaiseException(issuer, ExceptionType::kInvalidVtid, 0, vtid);
+    return false;
+  }
+  if (!threads_[issuer].arch.is_supervisor() && !PermAllows(t.perms, required_perms)) {
+    RaiseException(issuer, ExceptionType::kPermissionDenied, 0, vtid);
+    return false;
+  }
+  return true;
+}
+
+uint64_t* RefMachine::RemoteRegSlot(RefThread& t, uint32_t remote_reg) {
+  if (remote_reg < kNumGprs) {
+    return &t.arch.gpr[remote_reg];
+  }
+  switch (static_cast<RemoteReg>(remote_reg)) {
+    case RemoteReg::kPc:
+      return &t.arch.pc;
+    case RemoteReg::kMode:
+      return &t.arch.mode;
+    case RemoteReg::kEdp:
+      return &t.arch.edp;
+    case RemoteReg::kTdtr:
+      return &t.arch.tdtr;
+    case RemoteReg::kTdtSize:
+      return &t.arch.tdt_size;
+    case RemoteReg::kPrio:
+      return &t.arch.prio;
+    default:
+      return nullptr;
+  }
+}
+
+void RefMachine::RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode) {
+  exc_counts_[static_cast<uint32_t>(type)]++;
+  RefThread& t = threads_[ptid];
+  const Addr edp = t.arch.edp;
+  Disable(ptid);
+  if (edp == 0) {
+    if (!halted_) {
+      halted_ = true;
+      halt_reason_ = std::string("unhandled ") + ExceptionTypeName(type) + " in ptid " +
+                     std::to_string(ptid) + " with no exception descriptor pointer";
+    }
+    return;
+  }
+  // The simulator writes the descriptor after a fixed formatting delay; the
+  // model writes it immediately. The runner masks the `tick` and `seq` fields
+  // in memory comparisons (they are timing/ordering artifacts), so only the
+  // architectural fields below must match.
+  mem_.WriteUint(edp + 0, static_cast<uint32_t>(type), 4);
+  mem_.WriteUint(edp + 4, ptid, 4);
+  mem_.WriteUint(edp + 8, t.arch.pc, 8);
+  mem_.WriteUint(edp + 16, addr, 8);
+  mem_.WriteUint(edp + 24, errcode, 8);
+  mem_.WriteUint(edp + 32, 0, 8);                  // tick (masked)
+  mem_.WriteUint(edp + 40, ++exception_seq_, 8);   // seq (masked)
+  mem_.WriteUint(edp + 48, 0, 8);
+  mem_.WriteUint(edp + 56, 0, 8);
+  OnWrite(edp, ExceptionDescriptor::kBytes);  // descriptor DMA wakes monitors
+}
+
+void RefMachine::MakeRunnable(Ptid ptid) {
+  RefThread& t = threads_[ptid];
+  if (t.state == ThreadState::kRunnable) {
+    return;
+  }
+  if (t.state == ThreadState::kWaiting) {
+    SetWaiting(ptid, false);
+  }
+  t.state = ThreadState::kRunnable;
+}
+
+void RefMachine::Disable(Ptid ptid) {
+  RefThread& t = threads_[ptid];
+  if (t.state == ThreadState::kWaiting) {
+    SetWaiting(ptid, false);
+  }
+  ClearWatches(ptid);
+  t.state = ThreadState::kDisabled;
+}
+
+bool RefMachine::OpStart(Ptid issuer, Vtid vtid) {
+  const Translation t = Translate(issuer, vtid);
+  if (!CheckTranslated(issuer, vtid, t, kPermStart)) {
+    return false;
+  }
+  if (threads_[t.ptid].state != ThreadState::kRunnable) {
+    MakeRunnable(t.ptid);
+  }
+  return true;
+}
+
+bool RefMachine::OpStop(Ptid issuer, Vtid vtid) {
+  const Translation t = Translate(issuer, vtid);
+  if (!CheckTranslated(issuer, vtid, t, kPermStop)) {
+    return false;
+  }
+  Disable(t.ptid);
+  return true;
+}
+
+bool RefMachine::OpRpull(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64_t* value) {
+  const Translation t = Translate(issuer, vtid);
+  if (!CheckTranslated(issuer, vtid, t, kPermModifySome)) {
+    return false;
+  }
+  RefThread& target = threads_[t.ptid];
+  if (target.state != ThreadState::kDisabled) {
+    RaiseException(issuer, ExceptionType::kTargetNotDisabled, 0, vtid);
+    return false;
+  }
+  uint64_t* slot = RemoteRegSlot(target, remote_reg);
+  if (slot == nullptr) {
+    RaiseException(issuer, ExceptionType::kIllegalInstruction, 0, remote_reg);
+    return false;
+  }
+  *value = *slot;
+  return true;
+}
+
+bool RefMachine::OpRpush(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64_t value) {
+  const Translation t = Translate(issuer, vtid);
+  const bool is_gpr = remote_reg < kNumGprs;
+  const uint8_t needed =
+      is_gpr ? kPermModifySome : static_cast<uint8_t>(kPermModifySome | kPermModifyMost);
+  if (!CheckTranslated(issuer, vtid, t, needed)) {
+    return false;
+  }
+  RefThread& target = threads_[t.ptid];
+  if (target.state != ThreadState::kDisabled) {
+    RaiseException(issuer, ExceptionType::kTargetNotDisabled, 0, vtid);
+    return false;
+  }
+  const RemoteReg rr = static_cast<RemoteReg>(remote_reg);
+  if ((rr == RemoteReg::kMode || rr == RemoteReg::kTdtr || rr == RemoteReg::kTdtSize) &&
+      !threads_[issuer].arch.is_supervisor()) {
+    RaiseException(issuer, ExceptionType::kPrivilegedInstruction, 0, remote_reg);
+    return false;
+  }
+  if (is_gpr) {
+    WriteGpr(target, remote_reg, value);
+    return true;
+  }
+  uint64_t* slot = RemoteRegSlot(target, remote_reg);
+  if (slot == nullptr) {
+    RaiseException(issuer, ExceptionType::kIllegalInstruction, 0, remote_reg);
+    return false;
+  }
+  *slot = value;
+  return true;
+}
+
+bool RefMachine::OpInvtid(Ptid issuer, Vtid vtid, Vtid remote_vtid) {
+  (void)remote_vtid;  // the model has no translation cache to invalidate
+  const Translation t = Translate(issuer, vtid);
+  const uint8_t needed = static_cast<uint8_t>(kPermModifySome | kPermModifyMost);
+  return CheckTranslated(issuer, vtid, t, needed);
+}
+
+bool RefMachine::OpMonitor(Ptid issuer, Addr addr) {
+  if (!AddWatch(issuer, addr)) {
+    RaiseException(issuer, ExceptionType::kMonitorOverflow, addr, 0);
+    return false;
+  }
+  return true;
+}
+
+void RefMachine::OpMwait(Ptid issuer) {
+  if (ConsumePending(issuer)) {
+    return;  // a watched write already happened: fall through
+  }
+  threads_[issuer].state = ThreadState::kWaiting;
+  SetWaiting(issuer, true);
+}
+
+bool RefMachine::OpReadCsr(Ptid issuer, Csr csr, uint64_t* value) {
+  const RefThread& t = threads_[issuer];
+  switch (csr) {
+    case Csr::kMode:
+      *value = t.arch.mode;
+      return true;
+    case Csr::kEdp:
+      *value = t.arch.edp;
+      return true;
+    case Csr::kTdtr:
+      *value = t.arch.tdtr;
+      return true;
+    case Csr::kTdtSize:
+      *value = t.arch.tdt_size;
+      return true;
+    case Csr::kPrio:
+      *value = t.arch.prio;
+      return true;
+    case Csr::kPtid:
+      *value = issuer;
+      return true;
+    case Csr::kCoreId:
+      *value = 0;  // single-core fuzz contract
+      return true;
+    case Csr::kCycle:
+      // Timing state: outside the architectural contract. The generator
+      // never emits `csrrd rX, cycle`; the model returns 0.
+      *value = 0;
+      return true;
+    case Csr::kSelfKey:
+    case Csr::kAuthKey:
+      *value = 0;  // keys are write-only
+      return true;
+    default:
+      RaiseException(issuer, ExceptionType::kIllegalInstruction, 0, static_cast<uint64_t>(csr));
+      return false;
+  }
+}
+
+bool RefMachine::OpWriteCsr(Ptid issuer, Csr csr, uint64_t value) {
+  RefThread& t = threads_[issuer];
+  if (csr == Csr::kSelfKey) {
+    t.arch.self_key = value;
+    return true;
+  }
+  if (csr == Csr::kAuthKey) {
+    t.arch.auth_key = value;
+    return true;
+  }
+  if (!t.arch.is_supervisor()) {
+    RaiseException(issuer, ExceptionType::kPrivilegedInstruction, 0, static_cast<uint64_t>(csr));
+    return false;
+  }
+  switch (csr) {
+    case Csr::kMode:
+      t.arch.mode = value;
+      return true;
+    case Csr::kEdp:
+      t.arch.edp = value;
+      return true;
+    case Csr::kTdtr:
+      t.arch.tdtr = value;
+      return true;
+    case Csr::kTdtSize:
+      t.arch.tdt_size = value;
+      return true;
+    case Csr::kPrio:
+      t.arch.prio = value;
+      return true;
+    default:
+      RaiseException(issuer, ExceptionType::kIllegalInstruction, 0, static_cast<uint64_t>(csr));
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instruction step (cpu/core.cc ExecuteInstruction architectural semantics)
+// ---------------------------------------------------------------------------
+
+void RefMachine::Step(Ptid self) {
+  RefThread& t = threads_[self];
+  const Addr pc = t.arch.pc;
+  const Instruction inst = Decode(static_cast<uint32_t>(mem_.ReadUint(pc, 4)));
+  Addr next_pc = pc + kInstBytes;
+
+  const uint64_t rs1 = ReadGpr(t, inst.rs1);
+  const uint64_t rs2 = ReadGpr(t, inst.rs2);
+  const uint64_t rdv = ReadGpr(t, inst.rd);  // store-value / branch lhs
+  const int64_t simm = inst.imm;
+  const uint64_t zimm16 = static_cast<uint16_t>(inst.imm);
+
+  switch (inst.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      t.arch.pc = next_pc;
+      Disable(self);
+      return;
+
+    case Opcode::kAdd:
+      WriteGpr(t, inst.rd, rs1 + rs2);
+      break;
+    case Opcode::kSub:
+      WriteGpr(t, inst.rd, rs1 - rs2);
+      break;
+    case Opcode::kMul:
+      WriteGpr(t, inst.rd, rs1 * rs2);
+      break;
+    case Opcode::kDiv: {
+      if (rs2 == 0) {
+        RaiseException(self, ExceptionType::kDivideByZero, pc, 0);
+        return;
+      }
+      const int64_t a = static_cast<int64_t>(rs1);
+      const int64_t b = static_cast<int64_t>(rs2);
+      const int64_t q = (a == INT64_MIN && b == -1) ? a : a / b;
+      WriteGpr(t, inst.rd, static_cast<uint64_t>(q));
+      break;
+    }
+    case Opcode::kAnd:
+      WriteGpr(t, inst.rd, rs1 & rs2);
+      break;
+    case Opcode::kOr:
+      WriteGpr(t, inst.rd, rs1 | rs2);
+      break;
+    case Opcode::kXor:
+      WriteGpr(t, inst.rd, rs1 ^ rs2);
+      break;
+    case Opcode::kSll:
+      WriteGpr(t, inst.rd, rs1 << (rs2 & 63));
+      break;
+    case Opcode::kSrl:
+      WriteGpr(t, inst.rd, rs1 >> (rs2 & 63));
+      break;
+    case Opcode::kSra:
+      WriteGpr(t, inst.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (rs2 & 63)));
+      break;
+    case Opcode::kSlt:
+      WriteGpr(t, inst.rd, static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2) ? 1 : 0);
+      break;
+    case Opcode::kSltu:
+      WriteGpr(t, inst.rd, rs1 < rs2 ? 1 : 0);
+      break;
+
+    case Opcode::kAddi:
+      WriteGpr(t, inst.rd, rs1 + static_cast<uint64_t>(simm));
+      break;
+    case Opcode::kAndi:
+      WriteGpr(t, inst.rd, rs1 & zimm16);
+      break;
+    case Opcode::kOri:
+      WriteGpr(t, inst.rd, rs1 | zimm16);
+      break;
+    case Opcode::kXori:
+      WriteGpr(t, inst.rd, rs1 ^ zimm16);
+      break;
+    case Opcode::kSlli:
+      WriteGpr(t, inst.rd, rs1 << (inst.imm & 63));
+      break;
+    case Opcode::kSrli:
+      WriteGpr(t, inst.rd, rs1 >> (inst.imm & 63));
+      break;
+    case Opcode::kSrai:
+      WriteGpr(t, inst.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (inst.imm & 63)));
+      break;
+    case Opcode::kSlti:
+      WriteGpr(t, inst.rd, static_cast<int64_t>(rs1) < simm ? 1 : 0);
+      break;
+    case Opcode::kLui:
+      WriteGpr(t, inst.rd, zimm16 << 16);
+      break;
+
+    case Opcode::kLd:
+    case Opcode::kLw:
+    case Opcode::kLh:
+    case Opcode::kLb: {
+      const uint32_t size = inst.op == Opcode::kLd   ? 8
+                            : inst.op == Opcode::kLw ? 4
+                            : inst.op == Opcode::kLh ? 2
+                                                     : 1;
+      const Addr addr = rs1 + static_cast<uint64_t>(simm);
+      if (!t.arch.is_supervisor() && IsSupervisorOnly(addr)) {
+        RaiseException(self, ExceptionType::kPageFault, addr, 0);
+        return;
+      }
+      WriteGpr(t, inst.rd, mem_.ReadUint(addr, size));
+      break;
+    }
+    case Opcode::kSd:
+    case Opcode::kSw:
+    case Opcode::kSh:
+    case Opcode::kSb: {
+      const uint32_t size = inst.op == Opcode::kSd   ? 8
+                            : inst.op == Opcode::kSw ? 4
+                            : inst.op == Opcode::kSh ? 2
+                                                     : 1;
+      const Addr addr = rs1 + static_cast<uint64_t>(simm);
+      if (!t.arch.is_supervisor() && IsSupervisorOnly(addr)) {
+        RaiseException(self, ExceptionType::kPageFault, addr, 0);
+        return;
+      }
+      StoreUint(addr, rdv, size);
+      break;
+    }
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      bool taken = false;
+      switch (inst.op) {
+        case Opcode::kBeq:
+          taken = rdv == rs1;
+          break;
+        case Opcode::kBne:
+          taken = rdv != rs1;
+          break;
+        case Opcode::kBlt:
+          taken = static_cast<int64_t>(rdv) < static_cast<int64_t>(rs1);
+          break;
+        case Opcode::kBge:
+          taken = static_cast<int64_t>(rdv) >= static_cast<int64_t>(rs1);
+          break;
+        case Opcode::kBltu:
+          taken = rdv < rs1;
+          break;
+        default:
+          taken = rdv >= rs1;
+          break;
+      }
+      if (taken) {
+        next_pc = pc + kInstBytes + static_cast<uint64_t>(static_cast<int64_t>(simm) * 4);
+      }
+      break;
+    }
+    case Opcode::kJal:
+      WriteGpr(t, 31, pc + kInstBytes);
+      next_pc = pc + kInstBytes + static_cast<uint64_t>(static_cast<int64_t>(simm) * 4);
+      break;
+    case Opcode::kJalr:
+      WriteGpr(t, inst.rd, pc + kInstBytes);
+      next_pc = rs1 + static_cast<uint64_t>(simm);
+      break;
+
+    case Opcode::kCsrrd: {
+      uint64_t value = 0;
+      if (!OpReadCsr(self, static_cast<Csr>(inst.imm), &value)) {
+        return;
+      }
+      WriteGpr(t, inst.rd, value);
+      break;
+    }
+    case Opcode::kCsrwr:
+      if (!OpWriteCsr(self, static_cast<Csr>(inst.imm), rdv)) {
+        return;
+      }
+      break;
+
+    case Opcode::kMonitor:
+      if (!OpMonitor(self, rs1)) {
+        return;
+      }
+      break;
+    case Opcode::kMwait:
+      OpMwait(self);
+      break;  // pc advances either way; wakeup resumes after the mwait
+    case Opcode::kStart:
+      if (!OpStart(self, static_cast<Vtid>(rs1))) {
+        return;
+      }
+      break;
+    case Opcode::kStop: {
+      // Matches the core: the pc is advanced before the stop executes, so a
+      // self-stop resumes after the instruction and a *faulting* stop's
+      // descriptor carries the post-instruction pc while the thread's pc is
+      // rolled back to the faulting instruction.
+      t.arch.pc = next_pc;
+      if (!OpStop(self, static_cast<Vtid>(rs1))) {
+        t.arch.pc = pc;
+      }
+      return;
+    }
+    case Opcode::kRpull: {
+      uint64_t value = 0;
+      if (!OpRpull(self, static_cast<Vtid>(rs1), static_cast<uint32_t>(inst.imm), &value)) {
+        return;
+      }
+      WriteGpr(t, inst.rd, value);
+      break;
+    }
+    case Opcode::kRpush:
+      if (!OpRpush(self, static_cast<Vtid>(rs1), static_cast<uint32_t>(inst.imm), rdv)) {
+        return;
+      }
+      break;
+    case Opcode::kInvtid: {
+      const Vtid remote = rs2 == UINT64_MAX ? kInvalidVtid : static_cast<Vtid>(rs2);
+      if (!OpInvtid(self, static_cast<Vtid>(rs1), remote)) {
+        return;
+      }
+      break;
+    }
+    case Opcode::kAmoadd: {
+      // Matches the core: no supervisor-only check on the atomic path.
+      const uint64_t old = mem_.ReadUint(rs1, 8);
+      StoreUint(rs1, old + rs2, 8);
+      WriteGpr(t, inst.rd, old);
+      break;
+    }
+    case Opcode::kHcall:
+      t.arch.pc = next_pc;
+      if (inst.imm == 0) {
+        Disable(self);  // hcall 0: exit thread
+      }
+      // Other hcall codes invoke a host handler in the simulator; the fuzz
+      // contract never emits them (no handler is installed either way).
+      return;
+
+    default:
+      RaiseException(self, ExceptionType::kIllegalInstruction, pc,
+                     static_cast<uint64_t>(inst.op));
+      return;
+  }
+
+  if (t.state != ThreadState::kDisabled) {
+    t.arch.pc = next_pc;
+  }
+}
+
+bool RefMachine::Run(uint64_t max_steps) {
+  uint64_t steps = 0;
+  bool any_runnable = true;
+  while (any_runnable && !halted_) {
+    any_runnable = false;
+    for (Ptid p = 0; p < num_threads(); p++) {
+      if (threads_[p].state != ThreadState::kRunnable) {
+        continue;
+      }
+      any_runnable = true;
+      Step(p);
+      if (halted_) {
+        return true;
+      }
+      if (++steps >= max_steps) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace verify
+}  // namespace casc

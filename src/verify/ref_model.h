@@ -1,0 +1,165 @@
+// Untimed architectural reference model for differential fuzzing.
+//
+// RefMachine re-implements the CASC architectural state machine — registers,
+// memory contents, TDT translation, ptid states, monitor/mwait wake
+// semantics, and descriptor-based exceptions — directly from the paper's
+// rules (§3, §3.1, §3.2), reusing only src/isa Decode. It deliberately shares
+// no code with src/cpu or src/mem: caches, context-store tiers, SMT
+// scheduling, predecode, and every latency are timing state and do not exist
+// here. The differential runner executes the same program on the full
+// simulator under many timing configurations and asserts that the final
+// architectural state matches this model (see DESIGN.md §4f for the
+// contract).
+//
+// Scheduling: the model steps runnable threads round-robin, one instruction
+// each per pass. Programs whose final architectural state depends on the
+// interleaving of runnable threads are outside the contract; the generator
+// (prog_gen.h) only emits interleaving-insensitive programs.
+#ifndef SRC_VERIFY_REF_MODEL_H_
+#define SRC_VERIFY_REF_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hwt/exception.h"
+#include "src/hwt/hw_thread.h"
+#include "src/hwt/hwt_config.h"
+#include "src/hwt/tdt.h"
+#include "src/isa/isa.h"
+#include "src/sim/types.h"
+
+namespace casc {
+namespace verify {
+
+// Contents-only sparse memory, independent of mem/phys_mem.h so a bug there
+// cannot mask itself in the comparison.
+class RefMemory {
+ public:
+  static constexpr uint32_t kPageBits = 12;
+  static constexpr Addr kPageSize = 1ull << kPageBits;
+
+  uint8_t Read8(Addr addr) const;
+  void Write8(Addr addr, uint8_t value);
+  uint64_t ReadUint(Addr addr, size_t len) const;
+  void WriteUint(Addr addr, uint64_t value, size_t len);
+  void Write(Addr addr, const void* data, size_t len);
+
+ private:
+  struct Page {
+    uint8_t bytes[kPageSize] = {};
+  };
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+// The architectural parameters a configuration point is allowed to vary only
+// together with a fresh oracle run (everything else in MachineConfig is
+// timing-only and must not change architectural results).
+struct RefConfig {
+  SecurityModel security_model = SecurityModel::kTdt;
+  uint32_t num_threads = 16;
+  uint32_t max_watches_per_thread = 8;
+  uint32_t max_watch_lines = 4096;
+};
+
+struct RefThread {
+  ArchState arch;
+  ThreadState state = ThreadState::kDisabled;
+};
+
+class RefMachine {
+ public:
+  explicit RefMachine(const RefConfig& config);
+
+  RefMemory& mem() { return mem_; }
+  const RefConfig& config() const { return config_; }
+  uint32_t num_threads() const { return config_.num_threads; }
+
+  void AddSupervisorOnlyRange(Addr base, uint64_t size);
+  void InitThread(Ptid ptid, Addr pc, bool supervisor, Addr edp = 0, Addr tdtr = 0,
+                  uint64_t tdt_size = 0);
+  void Start(Ptid ptid);  // firmware boot: make runnable
+
+  // Round-robin executes until no thread is runnable or the machine halts.
+  // Returns false if `max_steps` instructions were retired without
+  // quiescing (runaway guard; treated as a failure by the runner).
+  bool Run(uint64_t max_steps);
+
+  bool halted() const { return halted_; }
+  const std::string& halt_reason() const { return halt_reason_; }
+  const RefThread& thread(Ptid ptid) const { return threads_[ptid]; }
+  uint64_t exception_count(ExceptionType type) const {
+    return exc_counts_[static_cast<uint32_t>(type)];
+  }
+
+ private:
+  // Per-thread monitor-filter state, mirroring mem/monitor_filter.cc
+  // observable semantics (capacity checks and their order included).
+  struct MonState {
+    std::vector<Addr> lines;
+    bool pending = false;
+    bool waiting = false;
+  };
+
+  bool IsSupervisorOnly(Addr addr) const;
+
+  // --- monitor filter replica ---
+  bool AddWatch(Ptid ptid, Addr addr);
+  void ClearWatches(Ptid ptid);
+  bool ConsumePending(Ptid ptid);
+  void SetWaiting(Ptid ptid, bool waiting);
+  void OnWrite(Addr addr, uint64_t len);
+  void TriggerLine(Addr line);
+
+  // --- memory writes always notify the monitor replica ---
+  void StoreUint(Addr addr, uint64_t value, size_t len);
+
+  // --- thread-system replica ---
+  Translation Translate(Ptid issuer, Vtid vtid) const;
+  bool CheckTranslated(Ptid issuer, Vtid vtid, const Translation& t, uint8_t required_perms);
+  uint64_t* RemoteRegSlot(RefThread& t, uint32_t remote_reg);
+  void RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode);
+  void MakeRunnable(Ptid ptid);
+  void Disable(Ptid ptid);
+
+  // ops; each returns false if it raised an exception (issuer disabled)
+  bool OpStart(Ptid issuer, Vtid vtid);
+  bool OpStop(Ptid issuer, Vtid vtid);
+  bool OpRpull(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64_t* value);
+  bool OpRpush(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64_t value);
+  bool OpInvtid(Ptid issuer, Vtid vtid, Vtid remote_vtid);
+  bool OpMonitor(Ptid issuer, Addr addr);
+  void OpMwait(Ptid issuer);
+  bool OpReadCsr(Ptid issuer, Csr csr, uint64_t* value);
+  bool OpWriteCsr(Ptid issuer, Csr csr, uint64_t value);
+
+  static uint64_t ReadGpr(const RefThread& t, uint32_t reg) {
+    return reg == 0 ? 0 : t.arch.gpr[reg & 31];
+  }
+  static void WriteGpr(RefThread& t, uint32_t reg, uint64_t value) {
+    if ((reg & 31) != 0) {
+      t.arch.gpr[reg & 31] = value;
+    }
+  }
+
+  void Step(Ptid ptid);
+
+  RefConfig config_;
+  RefMemory mem_;
+  std::vector<RefThread> threads_;
+  std::vector<std::pair<Addr, uint64_t>> supervisor_ranges_;
+  std::unordered_map<Addr, std::vector<Ptid>> watchers_;  // line -> ptids
+  std::unordered_map<Ptid, MonState> mon_threads_;
+  std::array<uint64_t, kNumExceptionTypes> exc_counts_{};
+  uint64_t exception_seq_ = 0;
+  bool halted_ = false;
+  std::string halt_reason_;
+};
+
+}  // namespace verify
+}  // namespace casc
+
+#endif  // SRC_VERIFY_REF_MODEL_H_

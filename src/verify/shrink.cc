@@ -1,0 +1,205 @@
+#include "src/verify/shrink.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+namespace casc {
+namespace verify {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+
+std::string StripCommentAndTrim(const std::string& raw) {
+  const size_t hash = raw.find_first_of("#;");
+  std::string s = hash == std::string::npos ? raw : raw.substr(0, hash);
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+// Peels leading `name:` labels; returns what remains.
+std::string PeelLabels(std::string s) {
+  while (!s.empty()) {
+    size_t i = 0;
+    while (i < s.size() && IsIdentChar(s[i]) && s[i] != '.') {
+      i++;
+    }
+    if (i == 0 || i >= s.size() || s[i] != ':') {
+      break;
+    }
+    size_t b = s.find_first_not_of(" \t", i + 1);
+    s = b == std::string::npos ? "" : s.substr(b);
+  }
+  return s;
+}
+
+// An instruction line can be deleted without disturbing symbols or data
+// layout; labels and directives cannot. Lines carrying both a label and an
+// instruction are kept whole (the generator never emits them). `halt` is
+// also kept: deleting one makes the thread fall through into the next
+// thread's code or the data section, which typically turns a genuine
+// discrepancy into an uninteresting interleaving-dependent program.
+bool IsDeletable(const std::string& raw) {
+  const std::string s = StripCommentAndTrim(raw);
+  if (s.empty() || s[0] == '.' || s.find(':') != std::string::npos) {
+    return false;
+  }
+  return s != "halt" && s.rfind("halt ", 0) != 0;
+}
+
+std::vector<size_t> DeletableIndices(const std::vector<std::string>& lines) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < lines.size(); i++) {
+    if (IsDeletable(lines[i])) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+// One ddmin sweep at the given chunk size. Returns true if anything was
+// removed (committed into `lines`).
+bool DeletionSweep(std::vector<std::string>* lines, size_t chunk,
+                   const FailurePredicate& still_fails) {
+  bool removed_any = false;
+  size_t start = 0;
+  while (true) {
+    const std::vector<size_t> deletable = DeletableIndices(*lines);
+    if (start >= deletable.size()) {
+      break;
+    }
+    const size_t end = std::min(start + chunk, deletable.size());
+    std::vector<std::string> candidate;
+    candidate.reserve(lines->size());
+    size_t k = start;
+    for (size_t i = 0; i < lines->size(); i++) {
+      if (k < end && i == deletable[k]) {
+        k++;
+        continue;
+      }
+      candidate.push_back((*lines)[i]);
+    }
+    if (still_fails(JoinLines(candidate))) {
+      *lines = std::move(candidate);
+      removed_any = true;
+      // Indices shifted; keep `start` where it is — the next chunk of
+      // survivors now sits at the same rank.
+    } else {
+      start += chunk;
+    }
+  }
+  return removed_any;
+}
+
+// Replaces integer literals with 0, one at a time, keeping replacements the
+// predicate accepts. Registers (`r28`) are safe: the digit run is preceded
+// by an identifier character.
+bool SimplifySweep(std::vector<std::string>* lines, const FailurePredicate& still_fails) {
+  bool changed = false;
+  for (size_t li = 0; li < lines->size(); li++) {
+    if (!IsDeletable((*lines)[li])) {
+      continue;  // only instruction lines; leave `.word` data alone
+    }
+    size_t pos = 0;
+    while (pos < (*lines)[li].size()) {
+      const std::string& line = (*lines)[li];
+      const char c = line[pos];
+      const bool prev_ident = pos > 0 && IsIdentChar(line[pos - 1]);
+      size_t tok_start = pos;
+      size_t tok_end = pos;
+      if (!prev_ident && c == '-' && pos + 1 < line.size() &&
+          std::isdigit(static_cast<unsigned char>(line[pos + 1]))) {
+        tok_end = pos + 1;
+      } else if (!prev_ident && std::isdigit(static_cast<unsigned char>(c))) {
+        tok_end = pos;
+      } else {
+        pos++;
+        continue;
+      }
+      while (tok_end < line.size() && (std::isalnum(static_cast<unsigned char>(line[tok_end])))) {
+        tok_end++;
+      }
+      const std::string tok = line.substr(tok_start, tok_end - tok_start);
+      if (tok != "0") {
+        // Concatenation instead of std::string::replace: GCC 12 + -Werror
+        // trips a -Wrestrict false positive on the inlined replace path.
+        std::string replaced = line.substr(0, tok_start) + "0" + line.substr(tok_end);
+        std::vector<std::string> candidate = *lines;
+        candidate[li] = replaced;
+        if (still_fails(JoinLines(candidate))) {
+          (*lines)[li] = std::move(replaced);
+          changed = true;
+          pos = tok_start + 1;
+          continue;
+        }
+      }
+      pos = tok_end;
+    }
+  }
+  return changed;
+}
+
+}  // namespace
+
+std::string Shrink(const std::string& source, const FailurePredicate& still_fails) {
+  std::vector<std::string> lines = SplitLines(source);
+  for (int round = 0; round < 8; round++) {
+    bool changed = false;
+    size_t chunk = DeletableIndices(lines).size();
+    while (chunk >= 1) {
+      changed |= DeletionSweep(&lines, chunk, still_fails);
+      if (chunk == 1) {
+        break;
+      }
+      chunk = (chunk + 1) / 2;
+    }
+    changed |= SimplifySweep(&lines, still_fails);
+    if (!changed) {
+      break;
+    }
+  }
+  return JoinLines(lines);
+}
+
+size_t CountInstructions(const std::string& source) {
+  size_t count = 0;
+  std::istringstream in(source);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string s = PeelLabels(StripCommentAndTrim(raw));
+    if (!s.empty() && s[0] != '.') {
+      count++;
+    }
+  }
+  return count;
+}
+
+}  // namespace verify
+}  // namespace casc

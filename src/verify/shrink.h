@@ -1,0 +1,34 @@
+// Delta-debugging shrinker for failing fuzz programs. Works on `.casm`
+// source text so minimized repros stay human-readable and self-contained.
+//
+// The shrinker is predicate-driven: the caller supplies "does this candidate
+// still exhibit the failure" (typically: assembles AND RunDifferential fails
+// with the same lattice point + category). Two passes run to fixpoint:
+//   1. instruction deletion — ddmin over instruction lines (labels and
+//      directives are kept so symbols and data layout survive)
+//   2. operand simplification — standalone integer literals shrink toward 0
+#ifndef SRC_VERIFY_SHRINK_H_
+#define SRC_VERIFY_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+namespace casc {
+namespace verify {
+
+// Returns true when `candidate_source` still reproduces the failure.
+// Candidates that fail to assemble must return false.
+using FailurePredicate = std::function<bool(const std::string&)>;
+
+// Shrinks `source` as far as the predicate allows. `source` itself must
+// satisfy the predicate; the result always does.
+std::string Shrink(const std::string& source, const FailurePredicate& still_fails);
+
+// Number of instruction lines (non-blank, non-label, non-directive) —
+// the metric the acceptance criteria bound.
+size_t CountInstructions(const std::string& source);
+
+}  // namespace verify
+}  // namespace casc
+
+#endif  // SRC_VERIFY_SHRINK_H_

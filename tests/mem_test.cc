@@ -400,6 +400,42 @@ TEST_F(MonitorFilterTest, RewatchAfterClearStillWakes) {
   EXPECT_EQ(wakes_[0].first, 1u);
 }
 
+// Regression (found by casc_fuzz via tests/corpus/monitor_wrap.casm): a
+// write whose last byte is the top of the address space made `addr + len`
+// wrap to 0, so the `line <= last` invalidation loops in InvalidateForWrite
+// and DmaWrite never terminated. The clamp must keep the walk on the final
+// line; monitors there must still fire.
+TEST_F(MonitorFilterTest, MemorySystemWriteEndingAtTopTerminatesAndWakes) {
+  Simulation sim;
+  MemorySystem mem(sim, MemConfig{}, 2);
+  std::vector<Ptid> woken;
+  mem.monitors().SetWakeHandler([&](Ptid p, Addr) { woken.push_back(p); });
+  const Addr top_line = std::numeric_limits<Addr>::max() - (kLineSize - 1);
+  ASSERT_TRUE(mem.monitors().AddWatch(3, top_line));
+  mem.monitors().SetWaiting(3, true);
+  // CPU-side store: 8 bytes ending exactly at Addr max.
+  mem.Write(0, std::numeric_limits<Addr>::max() - 7, 8, 0xdeadbeef);
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0], 3u);
+  uint64_t out = 0;
+  mem.Read(0, std::numeric_limits<Addr>::max() - 7, 8, &out);
+  EXPECT_EQ(out, 0xdeadbeefu);
+}
+
+TEST_F(MonitorFilterTest, DmaWriteEndingAtTopTerminatesAndWakes) {
+  Simulation sim;
+  MemorySystem mem(sim, MemConfig{}, 2);
+  std::vector<Ptid> woken;
+  mem.monitors().SetWakeHandler([&](Ptid p, Addr) { woken.push_back(p); });
+  const Addr top_line = std::numeric_limits<Addr>::max() - (kLineSize - 1);
+  ASSERT_TRUE(mem.monitors().AddWatch(5, top_line));
+  mem.monitors().SetWaiting(5, true);
+  const uint16_t tail = 0xbeef;
+  mem.DmaWrite(std::numeric_limits<Addr>::max() - 1, &tail, 2);
+  ASSERT_EQ(woken.size(), 1u);
+  EXPECT_EQ(woken[0], 5u);
+}
+
 TEST_F(MonitorFilterTest, DmaWriteThroughMemorySystemWakes) {
   Simulation sim;
   MemorySystem mem(sim, MemConfig{}, 1);

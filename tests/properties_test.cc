@@ -417,14 +417,72 @@ TEST_P(ContextStoreProperty, TierOccupancyConserved) {
     }
     sim.queue().RunUntil(sim.now() + 5);
     EXPECT_LE(ts.store(0).rf_occupancy(), rf);
-    // Every runnable thread's state is somewhere consistent; every RF tier
-    // label is backed by a slot count within bounds (checked indirectly via
-    // occupancy) and all 32 threads still have exactly one tier.
-    uint32_t rf_threads = 0;
+    EXPECT_LE(ts.store(0).l2_used(), l2);
+    EXPECT_LE(ts.store(0).l3_used(), l3);
+    // Every thread has exactly one tier label (no double-occupancy), and each
+    // tier's slot count equals the number of threads labeled with it (DRAM is
+    // unbounded and holds the rest).
+    uint32_t per_tier[4] = {};
     for (Ptid q = 0; q < 32; q++) {
-      rf_threads += ts.thread(q).tier() == StorageTier::kRegFile ? 1 : 0;
+      per_tier[static_cast<size_t>(ts.thread(q).tier())]++;
     }
-    EXPECT_EQ(rf_threads, ts.store(0).rf_occupancy());
+    EXPECT_EQ(per_tier[0] + per_tier[1] + per_tier[2] + per_tier[3], 32u);
+    EXPECT_EQ(per_tier[0], ts.store(0).rf_occupancy());
+    EXPECT_EQ(per_tier[1], ts.store(0).l2_used());
+    EXPECT_EQ(per_tier[2], ts.store(0).l3_used());
+  }
+}
+
+// ForceTier is the test/bench hook that relocates saved state directly; the
+// slot bookkeeping must stay exact when it is interleaved with normal
+// wake/stop churn (a released slot must be reusable, an acquired one counted).
+TEST_P(ContextStoreProperty, ForceTierChurnKeepsSlotAccountingExact) {
+  const auto [rf, l2, l3] = GetParam();
+  Simulation sim;
+  MemorySystem mem(sim, MemConfig{}, 1);
+  HwtConfig cfg;
+  cfg.threads_per_core = 32;
+  cfg.rf_slots = rf;
+  cfg.l2_slots = l2;
+  cfg.l3_slots = l3;
+  ThreadSystem ts(sim, mem, cfg, 1);
+  Rng rng(1000 + rf * 7 + l2 * 3 + l3);
+  const StorageTier kTiers[] = {StorageTier::kRegFile, StorageTier::kL2, StorageTier::kL3,
+                                StorageTier::kDram};
+  for (int step = 0; step < 2000; step++) {
+    const Ptid p = static_cast<Ptid>(rng.NextBounded(32));
+    switch (rng.NextBounded(3)) {
+      case 0:
+        ts.MakeRunnable(p);
+        break;
+      case 1:
+        ts.Disable(p);
+        break;
+      default: {
+        // Only force into a tier with a free slot (or out to DRAM); the hook
+        // documents that callers pick reachable placements.
+        const StorageTier t = kTiers[rng.NextBounded(4)];
+        const bool fits = (t == StorageTier::kDram) ||
+                          (t == StorageTier::kRegFile && ts.store(0).rf_occupancy() < rf) ||
+                          (t == StorageTier::kL2 && ts.store(0).l2_used() < l2) ||
+                          (t == StorageTier::kL3 && ts.store(0).l3_used() < l3);
+        if (fits) {
+          ts.store(0).ForceTier(ts.thread(p), t);
+        }
+        break;
+      }
+    }
+    sim.queue().RunUntil(sim.now() + 5);
+    EXPECT_LE(ts.store(0).rf_occupancy(), rf);
+    EXPECT_LE(ts.store(0).l2_used(), l2);
+    EXPECT_LE(ts.store(0).l3_used(), l3);
+    uint32_t per_tier[4] = {};
+    for (Ptid q = 0; q < 32; q++) {
+      per_tier[static_cast<size_t>(ts.thread(q).tier())]++;
+    }
+    ASSERT_EQ(per_tier[0], ts.store(0).rf_occupancy()) << "step " << step;
+    ASSERT_EQ(per_tier[1], ts.store(0).l2_used()) << "step " << step;
+    ASSERT_EQ(per_tier[2], ts.store(0).l3_used()) << "step " << step;
   }
 }
 

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Sanitizer CI tier: builds with ASan+UBSan and runs the full tier-1 ctest
+# suite — which includes the differential-fuzz smoke batch (fuzz_smoke: a
+# fixed-seed generator run across the whole config lattice with determinism
+# checking) and the saved regression corpus (fuzz_corpus). Memory errors in
+# the simulator or the reference model surface here rather than as silent
+# state divergence.
+#
+# Usage: ci_sanitize.sh [build-dir]      (default: build-sanitize)
+set -eu
+
+build=${1:-build-sanitize}
+src_root=$(cd "$(dirname "$0")/.." && pwd)
+
+cmake -B "$build" -S "$src_root" \
+  -DCASC_SANITIZE=address,undefined \
+  -DCASC_WERROR=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j"$(nproc)"
+
+# halt_on_error makes UBSan findings fail the test run instead of printing
+# and continuing; detect_leaks catches forgotten event-queue allocations.
+ASAN_OPTIONS=detect_leaks=1 \
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  sh -c "cd '$build' && ctest --output-on-failure -j\"\$(nproc)\""
+echo "ci_sanitize: all tests clean under address,undefined"

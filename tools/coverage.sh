@@ -1,0 +1,48 @@
+#!/bin/sh
+# Tier-1 line coverage: configures a gcov-instrumented build (CASC_COVERAGE),
+# runs the full ctest suite, and aggregates line coverage over src/*.cc with
+# plain gcov (no gcovr/lcov dependency). Headers are excluded — they are
+# counted once per including TU and would double-count.
+#
+# Usage: coverage.sh [build-dir]      (default: build-coverage)
+# Output: per-file table + total on stdout, repeated in <build-dir>/coverage.txt
+set -eu
+
+build=${1:-build-coverage}
+src_root=$(cd "$(dirname "$0")/.." && pwd)
+
+cmake -B "$build" -S "$src_root" -DCASC_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+cmake --build "$build" -j"$(nproc)"
+(cd "$build" && ctest --output-on-failure -j"$(nproc)")
+
+# Each object dir holds the .gcno/.gcda pair for its TU; `gcov -n` prints the
+# "File/Lines executed" summary without writing .gcov files.
+report="$build/coverage.txt"
+find "$build" -name '*.gcda' | while read -r gcda; do
+  gcov -n -o "$(dirname "$gcda")" "$gcda" 2>/dev/null
+done | awk -v root="$src_root/" '
+  /^File / {
+    f = $2
+    gsub(/\x27/, "", f)
+    sub(root, "", f)
+  }
+  /^Lines executed:/ {
+    split($0, a, /[:% ]+/)   # Lines executed:PCT% of N
+    pct = a[3]; n = a[5]
+    if (f ~ /^src\/.*\.cc$/ && !(f in seen)) {
+      seen[f] = 1
+      printf "%7.2f%% %6d  %s\n", pct, n, f
+      covered += pct * n / 100.0
+      total += n
+    }
+  }
+  END {
+    if (total > 0) {
+      printf "%7.2f%% %6d  TOTAL (src/*.cc, tier-1 suite)\n", 100.0 * covered / total, total
+    } else {
+      print "coverage.sh: no src/*.cc coverage data found" > "/dev/stderr"
+      exit 1
+    }
+  }
+' | tee "$report"
+echo "coverage report written to $report"

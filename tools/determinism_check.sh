@@ -1,0 +1,34 @@
+#!/bin/sh
+# Determinism check: run each example twice with --stats-json and require
+# byte-identical stats dumps. The simulator is a single-threaded discrete-event
+# machine with a seeded RNG, so any divergence between identical runs is a
+# nondeterminism bug (unseeded randomness, iteration over pointer-keyed maps,
+# uninitialized reads) — the kind that silently breaks differential fuzzing.
+#
+# Usage: determinism_check.sh <examples-dir> <scratch-dir>
+set -eu
+
+bindir=${1:?usage: determinism_check.sh <examples-dir> <scratch-dir>}
+scratch=${2:?usage: determinism_check.sh <examples-dir> <scratch-dir>}
+mkdir -p "$scratch"
+
+fail=0
+for name in quickstart echo_server; do
+  bin="$bindir/$name"
+  if [ ! -x "$bin" ]; then
+    echo "determinism_check: missing binary $bin" >&2
+    exit 2
+  fi
+  a="$scratch/$name.run1.json"
+  b="$scratch/$name.run2.json"
+  "$bin" --stats-json="$a" > /dev/null
+  "$bin" --stats-json="$b" > /dev/null
+  if ! cmp -s "$a" "$b"; then
+    echo "determinism_check: $name stats dumps differ:" >&2
+    diff "$a" "$b" >&2 || true
+    fail=1
+  else
+    echo "determinism_check: $name ok ($(wc -c < "$a") bytes, byte-identical)"
+  fi
+done
+exit "$fail"
