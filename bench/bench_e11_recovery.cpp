@@ -1,0 +1,79 @@
+// E11 — Fault recovery: detection and recovery latency per fault class.
+// Each row runs one casc-chaos scenario (src/chaos/scenarios.h) with a fixed
+// seed and reports how quickly the stack notices an injected fault and how
+// quickly it restores service. The final row removes the top-level handler so
+// the exception chain exhausts, demonstrating that even the unrecoverable
+// case ends in a reportable halt rather than silent wedging (§3: "no handler
+// is configured, the machine halts").
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/chaos/scenarios.h"
+
+using namespace casc;
+
+namespace {
+
+uint64_t kFaults = 4;
+Tick kDuration = 800'000;
+
+void RunClass(Table& t, BenchReport& rep, FaultClass cls, bool expect_halt) {
+  ScenarioOptions opts;
+  opts.seed = 1;
+  opts.faults = kFaults;
+  opts.duration = kDuration;
+  opts.expect_halt = expect_halt;
+  const ScenarioOutcome out = RunScenario(cls, opts);
+  const std::string config =
+      expect_halt ? out.name + " (chain exhausted)" : out.name;
+  t.Row(config, (unsigned long long)out.injected, (unsigned long long)out.detected,
+        (unsigned long long)out.recovered, (unsigned long long)out.detect_cycles.P50(),
+        (unsigned long long)out.recovery_cycles.P50(),
+        (unsigned long long)out.recovery_cycles.P99(),
+        out.halted ? HaltReasonName(out.halt_why) : "-", out.ok ? "ok" : "FAIL");
+  rep.Add("recovery", config, "injected", static_cast<double>(out.injected));
+  rep.Add("recovery", config, "detected", static_cast<double>(out.detected));
+  rep.Add("recovery", config, "recovered", static_cast<double>(out.recovered));
+  rep.Add("recovery", config, "halts", out.halted ? 1.0 : 0.0);
+  rep.Add("recovery", config, "detect_p50_cycles",
+          static_cast<double>(out.detect_cycles.P50()));
+  rep.Add("recovery", config, "recovery_p50_cycles",
+          static_cast<double>(out.recovery_cycles.P50()));
+  rep.Add("recovery", config, "recovery_p99_cycles",
+          static_cast<double>(out.recovery_cycles.P99()));
+  if (!out.ok) {
+    std::fprintf(stderr, "e11: %s failed its expectation: %s\n", config.c_str(),
+                 out.why_not_ok.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReport report("e11_recovery", argc, argv);
+  if (!report.parse_ok()) {
+    return 1;
+  }
+  kFaults = report.Iters(4, 2);
+  kDuration = report.Iters(800'000, 400'000);
+  Banner("E11", "Fault recovery: detection/recovery latency per fault class",
+         "with monitor/mwait wakeups and hardware exception delivery, faults are "
+         "detected and serviced in thousands of cycles, not milliseconds");
+
+  Table t({"fault class", "inj", "det", "rec", "detect p50", "recover p50",
+           "recover p99", "halt", "status"});
+  for (FaultClass cls : AllScenarioClasses()) {
+    RunClass(t, report, cls, /*expect_halt=*/false);
+  }
+  RunClass(t, report, FaultClass::kEdpUnwritable, /*expect_halt=*/true);
+  t.Print();
+
+  std::printf(
+      "\nshape check: device faults (NIC, block, MSI-X) are detected by guest\n"
+      "software — validation loops, deadlines, watchdog reconciliation — so\n"
+      "their latencies track the polling/timer periods; thread faults (poison,\n"
+      "EDP escalation, handler crash) ride hardware exception delivery and\n"
+      "detect within exception_write_cycles; the chain-exhaustion row halts\n"
+      "with a reportable reason instead of recovering.\n");
+  return report.Finish() ? 0 : 1;
+}

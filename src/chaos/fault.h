@@ -1,0 +1,49 @@
+// Fault taxonomy for the chaos engine (DESIGN.md §4g). Each class names one
+// injection point in an existing layer — devices, memory, or the thread
+// system — together with the detection signal and recovery pattern the
+// hardened runtime is expected to exhibit.
+#ifndef SRC_CHAOS_FAULT_H_
+#define SRC_CHAOS_FAULT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace casc {
+
+enum class FaultClass : uint8_t {
+  kNicDmaBadAddr = 0,     // RX payload DMA steered to an unmapped page
+  kBlockTimeout = 1,      // block command's completion silently swallowed
+  kMsixDoorbellDrop = 2,  // MSI-X counter write dropped on the floor
+  kContextPoison = 3,     // context image corrupted during a tier restore
+  kEdpUnwritable = 4,     // descriptor write lands on an unwritable page
+  kHandlerCrash = 5,      // handler ptid faults while servicing a descriptor
+};
+
+inline constexpr uint32_t kNumFaultClasses = 6;
+
+inline const char* FaultClassName(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kNicDmaBadAddr: return "nic-dma-bad-addr";
+    case FaultClass::kBlockTimeout: return "block-timeout";
+    case FaultClass::kMsixDoorbellDrop: return "msix-doorbell-drop";
+    case FaultClass::kContextPoison: return "context-poison";
+    case FaultClass::kEdpUnwritable: return "edp-unwritable";
+    case FaultClass::kHandlerCrash: return "handler-crash";
+  }
+  return "?";
+}
+
+inline bool ParseFaultClass(const std::string& name, FaultClass* out) {
+  for (uint32_t i = 0; i < kNumFaultClasses; i++) {
+    const FaultClass cls = static_cast<FaultClass>(i);
+    if (name == FaultClassName(cls)) {
+      *out = cls;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace casc
+
+#endif  // SRC_CHAOS_FAULT_H_

@@ -1,0 +1,73 @@
+// Injection schedules: when a campaign fires relative to the stream of
+// eligible events (frames delivered, completions finishing, wakes, raises).
+// Deterministic by construction — a schedule's decisions depend only on the
+// sequence of Fire() calls, the simulated clock, and the engine's seeded RNG,
+// so the same seed replays the same campaign byte-for-byte.
+#ifndef SRC_CHAOS_SCHEDULE_H_
+#define SRC_CHAOS_SCHEDULE_H_
+
+#include <cstdint>
+
+#include "src/sim/rng.h"
+#include "src/sim/types.h"
+
+namespace casc {
+
+class InjectionSchedule {
+ public:
+  enum class Mode : uint8_t {
+    kAtTick = 0,       // first eligible event at or after tick T (one-shot)
+    kEveryN = 1,       // every N-th eligible event
+    kProbability = 2,  // each eligible event independently with probability p
+  };
+
+  static InjectionSchedule AtTick(Tick t) {
+    InjectionSchedule s;
+    s.mode_ = Mode::kAtTick;
+    s.at_ = t;
+    return s;
+  }
+  static InjectionSchedule EveryN(uint64_t n) {
+    InjectionSchedule s;
+    s.mode_ = Mode::kEveryN;
+    s.every_ = n == 0 ? 1 : n;
+    return s;
+  }
+  static InjectionSchedule WithProbability(double p) {
+    InjectionSchedule s;
+    s.mode_ = Mode::kProbability;
+    s.prob_ = p < 0.0 ? 0.0 : (p > 1.0 ? 1.0 : p);
+    return s;
+  }
+
+  // One eligible event occurred at `now`; decide whether to inject.
+  bool Fire(Tick now, Rng& rng) {
+    switch (mode_) {
+      case Mode::kAtTick:
+        if (!fired_ && now >= at_) {
+          fired_ = true;
+          return true;
+        }
+        return false;
+      case Mode::kEveryN:
+        return ++count_ % every_ == 0;
+      case Mode::kProbability:
+        return rng.NextDouble() < prob_;
+    }
+    return false;
+  }
+
+  Mode mode() const { return mode_; }
+
+ private:
+  Mode mode_ = Mode::kEveryN;
+  Tick at_ = 0;
+  uint64_t every_ = 1;
+  double prob_ = 0.0;
+  uint64_t count_ = 0;
+  bool fired_ = false;
+};
+
+}  // namespace casc
+
+#endif  // SRC_CHAOS_SCHEDULE_H_

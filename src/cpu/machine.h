@@ -67,8 +67,15 @@ class Machine {
   // the event cap was hit (runaway guard).
   bool RunToQuiescence(uint64_t max_events = 200'000'000);
 
+  // First-class halt reporting: the string form for logs (and the
+  // differential oracle), the structured form for tests and the chaos
+  // engine. A fault whose handler chain ends uninstalled halts with
+  // kUnhandledException / kHandlerChainExhausted — never an assert.
+  using HaltReason = ::casc::HaltReason;
   bool halted() const { return ts_->halted(); }
   const std::string& halt_reason() const { return ts_->halt_reason(); }
+  HaltReason halt_why() const { return ts_->halt_info().reason; }
+  const HaltInfo& halt_info() const { return ts_->halt_info(); }
 
  private:
   MachineConfig config_;

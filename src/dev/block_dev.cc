@@ -35,6 +35,14 @@ void BlockDevice::ProcessNext() {
 }
 
 void BlockDevice::FinishCurrent() {
+  if (completion_fault_hook_ && completion_fault_hook_(current_, sq_consumed_)) {
+    // Command timeout: the device silently loses the completion. The driver
+    // must detect this with its own deadline and resubmit.
+    swallowed_++;
+    busy_ = false;
+    ProcessNext();
+    return;
+  }
   const Addr lba_byte = current_.lba * 512;
   if (current_.opcode == BlockCommand::kOpRead) {
     std::vector<uint8_t> data(current_.len);
@@ -57,6 +65,9 @@ void BlockDevice::FinishCurrent() {
   }
   if (irq_enable_ && irq_sink_ != nullptr) {
     irq_sink_->RaiseIrq(config_.irq_vector);
+  }
+  if (completion_observer_) {
+    completion_observer_(completed_);
   }
   busy_ = false;
   ProcessNext();
@@ -91,6 +102,9 @@ void BlockDevice::MmioWrite(Addr offset, size_t, uint64_t value) {
       break;
     case kBlkSqDoorbell:
       sq_doorbell_ = value;
+      if (doorbell_observer_) {
+        doorbell_observer_(sq_doorbell_);
+      }
       ProcessNext();
       break;
     case kBlkCqBase:

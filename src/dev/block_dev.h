@@ -63,6 +63,23 @@ class BlockDevice : public MmioDevice {
   PhysicalMemory& storage() { return storage_; }
 
   uint64_t completed() const { return completed_; }
+  uint64_t swallowed() const { return swallowed_; }
+
+  // Fault-injection hook: consulted when a command finishes media time.
+  // Returning true swallows the completion — no data transfer, no CQ entry,
+  // no tail bump, no IRQ — which the driver observes as a command timeout.
+  // `seq` is the 1-based submission index of the command.
+  using CompletionFaultHook = std::function<bool(const BlockCommand& cmd, uint64_t seq)>;
+  void SetCompletionFaultHook(CompletionFaultHook hook) {
+    completion_fault_hook_ = std::move(hook);
+  }
+  // Observers for recovery accounting: every successful completion, and
+  // every SQ doorbell write (a doorbell after a swallowed completion is the
+  // driver's retry).
+  using CompletionObserver = std::function<void(uint64_t completed)>;
+  void SetCompletionObserver(CompletionObserver obs) { completion_observer_ = std::move(obs); }
+  using DoorbellObserver = std::function<void(uint64_t doorbell)>;
+  void SetDoorbellObserver(DoorbellObserver obs) { doorbell_observer_ = std::move(obs); }
 
  private:
   void ProcessNext();
@@ -81,9 +98,13 @@ class BlockDevice : public MmioDevice {
   Addr cq_base_ = 0;
   Addr cq_tail_addr_ = 0;
   uint64_t completed_ = 0;
+  uint64_t swallowed_ = 0;
   bool irq_enable_ = false;
   bool busy_ = false;
   BlockCommand current_;
+  CompletionFaultHook completion_fault_hook_;
+  CompletionObserver completion_observer_;
+  DoorbellObserver doorbell_observer_;
   LambdaEvent<std::function<void()>> done_event_;
 };
 

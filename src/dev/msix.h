@@ -6,6 +6,7 @@
 #ifndef SRC_DEV_MSIX_H_
 #define SRC_DEV_MSIX_H_
 
+#include <functional>
 #include <unordered_map>
 
 #include "src/dev/irq.h"
@@ -21,6 +22,17 @@ class MsixBridge : public IrqSink {
   // Routes `vector` to a counter at `addr`.
   void RegisterVector(uint32_t vector, Addr addr) { table_[vector] = Entry{addr, 0}; }
 
+  // Fault-injection hook: returning true drops this doorbell write on the
+  // floor — the device believes it notified, but the counter line never
+  // changes and no monitor fires. Consumers must reconcile against elapsed
+  // time (or a watchdog line) to notice.
+  using DropHook = std::function<bool(uint32_t vector)>;
+  void SetDropHook(DropHook hook) { drop_hook_ = std::move(hook); }
+
+  // Invoked after every counter write that actually lands.
+  using DeliveryObserver = std::function<void(uint32_t vector, uint64_t count)>;
+  void SetDeliveryObserver(DeliveryObserver obs) { delivery_observer_ = std::move(obs); }
+
   void RaiseIrq(uint32_t vector) override {
     auto it = table_.find(vector);
     if (it == table_.end()) {
@@ -28,7 +40,14 @@ class MsixBridge : public IrqSink {
       return;
     }
     it->second.count++;
+    if (drop_hook_ && drop_hook_(vector)) {
+      injected_drops_++;
+      return;
+    }
     mem_.DmaWrite64(it->second.addr, it->second.count);
+    if (delivery_observer_) {
+      delivery_observer_(vector, it->second.count);
+    }
   }
 
   uint64_t CountFor(uint32_t vector) const {
@@ -36,6 +55,7 @@ class MsixBridge : public IrqSink {
     return it == table_.end() ? 0 : it->second.count;
   }
   uint64_t dropped() const { return dropped_; }
+  uint64_t injected_drops() const { return injected_drops_; }
 
  private:
   struct Entry {
@@ -44,7 +64,10 @@ class MsixBridge : public IrqSink {
   };
   MemorySystem& mem_;
   std::unordered_map<uint32_t, Entry> table_;
+  DropHook drop_hook_;
+  DeliveryObserver delivery_observer_;
   uint64_t dropped_ = 0;
+  uint64_t injected_drops_ = 0;
 };
 
 }  // namespace casc

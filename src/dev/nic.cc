@@ -68,7 +68,8 @@ void Nic::InjectFrameToQueue(uint32_t queue, std::vector<uint8_t> frame) {
 }
 
 void Nic::DeliverRx() {
-  for (RxQueue& q : rx_queues_) {
+  for (uint32_t qi = 0; qi < rx_queues_.size(); qi++) {
+    RxQueue& q = rx_queues_[qi];
     while (!q.pending.empty()) {
       if (q.size == 0 || q.produced - q.head >= q.size) {
         // No posted buffers: tail-drop (counted; back-pressure experiment).
@@ -80,7 +81,11 @@ void Nic::DeliverRx() {
       q.pending.pop_front();
       const Addr desc_addr = q.base + (q.produced % q.size) * NicDescriptor::kBytes;
       NicDescriptor desc = ReadDesc(desc_addr);
-      mem_.DmaWrite(desc.buf, frame.data(), frame.size());
+      Addr buf = desc.buf;
+      if (rx_buf_hook_) {
+        buf = rx_buf_hook_(qi, buf);
+      }
+      mem_.DmaWrite(buf, frame.data(), frame.size());
       desc.len = static_cast<uint32_t>(frame.size());
       desc.flags |= NicDescriptor::kFlagDone;
       WriteDesc(desc_addr, desc);

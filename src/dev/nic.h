@@ -82,6 +82,14 @@ class Nic : public MmioDevice {
   using RxObserver = std::function<void(const std::vector<uint8_t>& frame)>;
   void SetRxObserver(RxObserver observer) { rx_observer_ = std::move(observer); }
 
+  // Fault-injection hook: maps the posted buffer address just before the RX
+  // payload DMA. Returning a different address models a corrupted descriptor
+  // / DMA to a bad or unmapped page (the tail counter still advances — the
+  // consumer sees a frame slot whose payload never landed). Identity when
+  // unset.
+  using RxBufHook = std::function<Addr(uint32_t queue, Addr buf)>;
+  void SetRxBufHook(RxBufHook hook) { rx_buf_hook_ = std::move(hook); }
+
   // MmioDevice:
   uint64_t MmioRead(Addr offset, size_t len) override;
   void MmioWrite(Addr offset, size_t len, uint64_t value) override;
@@ -118,6 +126,7 @@ class Nic : public MmioDevice {
   IrqSink* irq_sink_;
   TxHandler tx_handler_;
   RxObserver rx_observer_;
+  RxBufHook rx_buf_hook_;
 
   // RX state, one entry per queue.
   std::vector<RxQueue> rx_queues_;

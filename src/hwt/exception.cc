@@ -15,6 +15,17 @@ const char* ExceptionTypeName(ExceptionType type) {
     case ExceptionType::kMonitorOverflow: return "monitor-overflow";
     case ExceptionType::kSyscall: return "syscall";
     case ExceptionType::kHypercall: return "hypercall";
+    case ExceptionType::kContextPoison: return "context-poison";
+  }
+  return "?";
+}
+
+const char* HaltReasonName(HaltReason reason) {
+  switch (reason) {
+    case HaltReason::kNone: return "none";
+    case HaltReason::kUnhandledException: return "unhandled-exception";
+    case HaltReason::kHandlerChainExhausted: return "handler-chain-exhausted";
+    case HaltReason::kHostRequested: return "host-requested";
   }
   return "?";
 }

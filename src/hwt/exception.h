@@ -23,11 +23,36 @@ enum class ExceptionType : uint32_t {
   kMonitorOverflow = 8,        // monitor filter out of capacity
   kSyscall = 9,                // software-raised (used by baseline-style traps)
   kHypercall = 10,             // software-raised by guest code
+  kContextPoison = 11,         // corrupted context image detected on restore
 };
 
-inline constexpr uint32_t kNumExceptionTypes = 11;
+inline constexpr uint32_t kNumExceptionTypes = 12;
 
 const char* ExceptionTypeName(ExceptionType type);
+
+// Why a machine stopped. The paper's model has exactly one hard-stop
+// condition — a fault in a thread whose handler chain ends uninstalled, the
+// "triple-fault analog" of §3 — but the simulator distinguishes how the
+// chain ended so tests and the chaos engine can assert on it.
+enum class HaltReason : uint8_t {
+  kNone = 0,                 // machine is not halted
+  kUnhandledException = 1,   // fault in a ptid with EDP == 0: nowhere to
+                             // write the descriptor at all
+  kHandlerChainExhausted = 2,  // a descriptor write itself faulted and the
+                               // escalation walk found no live watcher
+  kHostRequested = 3,        // host/test code called Halt() directly
+};
+
+const char* HaltReasonName(HaltReason reason);
+
+// Structured companion to ThreadSystem::halt_reason() (which stays a
+// human-readable string for log and differential-fuzz parity).
+struct HaltInfo {
+  HaltReason reason = HaltReason::kNone;
+  ExceptionType exception = ExceptionType::kNone;  // fault that sank the chain
+  Ptid ptid = 0;             // thread whose fault could not be handled
+  uint32_t chain_depth = 0;  // escalation levels walked before giving up
+};
 
 // 64-byte record written by hardware at the faulting thread's EDP.
 struct ExceptionDescriptor {

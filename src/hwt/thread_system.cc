@@ -46,7 +46,9 @@ ThreadSystem::ThreadSystem(Simulation& sim, MemorySystem& mem, const HwtConfig& 
       stat_mwait_blocks_(sim.stats().Intern("hwt.mwait_blocks")),
       stat_mwait_immediate_(sim.stats().Intern("hwt.mwait_immediate")),
       stat_vtid_hits_(sim.stats().Intern("hwt.vtid_cache_hits")),
-      stat_vtid_misses_(sim.stats().Intern("hwt.vtid_cache_misses")) {
+      stat_vtid_misses_(sim.stats().Intern("hwt.vtid_cache_misses")),
+      stat_escalations_(sim.stats().Intern("hwt.exception_escalations")),
+      stat_restore_poisons_(sim.stats().Intern("hwt.restore_poisons")) {
   for (uint32_t i = 0; i < kNumExceptionTypes; i++) {
     stat_exception_by_type_[i] = sim.stats().Intern(
         std::string("hwt.exception.") + ExceptionTypeName(static_cast<ExceptionType>(i)));
@@ -88,7 +90,18 @@ void ThreadSystem::Halt(const std::string& reason) {
   }
   halted_ = true;
   halt_reason_ = reason;
+  if (halt_info_.reason == HaltReason::kNone) {
+    halt_info_.reason = HaltReason::kHostRequested;
+  }
   CASC_LOG(Debug) << "machine halt: " << reason;
+}
+
+void ThreadSystem::HaltWith(const HaltInfo& info, const std::string& reason) {
+  if (halted_) {
+    return;
+  }
+  halt_info_ = info;
+  Halt(reason);
 }
 
 Translation ThreadSystem::Translate(Ptid issuer, Vtid vtid, Tick* latency) {
@@ -422,10 +435,14 @@ OpResult ThreadSystem::WriteCsr(Ptid issuer, Csr csr, uint64_t value) {
   return result;
 }
 
-void ThreadSystem::RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode) {
+void ThreadSystem::RaiseExceptionAt(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode,
+                                    uint32_t depth) {
   stat_exceptions_++;
   const uint32_t type_idx = static_cast<uint32_t>(type);
   stat_exception_by_type_[type_idx < kNumExceptionTypes ? type_idx : 0]++;
+  for (const ExceptionObserver& obs : exception_observers_) {
+    obs(ptid, type, addr, depth);
+  }
   HwThread& t = thread(ptid);
   const Addr edp = t.arch().edp;
   // The faulting thread stops executing first (its handler may rpull state).
@@ -433,8 +450,13 @@ void ThreadSystem::RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint
   if (edp == 0) {
     // §3.2: "Triggering an exception in a thread without a handler ...
     // indicates a serious kernel bug akin to a triple-fault".
-    Halt(std::string("unhandled ") + ExceptionTypeName(type) + " in ptid " +
-         std::to_string(ptid) + " with no exception descriptor pointer");
+    HaltInfo info;
+    info.reason = HaltReason::kUnhandledException;
+    info.exception = type;
+    info.ptid = ptid;
+    info.chain_depth = depth;
+    HaltWith(info, std::string("unhandled ") + ExceptionTypeName(type) + " in ptid " +
+                       std::to_string(ptid) + " with no exception descriptor pointer");
     return;
   }
   ExceptionDescriptor d;
@@ -447,10 +469,44 @@ void ThreadSystem::RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint
   d.seq = ++exception_seq_;
   // The descriptor write is what wakes the handler thread monitoring the EDP
   // line; schedule it after the hardware formatting delay.
-  sim_.queue().ScheduleFnAfter(config_.exception_write_cycles, [this, d, edp] {
-    ExceptionDescriptor copy = d;
-    copy.WriteTo(mem_, edp);
+  sim_.queue().ScheduleFnAfter(config_.exception_write_cycles, [this, d, edp, depth] {
+    DeliverOrEscalate(d, edp, depth);
   });
+}
+
+void ThreadSystem::DeliverOrEscalate(const ExceptionDescriptor& d, Addr edp, uint32_t depth) {
+  if (halted_) {
+    return;
+  }
+  if (mem_.DmaWriteAllowed(edp, ExceptionDescriptor::kBytes)) {
+    d.WriteTo(mem_, edp);
+    for (const DeliveryObserver& obs : delivery_observers_) {
+      obs(d, edp, depth);
+    }
+    return;
+  }
+  // The descriptor write itself faulted: the EDP points at a page the fabric
+  // will not write. Escalate up the handler chain — whoever monitors this
+  // EDP line is the handler that was going to service the fault, so it
+  // becomes the next faulting thread: it takes a page-fault descriptor
+  // naming the undeliverable EDP, with the original faulter in errcode.
+  // Termination: every escalation step disables one more thread, and
+  // Disable() tears down that thread's watches, so even a cyclic handler
+  // graph runs out of watchers after at most num_threads() steps.
+  stat_escalations_++;
+  Ptid handler = 0;
+  if (mem_.monitors().FirstWatcherOf(edp, &handler)) {
+    RaiseExceptionAt(handler, ExceptionType::kPageFault, edp, d.ptid, depth + 1);
+    return;
+  }
+  HaltInfo info;
+  info.reason = HaltReason::kHandlerChainExhausted;
+  info.exception = static_cast<ExceptionType>(d.type);
+  info.ptid = d.ptid;
+  info.chain_depth = depth + 1;
+  HaltWith(info, std::string("exception descriptor for ptid ") + std::to_string(d.ptid) +
+                     " undeliverable (edp " + std::to_string(edp) +
+                     "): handler chain exhausted");
 }
 
 void ThreadSystem::MakeRunnable(Ptid ptid, Tick extra_delay, TraceCause cause) {
@@ -471,6 +527,7 @@ void ThreadSystem::MakeRunnable(Ptid ptid, Tick extra_delay, TraceCause cause) {
     // "prefetching of the state of recently woken up threads").
     restore = stores_[t.core()]->EnsureResident(t);
     needs_restore_[ptid] = 0;
+    MaybePoisonRestore(ptid, restore);
   } else {
     needs_restore_[ptid] = 1;
   }
@@ -478,6 +535,11 @@ void ThreadSystem::MakeRunnable(Ptid ptid, Tick extra_delay, TraceCause cause) {
   const bool preempt =
       config_.preempt_priority != 0 && t.arch().prio >= config_.preempt_priority;
   queues_[t.core()].Add(&t, preempt);
+  if (!wake_observers_.empty()) {
+    for (const WakeObserver& obs : wake_observers_) {
+      obs(ptid, cause);
+    }
+  }
   NotifyWake(t.core());
 }
 
@@ -489,6 +551,23 @@ void ThreadSystem::BeginDemandRestore(Ptid ptid) {
   needs_restore_[ptid] = 0;
   const Tick restore = stores_[t.core()]->EnsureResident(t);
   t.set_ready_at(sim_.now() + restore);
+  MaybePoisonRestore(ptid, restore);
+}
+
+void ThreadSystem::MaybePoisonRestore(Ptid ptid, Tick restore) {
+  // Poison only applies to restores that actually moved state through the
+  // hierarchy — an RF-resident wake (restore == 0) transfers nothing that
+  // could be corrupted.
+  if (restore == 0 || !restore_fault_hook_ || !restore_fault_hook_(ptid)) {
+    return;
+  }
+  stat_restore_poisons_++;
+  sim_.queue().ScheduleFnAfter(restore, [this, ptid, restore] {
+    if (halted_ || thread(ptid).state() == ThreadState::kDisabled) {
+      return;
+    }
+    RaiseException(ptid, ExceptionType::kContextPoison, 0, restore);
+  });
 }
 
 void ThreadSystem::Disable(Ptid ptid, TraceCause cause) {

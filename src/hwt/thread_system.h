@@ -72,7 +72,9 @@ class ThreadSystem {
   OpResult WriteCsr(Ptid issuer, Csr csr, uint64_t value);
 
   // ---- Exceptions (§3: descriptor write + disable; no trap) ---------------
-  void RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode);
+  void RaiseException(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode) {
+    RaiseExceptionAt(ptid, type, addr, errcode, /*depth=*/0);
+  }
 
   // ---- Direct transitions (hardware events, runtime setup) ----------------
   // Wake path including context-restore cost; `extra_delay` models e.g. the
@@ -82,6 +84,25 @@ class ThreadSystem {
 
   // Optional state-transition observer (not owned; nullptr disables).
   void SetTracer(ThreadTracer* tracer) { tracer_ = tracer; }
+
+  // ---- Fault-injection & observation hooks (chaos engine, tests) ----------
+  // All of these sit off the per-instruction path: they fire on wakes,
+  // exception raises, and descriptor deliveries only.
+  using WakeObserver = std::function<void(Ptid, TraceCause)>;
+  void AddWakeObserver(WakeObserver fn) { wake_observers_.push_back(std::move(fn)); }
+  using ExceptionObserver = std::function<void(Ptid, ExceptionType, Addr, uint32_t depth)>;
+  void AddExceptionObserver(ExceptionObserver fn) {
+    exception_observers_.push_back(std::move(fn));
+  }
+  using DeliveryObserver = std::function<void(const ExceptionDescriptor&, Addr edp, uint32_t depth)>;
+  void AddDeliveryObserver(DeliveryObserver fn) {
+    delivery_observers_.push_back(std::move(fn));
+  }
+  // Consulted once per context restore that actually moves state (restore
+  // latency > 0). Returning true poisons the restored image: instead of
+  // resuming, the thread raises kContextPoison when the transfer completes.
+  using RestoreFaultHook = std::function<bool(Ptid)>;
+  void SetRestoreFaultHook(RestoreFaultHook fn) { restore_fault_hook_ = std::move(fn); }
 
   // Called by the core when it picks a thread that still needs its state
   // restored (prefetch-on-wake disabled). Sets ready_at; the thread will not
@@ -100,6 +121,10 @@ class ThreadSystem {
   // ---- Machine halt (triple-fault analog, §3.2) ---------------------------
   bool halted() const { return halted_; }
   const std::string& halt_reason() const { return halt_reason_; }
+  // Structured reason; halt_reason() stays the human-readable string (and
+  // the differential-fuzz oracle compares those strings, so their format is
+  // load-bearing).
+  const HaltInfo& halt_info() const { return halt_info_; }
   void Halt(const std::string& reason);
 
   // Convenience for runtime/tests: initialize a thread's state in place.
@@ -114,6 +139,11 @@ class ThreadSystem {
   void NotifyWake(CoreId core);
   void OnMonitorWake(Ptid ptid);
   uint64_t* RemoteRegSlot(HwThread& t, uint32_t remote_reg);
+  void RaiseExceptionAt(Ptid ptid, ExceptionType type, Addr addr, uint64_t errcode,
+                        uint32_t depth);
+  void DeliverOrEscalate(const ExceptionDescriptor& d, Addr edp, uint32_t depth);
+  void HaltWith(const HaltInfo& info, const std::string& reason);
+  void MaybePoisonRestore(Ptid ptid, Tick restore);
 
   Simulation& sim_;
   MemorySystem& mem_;
@@ -126,8 +156,13 @@ class ThreadSystem {
   std::vector<std::function<void()>> wake_hooks_;
   std::vector<uint8_t> needs_restore_;  // per ptid (bool)
   ThreadTracer* tracer_ = nullptr;
+  std::vector<WakeObserver> wake_observers_;
+  std::vector<ExceptionObserver> exception_observers_;
+  std::vector<DeliveryObserver> delivery_observers_;
+  RestoreFaultHook restore_fault_hook_;
   bool halted_ = false;
   std::string halt_reason_;
+  HaltInfo halt_info_;
   uint64_t exception_seq_ = 0;
 
   StatsRegistry::CounterHandle stat_starts_;
@@ -137,6 +172,8 @@ class ThreadSystem {
   StatsRegistry::CounterHandle stat_mwait_immediate_;
   StatsRegistry::CounterHandle stat_vtid_hits_;
   StatsRegistry::CounterHandle stat_vtid_misses_;
+  StatsRegistry::CounterHandle stat_escalations_;
+  StatsRegistry::CounterHandle stat_restore_poisons_;
   // Per-type exception counters, interned up front so RaiseException never
   // builds a "hwt.exception.<name>" string on the fault path.
   std::array<StatsRegistry::CounterHandle, kNumExceptionTypes> stat_exception_by_type_;

@@ -118,6 +118,21 @@ void ThreadTracer::DumpChromeTrace(std::ostream& os, double ghz) const {
       w.EndObject();
     }
   }
+  for (const Mark& m : marks_) {
+    w.BeginObject();
+    w.KeyValue("name", m.label);
+    w.KeyValue("ph", "i");
+    w.KeyValue("s", "t");  // instant scoped to its thread track
+    w.KeyValue("cat", "mark");
+    w.KeyValue("pid", uint64_t{0});
+    w.KeyValue("tid", static_cast<uint64_t>(m.ptid));
+    w.KeyValue("ts", static_cast<double>(m.tick) / cycles_per_us);
+    w.Key("args");
+    w.BeginObject();
+    w.KeyValue("tick", m.tick);
+    w.EndObject();
+    w.EndObject();
+  }
   w.EndArray();
   w.KeyValue("displayTimeUnit", "ns");
   w.Key("otherData");

@@ -45,11 +45,30 @@ class ThreadTracer {
     }
   }
 
+  // Point-in-time annotation (no duration): injected faults, recoveries,
+  // campaign milestones. Rendered as Chrome-trace instant events on the
+  // ptid's track; shares the event cap with state transitions.
+  struct Mark {
+    Tick tick;
+    Ptid ptid;
+    std::string label;
+  };
+
+  void RecordMark(Tick tick, Ptid ptid, std::string label) {
+    if (events_.size() + marks_.size() < max_events_) {
+      marks_.push_back({tick, ptid, std::move(label)});
+    } else {
+      dropped_++;
+    }
+  }
+
   const std::vector<Event>& events() const { return events_; }
+  const std::vector<Mark>& marks() const { return marks_; }
   // Events discarded because the buffer reached max_events().
   uint64_t dropped() const { return dropped_; }
   void Clear() {
     events_.clear();
+    marks_.clear();
     dropped_ = 0;
   }
   void set_max_events(size_t n) { max_events_ = n; }
@@ -79,6 +98,7 @@ class ThreadTracer {
 
  private:
   std::vector<Event> events_;
+  std::vector<Mark> marks_;
   size_t max_events_ = 1 << 20;
   uint64_t dropped_ = 0;
 };

@@ -26,7 +26,8 @@ MemorySystem::MemorySystem(Simulation& sim, const MemConfig& config, uint32_t nu
       stat_reads_(sim.stats().Intern("mem.reads")),
       stat_writes_(sim.stats().Intern("mem.writes")),
       stat_fetches_(sim.stats().Intern("mem.fetches")),
-      stat_dma_writes_(sim.stats().Intern("mem.dma_writes")) {
+      stat_dma_writes_(sim.stats().Intern("mem.dma_writes")),
+      stat_dma_blocked_(sim.stats().Intern("mem.dma_blocked")) {
   core_caches_.reserve(num_cores);
   for (uint32_t i = 0; i < num_cores; i++) {
     CoreCaches cc;
@@ -117,6 +118,14 @@ Tick MemorySystem::AtomicAdd(CoreId core, Addr addr, uint64_t delta, uint64_t* o
 }
 
 void MemorySystem::DmaWrite(Addr addr, const void* data, size_t len) {
+  if (!DmaWriteAllowed(addr, len)) {
+    // The fabric rejects the write whole: no functional update, no
+    // invalidation, no monitor wakeups. Devices observe nothing (real DMA
+    // engines post writes and move on); the exception path checks
+    // DmaWriteAllowed up front precisely because this failure is silent.
+    stat_dma_blocked_++;
+    return;
+  }
   stat_dma_writes_++;
   phys_.Write(addr, data, len);
   // DMA invalidates every core's private lines; optionally allocates into the

@@ -117,6 +117,35 @@ class MemorySystem {
     return false;
   }
 
+  // Ranges that reject device-side (DMA) writes — an unmapped I/O hole or a
+  // read-only page as seen from the fabric. A DMA write overlapping one is
+  // dropped whole (counted in mem.dma_blocked); the exception hardware uses
+  // DmaWriteAllowed to detect that a descriptor write would land here and
+  // escalate the fault up the handler chain instead (§3). CPU stores are not
+  // affected: their protection path is the supervisor-only check above.
+  void AddUnwritableRange(Addr base, uint64_t size) {
+    unwritable_.push_back({base, base + size});
+  }
+  void ClearUnwritableRanges() { unwritable_.clear(); }
+  void RemoveUnwritableRange(Addr base, uint64_t size) {
+    std::erase(unwritable_, std::pair<Addr, Addr>{base, base + size});
+  }
+  bool DmaWriteAllowed(Addr addr, size_t len) const {
+    if (unwritable_.empty()) {
+      return true;
+    }
+    Addr last = addr + (len == 0 ? 0 : len - 1);
+    if (last < addr) {
+      last = ~UINT64_C(0);  // clamp address-space wrap
+    }
+    for (const auto& [lo, hi] : unwritable_) {
+      if (addr < hi && last >= lo) {
+        return false;
+      }
+    }
+    return true;
+  }
+
   // --- Bulk transfers (context-state moves, §4) ---------------------------
   // Latency to move `bytes` of contiguous state to/from the given level:
   // level base latency + ceil(bytes / link width).
@@ -173,10 +202,12 @@ class MemorySystem {
   std::vector<MmioRegion> mmio_;
   std::vector<CodeWriteListener> code_write_listeners_;
   std::vector<std::pair<Addr, Addr>> supervisor_only_;  // [base, end)
+  std::vector<std::pair<Addr, Addr>> unwritable_;       // [base, end), DMA-side
   StatsRegistry::CounterHandle stat_reads_;
   StatsRegistry::CounterHandle stat_writes_;
   StatsRegistry::CounterHandle stat_fetches_;
   StatsRegistry::CounterHandle stat_dma_writes_;
+  StatsRegistry::CounterHandle stat_dma_blocked_;
 };
 
 }  // namespace casc

@@ -67,6 +67,23 @@ class MonitorFilter {
   size_t TrackedThreadCount() const { return threads_.size(); }
   bool IsWatching(Ptid ptid, Addr addr) const;
 
+  // Lowest-numbered ptid watching the line containing `addr`, if any. Used
+  // by the exception hardware to walk a handler chain when a descriptor
+  // write cannot land (§3 escalation); lowest-ptid gives a deterministic
+  // pick independent of watch insertion order.
+  bool FirstWatcherOf(Addr addr, Ptid* out) const {
+    auto it = watchers_.find(LineBase(addr));
+    if (it == watchers_.end() || it->second.empty()) {
+      return false;
+    }
+    Ptid best = it->second[0];
+    for (Ptid p : it->second) {
+      best = p < best ? p : best;
+    }
+    *out = best;
+    return true;
+  }
+
  private:
   struct ThreadState {
     std::vector<Addr> lines;

@@ -71,14 +71,34 @@ class LatencyRecorder {
     inflight_.erase(it);
   }
 
+  // Drops every in-flight request older than `timeout` and counts it as
+  // timed out. Servers under fault injection call this periodically so a
+  // dropped frame costs one request, not an unbounded in-flight map. Returns
+  // how many requests were dropped by this sweep.
+  uint64_t SweepTimeouts(Tick now, Tick timeout) {
+    uint64_t dropped = 0;
+    for (auto it = inflight_.begin(); it != inflight_.end();) {
+      if (now - it->second.sent >= timeout) {
+        it = inflight_.erase(it);
+        dropped++;
+      } else {
+        ++it;
+      }
+    }
+    timed_out_ += dropped;
+    return dropped;
+  }
+
   const Histogram& latency() const { return latency_; }
   const Histogram& slowdown() const { return slowdown_; }
   size_t inflight() const { return inflight_.size(); }
   uint64_t completed() const { return latency_.count(); }
+  uint64_t timed_out() const { return timed_out_; }
   void Reset() {
     latency_.Reset();
     slowdown_.Reset();
     inflight_.clear();
+    timed_out_ = 0;
   }
 
  private:
@@ -89,6 +109,7 @@ class LatencyRecorder {
   Histogram latency_;
   Histogram slowdown_;
   std::unordered_map<uint64_t, Sent> inflight_;
+  uint64_t timed_out_ = 0;
 };
 
 }  // namespace casc

@@ -256,6 +256,11 @@ TEST_F(HwtTest, ExceptionWithoutEdpHaltsMachine) {
   ts_.RaiseException(3, ExceptionType::kDivideByZero, 0, 0);
   EXPECT_TRUE(ts_.halted());
   EXPECT_NE(ts_.halt_reason().find("divide-by-zero"), std::string::npos);
+  // The structured halt record carries the same story as the string.
+  EXPECT_EQ(ts_.halt_info().reason, HaltReason::kUnhandledException);
+  EXPECT_EQ(ts_.halt_info().exception, ExceptionType::kDivideByZero);
+  EXPECT_EQ(ts_.halt_info().ptid, 3u);
+  EXPECT_EQ(ts_.halt_info().chain_depth, 0u);
 }
 
 TEST_F(HwtTest, ExceptionChainEndsAtThreadWithoutHandler) {
@@ -294,6 +299,79 @@ TEST_F(HwtTest, ExceptionDescriptorWakesMonitoringHandler) {
   const ExceptionDescriptor d = ExceptionDescriptor::ReadFrom(mem_, 0x30000);
   EXPECT_EQ(d.addr, 0xbeefu);
   EXPECT_EQ(d.seq, 1u);
+}
+
+TEST_F(HwtTest, DescriptorWriteFaultEscalatesToWatcher) {
+  // The faulter's EDP page is unwritable, so the descriptor write itself
+  // faults. The thread monitoring that EDP line is the handler that would
+  // have serviced the fault — it becomes the next faulting party and takes a
+  // page-fault descriptor naming the undeliverable EDP, with the original
+  // faulter in errcode.
+  ts_.InitThread(4, 0x1000, /*supervisor=*/false, /*edp=*/0x30000);
+  ts_.thread(4).set_state(ThreadState::kRunnable);
+  ts_.InitThread(5, 0x2000, /*supervisor=*/true, /*edp=*/0x30100);
+  ts_.thread(5).set_state(ThreadState::kRunnable);
+  ASSERT_TRUE(ts_.Monitor(5, 0x30000).ok);
+  ASSERT_TRUE(ts_.Mwait(5).blocked);
+  mem_.AddUnwritableRange(0x30000, ExceptionDescriptor::kBytes);
+
+  ts_.RaiseException(4, ExceptionType::kDivideByZero, 0, 0);
+  sim_.queue().RunAll();
+  EXPECT_FALSE(ts_.halted());
+  const ExceptionDescriptor d = ExceptionDescriptor::ReadFrom(mem_, 0x30100);
+  EXPECT_EQ(d.type, static_cast<uint32_t>(ExceptionType::kPageFault));
+  EXPECT_EQ(d.ptid, 5u);
+  EXPECT_EQ(d.addr, 0x30000u);   // the EDP the fabric refused to write
+  EXPECT_EQ(d.errcode, 4u);      // the original faulter
+  EXPECT_EQ(ts_.thread(4).state(), ThreadState::kDisabled);
+  EXPECT_EQ(ts_.thread(5).state(), ThreadState::kDisabled);
+  EXPECT_EQ(sim_.stats().GetCounter("hwt.exception_escalations"), 1u);
+}
+
+TEST_F(HwtTest, DescriptorWriteFaultWithNoWatcherHaltsCleanly) {
+  // Unwritable EDP and nobody monitoring the line: the escalation walk has
+  // nowhere to go, so the machine halts with a reportable reason — no
+  // assertion, no silent wedge.
+  ts_.InitThread(4, 0x1000, /*supervisor=*/false, /*edp=*/0x30000);
+  ts_.thread(4).set_state(ThreadState::kRunnable);
+  mem_.AddUnwritableRange(0x30000, ExceptionDescriptor::kBytes);
+
+  ts_.RaiseException(4, ExceptionType::kDivideByZero, 0, 0);
+  sim_.queue().RunAll();
+  EXPECT_TRUE(ts_.halted());
+  EXPECT_EQ(ts_.halt_info().reason, HaltReason::kHandlerChainExhausted);
+  EXPECT_EQ(ts_.halt_info().ptid, 4u);
+  EXPECT_EQ(ts_.halt_info().chain_depth, 1u);
+  EXPECT_NE(ts_.halt_reason().find("handler chain exhausted"), std::string::npos);
+}
+
+TEST_F(HwtTest, EscalationChainTerminatesWhenEveryEdpIsUnwritable) {
+  // A three-deep handler chain where every EDP page is unwritable: each
+  // escalation step disables one watcher (tearing down its watches), so the
+  // walk provably runs out of watchers and halts instead of looping.
+  ts_.InitThread(4, 0x1000, /*supervisor=*/false, /*edp=*/0x30000);
+  ts_.InitThread(5, 0x2000, /*supervisor=*/true, /*edp=*/0x30100);
+  ts_.InitThread(6, 0x3000, /*supervisor=*/true, /*edp=*/0x30200);
+  for (Ptid p : {4u, 5u, 6u}) {
+    ts_.thread(p).set_state(ThreadState::kRunnable);
+  }
+  ASSERT_TRUE(ts_.Monitor(5, 0x30000).ok);
+  ASSERT_TRUE(ts_.Mwait(5).blocked);
+  ASSERT_TRUE(ts_.Monitor(6, 0x30100).ok);
+  ASSERT_TRUE(ts_.Mwait(6).blocked);
+  for (Addr edp : {Addr{0x30000}, Addr{0x30100}, Addr{0x30200}}) {
+    mem_.AddUnwritableRange(edp, ExceptionDescriptor::kBytes);
+  }
+
+  ts_.RaiseException(4, ExceptionType::kPageFault, 0xdead, 0);
+  sim_.queue().RunAll();
+  EXPECT_TRUE(ts_.halted());
+  EXPECT_EQ(ts_.halt_info().reason, HaltReason::kHandlerChainExhausted);
+  EXPECT_EQ(ts_.halt_info().chain_depth, 3u);
+  for (Ptid p : {4u, 5u, 6u}) {
+    EXPECT_EQ(ts_.thread(p).state(), ThreadState::kDisabled);
+  }
+  EXPECT_EQ(sim_.stats().GetCounter("hwt.exception_escalations"), 3u);
 }
 
 TEST_F(HwtTest, CsrPrivilegeEnforced) {

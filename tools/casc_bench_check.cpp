@@ -134,6 +134,56 @@ void CheckBenchReport(const std::string& path) {
       }
     }
   }
+
+  // The recovery bench proves faults were actually exercised: each fault
+  // class must report a positive injection count plus recovery metrics (which
+  // may legitimately be zero — the chain-exhaustion row halts instead of
+  // recovering, so presence, not positivity, is the contract).
+  if (bench != nullptr && bench->is_string() && bench->str_v == "e11_recovery") {
+    std::map<std::string, bool> injected_ok;
+    std::map<std::string, bool> recovered_ok;
+    std::map<std::string, bool> recovery_p50_ok;
+    for (const JsonValue& r : results->arr) {
+      if (!r.is_object()) {
+        continue;
+      }
+      const JsonValue* config = r.Find("config");
+      const JsonValue* metric = r.Find("metric");
+      const JsonValue* value = r.Find("value");
+      if (config == nullptr || !config->is_string() || metric == nullptr ||
+          !metric->is_string()) {
+        continue;
+      }
+      injected_ok.try_emplace(config->str_v, false);
+      recovered_ok.try_emplace(config->str_v, false);
+      recovery_p50_ok.try_emplace(config->str_v, false);
+      if (metric->str_v == "injected" && IsFiniteNumber(value) && value->num_v > 0) {
+        injected_ok[config->str_v] = true;
+      }
+      if (metric->str_v == "recovered" && IsFiniteNumber(value)) {
+        recovered_ok[config->str_v] = true;
+      }
+      if (metric->str_v == "recovery_p50_cycles" && IsFiniteNumber(value)) {
+        recovery_p50_ok[config->str_v] = true;
+      }
+    }
+    for (const auto& [config, ok] : injected_ok) {
+      if (!ok) {
+        Fail(path, "recovery config \"" + config + "\" missing positive \"injected\"");
+      }
+    }
+    for (const auto& [config, ok] : recovered_ok) {
+      if (!ok) {
+        Fail(path, "recovery config \"" + config + "\" missing \"recovered\"");
+      }
+    }
+    for (const auto& [config, ok] : recovery_p50_ok) {
+      if (!ok) {
+        Fail(path,
+             "recovery config \"" + config + "\" missing \"recovery_p50_cycles\"");
+      }
+    }
+  }
 }
 
 // Chrome trace_event: {"traceEvents": [...]} where every event has ph/pid/

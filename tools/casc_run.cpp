@@ -24,11 +24,25 @@
 
 using namespace casc;
 
+namespace {
+
+void PrintUsage(FILE* out) {
+  std::fprintf(out,
+               "usage: casc-run <file.casm> [--entry=symbol] [--supervisor=true]\n"
+               "                [--max-cycles=N] [--threads-per-core=64] [--trace]\n"
+               "                [--trace-json=<path>] [--dump-stats]\n"
+               "                [--stats-json=<path>] [--no-lint] [--help]\n");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--help") {
+    PrintUsage(stdout);
+    return 0;
+  }
   if (argc < 2) {
-    std::fprintf(stderr, "usage: casc-run <file.casm> [--entry=sym] [--max-cycles=N] "
-                         "[--trace] [--trace-json=out.json] [--dump-stats] "
-                         "[--stats-json=out.json]\n");
+    PrintUsage(stderr);
     return 2;
   }
   const std::string path = argv[1];

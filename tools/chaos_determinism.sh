@@ -1,0 +1,35 @@
+#!/bin/sh
+# Chaos determinism check: run every fault-injection scenario twice with the
+# same seed and require byte-identical stats dumps. The chaos engine draws
+# from its own seeded RNG stream (never the workload's), so identical seeds
+# must replay identical campaigns — injection ticks, detection latencies,
+# recovery latencies, everything. Any divergence is a nondeterminism bug in
+# the engine or in a scenario's host-side event plumbing.
+#
+# Usage: chaos_determinism.sh <casc_chaos-binary> <scratch-dir>
+set -eu
+
+bin=${1:?usage: chaos_determinism.sh <casc_chaos-binary> <scratch-dir>}
+scratch=${2:?usage: chaos_determinism.sh <casc_chaos-binary> <scratch-dir>}
+mkdir -p "$scratch"
+
+if [ ! -x "$bin" ]; then
+  echo "chaos_determinism: missing binary $bin" >&2
+  exit 2
+fi
+
+fail=0
+for seed in 1 7; do
+  a="$scratch/chaos.seed$seed.run1.json"
+  b="$scratch/chaos.seed$seed.run2.json"
+  "$bin" --scenario=all --seed="$seed" --stats-json="$a" > /dev/null
+  "$bin" --scenario=all --seed="$seed" --stats-json="$b" > /dev/null
+  if ! cmp -s "$a" "$b"; then
+    echo "chaos_determinism: seed $seed stats dumps differ:" >&2
+    diff "$a" "$b" >&2 || true
+    fail=1
+  else
+    echo "chaos_determinism: seed $seed ok ($(wc -c < "$a") bytes, byte-identical)"
+  fi
+done
+exit "$fail"

@@ -2,9 +2,10 @@
 # Sanitizer CI tier: builds with ASan+UBSan and runs the full tier-1 ctest
 # suite — which includes the differential-fuzz smoke batch (fuzz_smoke: a
 # fixed-seed generator run across the whole config lattice with determinism
-# checking) and the saved regression corpus (fuzz_corpus). Memory errors in
-# the simulator or the reference model surface here rather than as silent
-# state divergence.
+# checking), the saved regression corpus (fuzz_corpus), and the chaos_smoke
+# tier (every fault-injection scenario plus the seed-determinism check).
+# Memory errors in the simulator, the reference model, or the fault-recovery
+# paths surface here rather than as silent state divergence.
 #
 # Usage: ci_sanitize.sh [build-dir]      (default: build-sanitize)
 set -eu
