@@ -71,7 +71,8 @@ bool StaticTarget(const Instruction& inst, Addr addr, Addr* target) {
   return false;
 }
 
-Cfg BuildCfg(const DecodedProgram& prog, Addr entry) {
+Cfg BuildCfg(const DecodedProgram& prog, Addr entry,
+             const std::vector<Addr>& extra_entries) {
   Cfg cfg;
   cfg.block_of.assign(prog.insts.size(), SIZE_MAX);
   if (prog.insts.empty()) {
@@ -84,6 +85,11 @@ Cfg BuildCfg(const DecodedProgram& prog, Addr entry) {
   leaders.insert(prog.insts.front().addr);
   if (prog.IndexAt(entry) != SIZE_MAX) {
     leaders.insert(entry);
+  }
+  for (Addr a : extra_entries) {
+    if (prog.IndexAt(a) != SIZE_MAX) {
+      leaders.insert(a);
+    }
   }
   for (Addr a : prog.address_taken) {
     if (prog.IndexAt(a) != SIZE_MAX) {

@@ -50,7 +50,11 @@ bool IsTerminator(const Instruction& inst);
 // `addr` is the instruction's own address.
 bool StaticTarget(const Instruction& inst, Addr addr, Addr* target);
 
-Cfg BuildCfg(const DecodedProgram& prog, Addr entry);
+// `extra_entries` adds more block leaders (per-thread region entry points from
+// harness tN_entry symbols); each becomes a block boundary so the concurrency
+// pass can seed a dataflow root exactly at a region's first instruction.
+Cfg BuildCfg(const DecodedProgram& prog, Addr entry,
+             const std::vector<Addr>& extra_entries = {});
 
 }  // namespace analysis
 }  // namespace casc

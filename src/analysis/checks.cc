@@ -99,6 +99,21 @@ class Checker {
            "the thread would block on a watch that can never fire");
     }
 
+    // §3.1: the read that decided to sleep predates the watch. A remote store
+    // in the read->arm window set no pending flag, so this mwait can sleep
+    // through the only wakeup (the casc-chaos recovery bug, generalized).
+    if (inst.op == Opcode::kMwait && !s.stale_arm_may.empty()) {
+      std::string lines;
+      for (uint64_t line : s.stale_arm_may) {
+        lines += (lines.empty() ? "" : ", ") + Hex(line);
+      }
+      Emit(rules::kLostWakeup, Severity::kWarning, di,
+           "mwait may sleep through a wakeup: line(s) " + lines +
+               " were read before being armed and not re-read after arming; "
+               "a store landing between the read and the monitor sets no "
+               "pending flag (re-load the line after arming, or arm first)");
+    }
+
     // §3.2: privileged operations reachable in user mode.
     if (s.may_user) {
       if (inst.op == Opcode::kCsrwr && IsProtectedCsr(static_cast<Csr>(inst.imm))) {

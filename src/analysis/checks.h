@@ -27,6 +27,25 @@
 //                                decode (the simulator folds it to nop).
 //   indirect-jalr          —     note: jalr target not statically resolvable;
 //                                the analysis is conservative past it.
+//
+// casc-race rules (whole-program happens-before pass, DESIGN.md §4h):
+//
+//   data-race              §3.1  two thread regions access the same constant
+//                                address, at least one a plain store, with no
+//                                happens-before edge ordering them.
+//   lost-wakeup            §3.1  mwait reachable while some armed line was
+//                                read before it was first armed and never
+//                                re-read: a remote store in the read→arm
+//                                window sets no pending flag and the mwait
+//                                sleeps through it (the static generalization
+//                                of the casc-chaos recovery bug).
+//   monitor-store-race     §3.1  two regions store to the same watched line
+//                                concurrently: the waiter cannot tell which
+//                                release woke it.
+//   unsynchronized-start   §3.1  a parent reads a child-written address while
+//                                the child may be running, relying on start
+//                                timing instead of a monitor/mwait or stop
+//                                edge.
 #ifndef SRC_ANALYSIS_CHECKS_H_
 #define SRC_ANALYSIS_CHECKS_H_
 
@@ -64,6 +83,10 @@ inline constexpr char kTargetOutOfImage[] = "target-out-of-image";
 inline constexpr char kVtidOutOfRange[] = "vtid-out-of-range";
 inline constexpr char kIllegalOpcode[] = "illegal-opcode";
 inline constexpr char kIndirectJalr[] = "indirect-jalr";
+inline constexpr char kDataRace[] = "data-race";
+inline constexpr char kLostWakeup[] = "lost-wakeup";
+inline constexpr char kMonitorStoreRace[] = "monitor-store-race";
+inline constexpr char kUnsyncStart[] = "unsynchronized-start";
 }  // namespace rules
 
 std::vector<Diagnostic> RunChecks(const DecodedProgram& prog, const Cfg& cfg,

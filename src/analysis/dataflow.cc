@@ -18,6 +18,35 @@ void SetReg(FlowState* s, uint8_t rd, ConstVal v) {
 
 ConstVal Reg(const FlowState& s, uint8_t r) { return r == 0 ? Known(0) : s.regs[r]; }
 
+uint32_t LoadStoreSize(Opcode op) {
+  switch (op) {
+    case Opcode::kLd:
+    case Opcode::kSd:
+    case Opcode::kAmoadd:
+      return 8;
+    case Opcode::kLw:
+    case Opcode::kSw:
+      return 4;
+    case Opcode::kLh:
+    case Opcode::kSh:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+// An access of size <= kLineSize covers at most two lines (possibly wrapping
+// the top of the address space, like corpus monitor_wrap does).
+template <typename Fn>
+void ForEachAccessLine(uint64_t addr, uint32_t size, Fn fn) {
+  const uint64_t first = LineBase(addr);
+  const uint64_t last = LineBase(addr + (size - 1));
+  fn(first);
+  if (last != first) {
+    fn(last);
+  }
+}
+
 }  // namespace
 
 FlowState EntryState(const AnalysisOptions& options, bool secondary) {
@@ -74,6 +103,28 @@ bool JoinInto(FlowState* into, const FlowState& from) {
     merge_const(&into->regs[r], from.regs[r]);
   }
   merge_const(&into->tdt_bound, from.tdt_bound);
+  auto merge_union = [&changed](std::set<uint64_t>* a, const std::set<uint64_t>& b) {
+    for (uint64_t v : b) {
+      if (a->insert(v).second) {
+        changed = true;
+      }
+    }
+  };
+  auto merge_intersect = [&changed](std::set<uint64_t>* a, const std::set<uint64_t>& b) {
+    for (auto it = a->begin(); it != a->end();) {
+      if (b.count(*it) == 0) {
+        it = a->erase(it);
+        changed = true;
+      } else {
+        ++it;
+      }
+    }
+  };
+  merge_union(&into->started_may, from.started_may);
+  merge_intersect(&into->armed_must, from.armed_must);
+  merge_union(&into->loaded_may, from.loaded_may);
+  merge_union(&into->stale_arm_may, from.stale_arm_may);
+  merge_union(&into->selfstore_may, from.selfstore_may);
   return changed;
 }
 
@@ -153,10 +204,49 @@ void TransferInst(const DecodedInst& di, const AnalysisOptions& options, FlowSta
     case Opcode::kLw:
     case Opcode::kLh:
     case Opcode::kLb:
+      if (a.known) {
+        ForEachAccessLine(a.value + static_cast<uint64_t>(simm), LoadStoreSize(inst.op),
+                          [s](uint64_t line) {
+                            s->loaded_may.insert(line);
+                            s->stale_arm_may.erase(line);
+                          });
+      }
+      SetReg(s, inst.rd, {});
+      break;
+
     case Opcode::kAmoadd:
+      // Reads and writes mem[rs1] indivisibly: counts as a fresh read of the
+      // line (clearing any stale-arm window) and, on an armed line, as a
+      // self-inflicted pending flag.
+      if (a.known) {
+        ForEachAccessLine(a.value, 8, [s](uint64_t line) {
+          s->loaded_may.insert(line);
+          s->stale_arm_may.erase(line);
+          if (s->armed_must.count(line) != 0) {
+            s->selfstore_may.insert(line);
+          }
+        });
+      }
+      SetReg(s, inst.rd, {});
+      break;
+
     case Opcode::kRpull:
     case Opcode::kCsrrd:
       SetReg(s, inst.rd, {});
+      break;
+
+    case Opcode::kSd:
+    case Opcode::kSw:
+    case Opcode::kSh:
+    case Opcode::kSb:
+      if (a.known) {
+        ForEachAccessLine(a.value + static_cast<uint64_t>(simm), LoadStoreSize(inst.op),
+                          [s](uint64_t line) {
+                            if (s->armed_must.count(line) != 0) {
+                              s->selfstore_may.insert(line);
+                            }
+                          });
+      }
       break;
 
     case Opcode::kJal:
@@ -175,6 +265,26 @@ void TransferInst(const DecodedInst& di, const AnalysisOptions& options, FlowSta
 
     case Opcode::kMonitor:
       s->monitor_may_armed = true;
+      if (a.known) {
+        const uint64_t line = LineBase(a.value);
+        // First arm of a line already read on this path: any remote store
+        // between that read and this arm set no pending flag, so the decision
+        // the read fed is stale and the next mwait can sleep through the
+        // wakeup. A re-load of the line (or this being a re-arm, where the
+        // persistent watch covers the gap) closes the window.
+        if (s->armed_must.count(line) == 0 && s->loaded_may.count(line) != 0) {
+          s->stale_arm_may.insert(line);
+        }
+        s->armed_must.insert(line);
+      }
+      break;
+
+    case Opcode::kMwait:
+      // mwait consumes the pending state; whatever this thread stored to its
+      // own watched lines before is no longer pending, and checks at this
+      // mwait have already seen the pre-state.
+      s->selfstore_may.clear();
+      s->stale_arm_may.clear();
       break;
 
     case Opcode::kCsrwr: {
@@ -207,6 +317,7 @@ void TransferInst(const DecodedInst& di, const AnalysisOptions& options, FlowSta
       const ConstVal vtid = Reg(*s, inst.rs1);
       if (vtid.known) {
         s->stopped_must.insert(vtid.value);
+        s->started_may.erase(vtid.value);
       }
       break;
     }
@@ -214,6 +325,7 @@ void TransferInst(const DecodedInst& di, const AnalysisOptions& options, FlowSta
       const ConstVal vtid = Reg(*s, inst.rs1);
       if (vtid.known) {
         s->stopped_must.erase(vtid.value);
+        s->started_may.insert(vtid.value);
       } else {
         // start on an unknown vtid may have restarted anything.
         s->stopped_must.clear();
@@ -237,6 +349,19 @@ void ApplyEdge(const CfgEdge& edge, FlowState* s) {
 
 DataflowResult RunDataflow(const DecodedProgram& prog, const Cfg& cfg,
                            const AnalysisOptions& options) {
+  std::vector<FlowRoot> roots;
+  if (cfg.primary_entry != SIZE_MAX) {
+    roots.push_back({cfg.primary_entry, EntryState(options, /*secondary=*/false)});
+  }
+  for (size_t b : cfg.secondary_entries) {
+    roots.push_back({b, EntryState(options, /*secondary=*/true)});
+  }
+  return RunDataflowRoots(prog, cfg, options, roots);
+}
+
+DataflowResult RunDataflowRoots(const DecodedProgram& prog, const Cfg& cfg,
+                                const AnalysisOptions& options,
+                                const std::vector<FlowRoot>& roots) {
   DataflowResult result;
   result.block_in.assign(cfg.blocks.size(), FlowState{});
 
@@ -249,13 +374,12 @@ DataflowResult RunDataflow(const DecodedProgram& prog, const Cfg& cfg,
     }
   };
 
-  if (cfg.primary_entry != SIZE_MAX) {
-    result.block_in[cfg.primary_entry] = EntryState(options, /*secondary=*/false);
-    enqueue(cfg.primary_entry);
-  }
-  for (size_t b : cfg.secondary_entries) {
-    JoinInto(&result.block_in[b], EntryState(options, /*secondary=*/true));
-    enqueue(b);
+  for (const FlowRoot& root : roots) {
+    if (root.block == SIZE_MAX) {
+      continue;
+    }
+    JoinInto(&result.block_in[root.block], root.state);
+    enqueue(root.block);
   }
 
   while (!worklist.empty()) {

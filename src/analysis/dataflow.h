@@ -57,6 +57,26 @@ struct FlowState {
   std::array<ConstVal, 32> regs;
   // Known TDT capacity, updated by `csrwr tdtsize` with a constant operand.
   ConstVal tdt_bound;
+
+  // --- casc-race facts (DESIGN.md §4h) ------------------------------------
+  // Vtid constants that may have been started (and not since stopped on
+  // every path): the static concurrency window.
+  std::set<uint64_t> started_may;
+  // Watched line bases armed on every path. Watches persist until the thread
+  // is disabled (ThreadSystem::Disable tears them down), so nothing removes
+  // entries within a region.
+  std::set<uint64_t> armed_must;
+  // Line bases loaded with a constant address on some path since entry.
+  std::set<uint64_t> loaded_may;
+  // Lines whose *first* arm happened after a load of the same line, with no
+  // re-load since the arm: a remote store in that window sets no pending flag
+  // (nothing was armed yet) and the next mwait sleeps through it — the
+  // lost-wakeup window (PR 5's recovery bug, generalized).
+  std::set<uint64_t> stale_arm_may;
+  // Armed lines this thread itself may have stored to since the last mwait:
+  // the pending flag may be self-inflicted, so an mwait return does not prove
+  // a remote release happened.
+  std::set<uint64_t> selfstore_may;
 };
 
 // State at the start of a hardware thread, per §3.1: registers are zeroed at
@@ -85,6 +105,18 @@ struct DataflowResult {
 
 DataflowResult RunDataflow(const DecodedProgram& prog, const Cfg& cfg,
                            const AnalysisOptions& options);
+
+// Explicit-root variant: seeds exactly `roots` (block index -> entry state)
+// instead of the primary/secondary-entry convention. Used by the
+// whole-program concurrency pass to analyze one thread region at a time, and
+// by Lint when tN_* harness symbols declare per-thread entry assumptions.
+struct FlowRoot {
+  size_t block = SIZE_MAX;
+  FlowState state;
+};
+DataflowResult RunDataflowRoots(const DecodedProgram& prog, const Cfg& cfg,
+                                const AnalysisOptions& options,
+                                const std::vector<FlowRoot>& roots);
 
 }  // namespace analysis
 }  // namespace casc

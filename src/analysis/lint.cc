@@ -1,7 +1,11 @@
 #include "src/analysis/lint.h"
 
+#include <algorithm>
 #include <ostream>
+#include <set>
 #include <sstream>
+
+#include "src/analysis/hb.h"
 
 namespace casc {
 namespace analysis {
@@ -68,9 +72,60 @@ LintResult Lint(const Program& program, const LintOptions& options) {
     return result;
   }
 
-  const Cfg cfg = BuildCfg(decoded, entry);
-  const DataflowResult flow = RunDataflow(decoded, cfg, options.flow);
+  // Harness images (tN_entry symbols) are analyzed per thread region: each
+  // region's entry becomes a dataflow root carrying that thread's declared
+  // mode/EDP/TDT assumptions, and the cross-region happens-before pass runs
+  // over the result (DESIGN.md §4h).
+  const std::vector<ThreadRegion> regions = FindThreadRegions(program);
+  std::vector<Addr> region_entries;
+  for (const ThreadRegion& r : regions) {
+    region_entries.push_back(r.entry);
+  }
+
+  const Cfg cfg = BuildCfg(decoded, entry, region_entries);
+  DataflowResult flow;
+  if (regions.empty()) {
+    flow = RunDataflow(decoded, cfg, options.flow);
+  } else {
+    std::vector<FlowRoot> roots;
+    std::set<size_t> region_blocks;
+    for (const ThreadRegion& r : regions) {
+      const size_t idx = decoded.IndexAt(r.entry);
+      if (idx == SIZE_MAX) {
+        continue;
+      }
+      AnalysisOptions opts = options.flow;
+      opts.entry_supervisor = r.supervisor;
+      opts.assume_edp_at_entry = r.edp != 0;
+      if (r.tdt_size != 0) {
+        opts.tdt_capacity = r.tdt_size;
+      }
+      roots.push_back({cfg.block_of[idx], EntryState(opts, /*secondary=*/false)});
+      region_blocks.insert(cfg.block_of[idx]);
+    }
+    // An explicit entry symbol is still a root; the image base is not — in a
+    // harness image only the declared threads run.
+    if (!options.entry_symbol.empty() && region_blocks.count(cfg.primary_entry) == 0 &&
+        cfg.primary_entry != SIZE_MAX) {
+      roots.push_back({cfg.primary_entry, EntryState(options.flow, /*secondary=*/false)});
+    }
+    for (size_t b : cfg.secondary_entries) {
+      if (region_blocks.count(b) == 0) {
+        roots.push_back({b, EntryState(options.flow, /*secondary=*/true)});
+      }
+    }
+    flow = RunDataflowRoots(decoded, cfg, options.flow, roots);
+  }
+
   std::vector<Diagnostic> raw = RunChecks(decoded, cfg, flow, options.flow);
+  if (regions.size() >= 2) {
+    std::vector<Diagnostic> conc =
+        RunConcurrencyChecks(program, decoded, cfg, options.flow, regions);
+    raw.insert(raw.end(), std::make_move_iterator(conc.begin()),
+               std::make_move_iterator(conc.end()));
+    std::sort(raw.begin(), raw.end(),
+              [](const Diagnostic& x, const Diagnostic& y) { return x.addr < y.addr; });
+  }
 
   for (Diagnostic& d : raw) {
     if (d.line != 0 && program.LintAllowed(d.line, d.rule_id)) {

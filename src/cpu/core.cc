@@ -250,6 +250,9 @@ Tick Core::ExecuteInstruction(HwThread& t, const Instruction& inst) {
         ts_.RaiseException(self, ExceptionType::kPageFault, addr, 0);
         return lat;
       }
+      if (chb_ != nullptr) {
+        chb_->OnLoad(self, addr, size, pc);
+      }
       uint64_t value = 0;
       lat = mem_.Read(id_, addr, size, &value);
       t.WriteGpr(inst.rd, value);
@@ -267,6 +270,11 @@ Tick Core::ExecuteInstruction(HwThread& t, const Instruction& inst) {
       if (!t.arch().is_supervisor() && mem_.IsSupervisorOnly(addr)) {
         ts_.RaiseException(self, ExceptionType::kPageFault, addr, 0);
         return lat;
+      }
+      // Report before the write: the write may synchronously wake an mwaiter,
+      // and the waiter's acquire must see this store's release.
+      if (chb_ != nullptr) {
+        chb_->OnStore(self, addr, size, pc);
       }
       lat = mem_.Write(id_, addr, size, rdv);
       break;
@@ -393,6 +401,9 @@ Tick Core::ExecuteInstruction(HwThread& t, const Instruction& inst) {
       break;
     }
     case Opcode::kAmoadd: {
+      if (chb_ != nullptr) {
+        chb_->OnAtomic(self, rs1, 8, pc);
+      }
       uint64_t old = 0;
       lat = mem_.AtomicAdd(id_, rs1, rs2, &old);
       t.WriteGpr(inst.rd, old);
@@ -473,17 +484,26 @@ Tick Core::ExecuteNativeOp(HwThread& t, GuestContext& ctx, const GuestOp& op) {
       ctx.DeliverResult(0);
       return std::max<Tick>(1, op.cycles);
     case GuestOp::Kind::kLoad: {
+      if (chb_ != nullptr) {
+        chb_->OnLoad(self, op.addr, op.size, /*pc=*/0);
+      }
       uint64_t value = 0;
       const Tick lat = mem_.Read(id_, op.addr, op.size, &value);
       ctx.DeliverResult(value);
       return lat;
     }
     case GuestOp::Kind::kStore: {
+      if (chb_ != nullptr) {
+        chb_->OnStore(self, op.addr, op.size, /*pc=*/0);
+      }
       const Tick lat = mem_.Write(id_, op.addr, op.size, op.value);
       ctx.DeliverResult(0);
       return lat;
     }
     case GuestOp::Kind::kAtomicAdd: {
+      if (chb_ != nullptr) {
+        chb_->OnAtomic(self, op.addr, 8, /*pc=*/0);
+      }
       uint64_t old = 0;
       const Tick lat = mem_.AtomicAdd(id_, op.addr, op.value, &old);
       ctx.DeliverResult(old);

@@ -45,6 +45,11 @@ class Core {
 
   void SetHcallHandler(HcallHandler handler) { hcall_ = std::move(handler); }
 
+  // Attaches the dynamic race detector's access hooks (not owned; nullptr —
+  // the default — keeps the data path free of observer calls beyond one
+  // predictable branch).
+  void SetConcurrencyObserver(ConcurrencyObserver* observer) { chb_ = observer; }
+
   // Arms the tick event if there is runnable work. Called at boot and by the
   // ThreadSystem wake hook.
   void Kick();
@@ -115,6 +120,7 @@ class Core {
   std::unordered_map<Ptid, NativeState> native_;
   bool has_native_ = false;  // skips the native_ lookup on all-interpreted cores
   HcallHandler hcall_;
+  ConcurrencyObserver* chb_ = nullptr;
   bool predecode_enabled_ = true;
   std::array<PredecodedLine, kPredecodeLines> predecode_;
   uint64_t stat_predecode_hits_ = 0;

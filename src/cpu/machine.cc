@@ -57,6 +57,13 @@ void Machine::SetHcallHandler(Core::HcallHandler handler) {
   }
 }
 
+void Machine::SetConcurrencyObserver(ConcurrencyObserver* observer) {
+  ts_->SetConcurrencyObserver(observer);
+  for (auto& core : cores_) {
+    core->SetConcurrencyObserver(observer);
+  }
+}
+
 void Machine::SetPredecodeEnabled(bool enabled) {
   for (auto& core : cores_) {
     core->set_predecode_enabled(enabled);

@@ -57,6 +57,10 @@ class Machine {
 
   void SetHcallHandler(Core::HcallHandler handler);
 
+  // Attaches/detaches a dynamic race detector to the thread system and every
+  // core (casc-race's `--race-check`; nullptr restores the zero-cost default).
+  void SetConcurrencyObserver(ConcurrencyObserver* observer);
+
   // Toggles the predecoded I-cache on every core (benchmarks/tests only).
   void SetPredecodeEnabled(bool enabled);
 

@@ -1,0 +1,53 @@
+// ConcurrencyObserver: the dynamic-analysis hook surface for casc-race.
+// The ThreadSystem reports every event that creates a happens-before edge
+// under the paper's synchronization model (§3.1) — start/stop, rpull/rpush,
+// and the monitor→mwait↔store protocol — and the cores report every guest
+// data access. A vector-clock race detector (src/verify/race_detector.h)
+// implements this interface; `casc_run --race-check` and the fuzzer attach it.
+//
+// Cost contract: all call sites are guarded by a raw-pointer null check, so a
+// machine without an observer pays one predictable branch per access and
+// nothing else (the acceptance bar is ≤2% on bench_t2_simhost).
+#ifndef SRC_HWT_CONCURRENCY_OBSERVER_H_
+#define SRC_HWT_CONCURRENCY_OBSERVER_H_
+
+#include "src/sim/types.h"
+
+namespace casc {
+
+class ConcurrencyObserver {
+ public:
+  virtual ~ConcurrencyObserver() = default;
+
+  // Guest data accesses that actually performed (post permission check).
+  // `pc` is the faulting-capable instruction's address, or 0 for native
+  // coroutine ops (which have no guest pc). Stores are reported *before* the
+  // memory write so a release into a watched line is visible to the waiter
+  // the write wakes synchronously.
+  virtual void OnLoad(Ptid ptid, Addr addr, uint32_t size, Addr pc) = 0;
+  virtual void OnStore(Ptid ptid, Addr addr, uint32_t size, Addr pc) = 0;
+  virtual void OnAtomic(Ptid ptid, Addr addr, uint32_t size, Addr pc) = 0;
+
+  // Successful thread-management ops (§3.1). Targets are physical tids,
+  // post-translation. Start is a release edge issuer→target; stop is an
+  // acquire edge target→issuer; rpull/rpush order the disabled target's
+  // context against the issuer.
+  virtual void OnThreadStart(Ptid issuer, Ptid target) = 0;
+  virtual void OnThreadStop(Ptid issuer, Ptid target) = 0;
+  virtual void OnRpull(Ptid issuer, Ptid target) = 0;
+  virtual void OnRpush(Ptid issuer, Ptid target) = 0;
+
+  // Monitor protocol: a successful arm, and every mwait completion (either
+  // the immediate pending-consumption path or a wake out of kWaiting). The
+  // completion is the acquire point for stores to the armed lines.
+  virtual void OnMonitorArm(Ptid ptid, Addr line) = 0;
+  virtual void OnMwaitReturn(Ptid ptid) = 0;
+
+  // Any disable (stop, halt, exception): the hardware tears down the
+  // thread's watch set here (ThreadSystem::Disable → ClearWatches).
+  virtual void OnThreadDisabled(Ptid ptid) = 0;
+};
+
+}  // namespace casc
+
+#endif  // SRC_HWT_CONCURRENCY_OBSERVER_H_

@@ -194,6 +194,9 @@ OpResult ThreadSystem::Start(Ptid issuer, Vtid vtid) {
   }
   const bool remote = target.core() != thread(issuer).core();
   MakeRunnable(t.ptid, remote ? config_.remote_start_cycles : 0);
+  if (chb_ != nullptr) {
+    chb_->OnThreadStart(issuer, t.ptid);
+  }
   return result;
 }
 
@@ -207,6 +210,9 @@ OpResult ThreadSystem::Stop(Ptid issuer, Vtid vtid) {
   result.latency = tlat + config_.stop_issue_cycles;
   stat_stops_++;
   Disable(t.ptid);
+  if (chb_ != nullptr) {
+    chb_->OnThreadStop(issuer, t.ptid);
+  }
   return result;
 }
 
@@ -254,6 +260,9 @@ OpResult ThreadSystem::Rpull(Ptid issuer, Vtid vtid, uint32_t remote_reg) {
     return result;
   }
   result.value = *slot;
+  if (chb_ != nullptr) {
+    chb_->OnRpull(issuer, t.ptid);
+  }
   return result;
 }
 
@@ -288,6 +297,9 @@ OpResult ThreadSystem::Rpush(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64
   }
   if (is_gpr) {
     target.WriteGpr(remote_reg, value);
+    if (chb_ != nullptr) {
+      chb_->OnRpush(issuer, t.ptid);
+    }
     return result;
   }
   uint64_t* slot = RemoteRegSlot(target, remote_reg);
@@ -297,6 +309,9 @@ OpResult ThreadSystem::Rpush(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64
     return result;
   }
   *slot = value;
+  if (chb_ != nullptr) {
+    chb_->OnRpush(issuer, t.ptid);
+  }
   return result;
 }
 
@@ -324,6 +339,10 @@ OpResult ThreadSystem::Monitor(Ptid issuer, Addr addr) {
   if (!mem_.monitors().AddWatch(issuer, addr)) {
     result.ok = false;
     RaiseException(issuer, ExceptionType::kMonitorOverflow, addr, 0);
+    return result;
+  }
+  if (chb_ != nullptr) {
+    chb_->OnMonitorArm(issuer, LineBase(addr));
   }
   return result;
 }
@@ -334,6 +353,9 @@ ThreadSystem::MwaitResult ThreadSystem::Mwait(Ptid issuer) {
   if (mem_.monitors().ConsumePending(issuer)) {
     stat_mwait_immediate_++;
     result.blocked = false;  // a watched write already happened: fall through
+    if (chb_ != nullptr) {
+      chb_->OnMwaitReturn(issuer);
+    }
     return result;
   }
   stat_mwait_blocks_++;
@@ -584,6 +606,9 @@ void ThreadSystem::Disable(Ptid ptid, TraceCause cause) {
   t.set_state(ThreadState::kDisabled);
   queues_[t.core()].Remove(ptid);
   needs_restore_[ptid] = 0;
+  if (chb_ != nullptr) {
+    chb_->OnThreadDisabled(ptid);
+  }
 }
 
 void ThreadSystem::OnMonitorWake(Ptid ptid) {
@@ -592,6 +617,12 @@ void ThreadSystem::OnMonitorWake(Ptid ptid) {
     return;
   }
   MakeRunnable(ptid, 0, TraceCause::kMonitorWake);
+  // The wake is the acquire point of the blocked mwait: the triggering store
+  // already released into the line's clock (cores report stores before the
+  // memory write that fires this wake).
+  if (chb_ != nullptr) {
+    chb_->OnMwaitReturn(ptid);
+  }
 }
 
 }  // namespace casc

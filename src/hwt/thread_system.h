@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/hwt/concurrency_observer.h"
 #include "src/hwt/context_store.h"
 #include "src/hwt/exception.h"
 #include "src/hwt/hw_thread.h"
@@ -85,6 +86,11 @@ class ThreadSystem {
   // Optional state-transition observer (not owned; nullptr disables).
   void SetTracer(ThreadTracer* tracer) { tracer_ = tracer; }
 
+  // Optional happens-before event observer for the dynamic race detector
+  // (not owned; nullptr disables — the default, zero-cost configuration).
+  void SetConcurrencyObserver(ConcurrencyObserver* observer) { chb_ = observer; }
+  ConcurrencyObserver* concurrency_observer() const { return chb_; }
+
   // ---- Fault-injection & observation hooks (chaos engine, tests) ----------
   // All of these sit off the per-instruction path: they fire on wakes,
   // exception raises, and descriptor deliveries only.
@@ -156,6 +162,7 @@ class ThreadSystem {
   std::vector<std::function<void()>> wake_hooks_;
   std::vector<uint8_t> needs_restore_;  // per ptid (bool)
   ThreadTracer* tracer_ = nullptr;
+  ConcurrencyObserver* chb_ = nullptr;
   std::vector<WakeObserver> wake_observers_;
   std::vector<ExceptionObserver> exception_observers_;
   std::vector<DeliveryObserver> delivery_observers_;

@@ -78,6 +78,35 @@ Instruction Decode(uint32_t word) {
   return inst;
 }
 
+HbRole OpcodeHbRole(Opcode op) {
+  switch (op) {
+    case Opcode::kStart:
+    case Opcode::kRpush:
+      return HbRole::kRelease;
+    case Opcode::kStop:
+    case Opcode::kRpull:
+    case Opcode::kMwait:
+      return HbRole::kAcquire;
+    case Opcode::kMonitor:
+      return HbRole::kArm;
+    case Opcode::kAmoadd:
+      return HbRole::kAtomic;
+    default:
+      return HbRole::kNone;
+  }
+}
+
+const char* HbRoleName(HbRole role) {
+  switch (role) {
+    case HbRole::kNone: return "none";
+    case HbRole::kRelease: return "release";
+    case HbRole::kAcquire: return "acquire";
+    case HbRole::kArm: return "arm";
+    case HbRole::kAtomic: return "atomic";
+  }
+  return "none";
+}
+
 const char* OpcodeName(Opcode op) {
   switch (op) {
     case Opcode::kNop: return "nop";

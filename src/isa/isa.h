@@ -137,6 +137,19 @@ bool IsJFormat(Opcode op);
 // True if the opcode carries an imm16 (I format).
 bool IsIFormat(Opcode op);
 
+// Role an opcode plays in the happens-before model of casc-race (§3.1
+// synchronization: start/stop, rpull/rpush, monitor/mwait). Both analyzer
+// tiers key their edge construction off this table so they cannot drift.
+enum class HbRole : uint8_t {
+  kNone = 0,
+  kRelease,  // start, rpush: publishes the issuer's prior work to the target
+  kAcquire,  // stop, rpull, mwait: pulls the remote side's prior work in
+  kArm,      // monitor: arms the watch a later acquire consumes
+  kAtomic,   // amoadd: an indivisible read-modify-write
+};
+HbRole OpcodeHbRole(Opcode op);
+const char* HbRoleName(HbRole role);
+
 const char* OpcodeName(Opcode op);
 // Assembler-accepted CSR name ("mode", "edp", ...), or nullptr if out of range.
 const char* CsrName(Csr csr);

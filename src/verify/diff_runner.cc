@@ -1,10 +1,12 @@
 #include "src/verify/diff_runner.h"
 
 #include <map>
+#include <memory>
 #include <sstream>
 #include <tuple>
 
 #include "src/verify/prog_gen.h"
+#include "src/verify/race_detector.h"
 
 namespace casc {
 namespace verify {
@@ -135,6 +137,13 @@ DiffFailure RunDifferential(const Program& program, const DiffOptions& opts) {
   for (size_t i : points) {
     const LatticePoint& p = lattice[i];
     SimRun run(program, specs, p.machine, p.predecode);
+    // Attach before any event runs: boot starts fire their release edges
+    // into all-zero clocks, which is exactly the initial state.
+    std::unique_ptr<RaceDetector> detector;
+    if (opts.race_check) {
+      detector = std::make_unique<RaceDetector>(p.machine.hwt.threads_per_core);
+      run.machine().SetConcurrencyObserver(detector.get());
+    }
     Snapshot sim = run.Run(opts.max_events);
     if (!sim.quiesced) {
       return Fail(p.name, "quiesce", "simulator hit the event cap before quiescing");
@@ -158,6 +167,11 @@ DiffFailure RunDifferential(const Program& program, const DiffOptions& opts) {
       if (!inv.empty()) {
         return Fail(p.name, "invariant", inv);
       }
+    }
+    if (detector && !detector->clean()) {
+      return Fail(p.name, "race",
+                  RaceDetector::Format(detector->reports().front(), &program) +
+                      " (" + std::to_string(detector->race_hits()) + " racy pair(s))");
     }
   }
 

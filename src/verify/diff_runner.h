@@ -32,6 +32,11 @@ struct DiffOptions {
   uint64_t oracle_step_cap = 1'000'000; // reference-model step cap
   bool check_invariants = true;
   bool check_determinism = false;  // re-run point 0, compare stats JSON
+  // Attach the vector-clock race detector to every simulator run and fail
+  // (category "race") if any run observes a racy access pair. Only enable
+  // for programs meant to be race-free: the generated-program smoke batch,
+  // not the saved corpus (which keeps deliberately racy repros).
+  bool race_check = false;
   std::vector<size_t> points;      // lattice indices; empty = all
 };
 
@@ -39,7 +44,8 @@ struct DiffFailure {
   bool failed = false;
   std::string config;    // lattice point name ("" for oracle/setup issues)
   std::string category;  // "assemble","timeout","halt","state","mem",
-                         // "exceptions","quiesce","invariant","determinism"
+                         // "exceptions","quiesce","invariant","determinism",
+                         // "race"
   std::string detail;
 };
 

@@ -3,6 +3,7 @@
 //   casc-bench-check <BENCH_*.json> ...             validate bench reports
 //   casc-bench-check --trace <trace.json> ...       validate Chrome trace files
 //   casc-bench-check --stats <stats.json> ...       validate stats dumps
+//   casc-bench-check --lint <lint.json> ...         validate casc-lint --json
 //
 // Exit 0 if every file parses and satisfies its schema, 1 otherwise (every
 // violation is printed). Used by the bench-smoke ctest tier so a bench whose
@@ -284,10 +285,67 @@ void CheckStatsDump(const std::string& path) {
   }
 }
 
+// casc-lint --json / DiagnosticsToJson: {"diagnostics": [{rule_id, severity,
+// addr, line, message}...], "errors": N, "warnings": N, "notes": N} — the
+// counts must agree with the array, and severity must be a known level.
+void CheckLintJson(const std::string& path) {
+  JsonValue root;
+  if (!LoadJson(path, &root)) {
+    return;
+  }
+  if (!root.is_object()) {
+    Fail(path, "top level is not an object");
+    return;
+  }
+  const JsonValue* diags = root.Find("diagnostics");
+  if (diags == nullptr || !diags->is_array()) {
+    Fail(path, "missing \"diagnostics\" array");
+    return;
+  }
+  std::map<std::string, double> counted = {{"error", 0}, {"warning", 0}, {"note", 0}};
+  for (size_t i = 0; i < diags->arr.size(); i++) {
+    const JsonValue& d = diags->arr[i];
+    const std::string at = "diagnostics[" + std::to_string(i) + "]";
+    if (!d.is_object()) {
+      Fail(path, at + " is not an object");
+      continue;
+    }
+    const JsonValue* rule = d.Find("rule_id");
+    if (rule == nullptr || !rule->is_string() || rule->str_v.empty()) {
+      Fail(path, at + " missing or empty \"rule_id\"");
+    }
+    const JsonValue* sev = d.Find("severity");
+    if (sev == nullptr || !sev->is_string() || counted.count(sev->str_v) == 0) {
+      Fail(path, at + " \"severity\" is not one of error/warning/note");
+    } else {
+      counted[sev->str_v]++;
+    }
+    if (!IsFiniteNumber(d.Find("addr")) || !IsFiniteNumber(d.Find("line"))) {
+      Fail(path, at + " missing numeric addr/line");
+    }
+    const JsonValue* msg = d.Find("message");
+    if (msg == nullptr || !msg->is_string() || msg->str_v.empty()) {
+      Fail(path, at + " missing or empty \"message\"");
+    }
+  }
+  const std::map<std::string, std::string> totals = {
+      {"errors", "error"}, {"warnings", "warning"}, {"notes", "note"}};
+  for (const auto& [key, sev] : totals) {
+    const JsonValue* v = root.Find(key);
+    if (!IsFiniteNumber(v)) {
+      Fail(path, "missing numeric \"" + key + "\"");
+    } else if (v->num_v != counted.at(sev)) {
+      Fail(path, "\"" + key + "\" (" + std::to_string(static_cast<long long>(v->num_v)) +
+                     ") disagrees with the diagnostics array (" +
+                     std::to_string(static_cast<long long>(counted.at(sev))) + ")");
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kBench, kTrace, kStats } mode = Mode::kBench;
+  enum class Mode { kBench, kTrace, kStats, kLint } mode = Mode::kBench;
   int checked = 0;
   for (int i = 1; i < argc; i++) {
     if (std::strcmp(argv[i], "--trace") == 0) {
@@ -296,6 +354,10 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--stats") == 0) {
       mode = Mode::kStats;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--lint") == 0) {
+      mode = Mode::kLint;
       continue;
     }
     switch (mode) {
@@ -308,12 +370,15 @@ int main(int argc, char** argv) {
       case Mode::kStats:
         CheckStatsDump(argv[i]);
         break;
+      case Mode::kLint:
+        CheckLintJson(argv[i]);
+        break;
     }
     checked++;
   }
   if (checked == 0) {
     std::fprintf(stderr,
-                 "usage: casc-bench-check [--trace|--stats] <file.json> ...\n");
+                 "usage: casc-bench-check [--trace|--stats|--lint] <file.json> ...\n");
     return 2;
   }
   if (g_errors > 0) {

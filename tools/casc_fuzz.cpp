@@ -1,9 +1,14 @@
 // casc-fuzz: differential fuzzer for the CASC simulator.
 //
 //   casc-fuzz [--seed=N] [--iters=N] [--points=0,3,6] [--max-events=N]
-//             [--out=<dir>] [--determinism] [--list-points]
+//             [--out=<dir>] [--determinism] [--race-check] [--list-points]
 //   casc-fuzz --repro=<file.casm> [--points=...]
 //   casc-fuzz --corpus=<dir> [--points=...]
+//
+// --race-check attaches the vector-clock race detector to every simulator
+// run (failure category "race"). Generated programs are race-free by
+// construction, so the smoke batch runs with it on in CI; the saved corpus
+// does not (it keeps deliberately racy repros).
 //
 // Each iteration generates a constrained random program and runs it across
 // the configuration lattice (see src/verify/diff_runner.h), comparing final
@@ -91,6 +96,7 @@ int main(int argc, char** argv) {
   opts.max_events = cfg.GetUint("max-events", opts.max_events);
   opts.points = ParsePoints(cfg.GetString("points"));
   opts.check_determinism = cfg.GetBool("determinism", false);
+  opts.race_check = cfg.GetBool("race-check", false);
 
   const std::string repro = cfg.GetString("repro");
   if (!repro.empty()) {

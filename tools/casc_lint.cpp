@@ -2,7 +2,10 @@
 //
 //   casc-lint prog.casm [--base=0x1000] [--entry=symbol] [--user]
 //             [--assume-edp] [--tdt-capacity=64] [--format=text|json]
-//             [--no-notes]
+//             [--json] [--no-notes]
+//
+// `--json` is shorthand for `--format=json`; the schema is documented in
+// tools/README.md and validated by `casc-bench-check --lint`.
 //
 // Assembles the program, rebuilds its control-flow graph, runs the dataflow
 // passes, and reports rule violations (see src/analysis/checks.h for the rule
@@ -49,14 +52,15 @@ int main(int argc, char** argv) {
   }
   static const std::set<std::string> kKnown = {
       "base", "entry", "user", "assume-edp", "tdt-capacity", "format",
-      "no-notes"};
+      "json", "no-notes"};
   for (const auto& [key, value] : cfg.values()) {
     if (!kKnown.count(key)) {
       std::fprintf(stderr, "unknown option --%s\n", key.c_str());
       return Usage();
     }
   }
-  const std::string format = cfg.GetString("format", "text");
+  const std::string format =
+      cfg.GetBool("json", false) ? "json" : cfg.GetString("format", "text");
   if (format != "text" && format != "json") {
     std::fprintf(stderr, "unknown --format=%s\n", format.c_str());
     return Usage();

@@ -2,16 +2,24 @@
 //
 //   casc-run prog.casm [--entry=symbol] [--supervisor=true] [--max-cycles=N]
 //            [--threads-per-core=64] [--trace] [--trace-json=<path>]
-//            [--dump-stats] [--stats-json=<path>] [--no-lint]
+//            [--dump-stats] [--stats-json=<path>] [--no-lint] [--race-check]
 //
 // The program is linted by default before it runs (diagnostics go to stderr;
 // the simulation proceeds regardless — the simulator is the ground truth).
 // Pass --no-lint to skip the analysis.
 //
 // Conventions: the program runs on hardware thread 0 in supervisor mode by
-// default. `hcall 1` prints a0 in decimal, `hcall 2` prints it in hex,
-// `hcall 0`/`halt` ends the thread. Exit code: 0 if the machine quiesced
-// without halting, 1 on machine halt (unhandled fault).
+// default. If the image defines harness thread symbols (tN_entry etc., see
+// src/verify/harness.h), every declared thread is set up instead and the
+// tN_main threads start at boot. `hcall 1` prints a0 in decimal, `hcall 2`
+// prints it in hex, `hcall 0`/`halt` ends the thread. Exit code: 0 if the
+// machine quiesced without halting, 1 on machine halt (unhandled fault),
+// 3 if --race-check reported a race.
+//
+// --race-check attaches the vector-clock race detector (DESIGN.md §4h) as a
+// concurrency observer; detected races print to stderr after the run. With
+// the flag off, no observer is installed and the hot path only pays a null
+// pointer test.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -21,6 +29,8 @@
 #include "src/cpu/machine.h"
 #include "src/hwt/tracer.h"
 #include "src/sim/config.h"
+#include "src/verify/harness.h"
+#include "src/verify/race_detector.h"
 
 using namespace casc;
 
@@ -31,7 +41,8 @@ void PrintUsage(FILE* out) {
                "usage: casc-run <file.casm> [--entry=symbol] [--supervisor=true]\n"
                "                [--max-cycles=N] [--threads-per-core=64] [--trace]\n"
                "                [--trace-json=<path>] [--dump-stats]\n"
-               "                [--stats-json=<path>] [--no-lint] [--help]\n");
+               "                [--stats-json=<path>] [--no-lint] [--race-check]\n"
+               "                [--help]\n");
 }
 
 }  // namespace
@@ -92,10 +103,37 @@ int main(int argc, char** argv) {
     }
   });
 
-  const Ptid p = m.Load(0, 0, assembled.program, cfg.GetBool("supervisor", true),
-                        cfg.GetString("entry"), /*edp=*/0);
+  verify::RaceDetector race_detector(mc.hwt.threads_per_core);
+  if (cfg.GetBool("race-check", false)) {
+    m.SetConcurrencyObserver(&race_detector);
+  }
+
+  // Harness images describe their own machine setup; plain programs run on
+  // thread 0.
+  const std::vector<verify::ThreadSpec> specs =
+      verify::ParseThreadSpecs(assembled.program, mc.hwt.threads_per_core);
+  Ptid p = 0;
+  if (specs.empty()) {
+    p = m.Load(0, 0, assembled.program, cfg.GetBool("supervisor", true),
+               cfg.GetString("entry"), /*edp=*/0);
+  } else {
+    m.mem().AddSupervisorOnlyRange(0, 0x1000);
+    assembled.program.LoadInto(m.mem().phys());
+    for (const verify::ThreadSpec& s : specs) {
+      m.threads().InitThread(s.ptid, s.entry, s.supervisor, s.edp, s.tdtr, s.tdt_size);
+    }
+    p = specs.front().ptid;
+  }
   const Tick start = m.sim().now();
-  m.Start(p);
+  if (specs.empty()) {
+    m.Start(p);
+  } else {
+    for (const verify::ThreadSpec& s : specs) {
+      if (s.auto_start) {
+        m.Start(s.ptid);
+      }
+    }
+  }
   const uint64_t max_cycles = cfg.GetUint("max-cycles", 100'000'000);
   // Drain events up to the budget without advancing the clock past the last
   // real event (so the cycle report is meaningful).
@@ -140,6 +178,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     m.sim().stats().DumpJson(out);
+  }
+  if (cfg.GetBool("race-check", false)) {
+    for (const verify::RaceReport& r : race_detector.reports()) {
+      std::fprintf(stderr, "%s\n",
+                   verify::RaceDetector::Format(r, &assembled.program).c_str());
+    }
+    std::printf("race-check : %s (%llu racy access pair(s))\n",
+                race_detector.clean() ? "clean" : "RACES FOUND",
+                (unsigned long long)race_detector.race_hits());
+    if (!race_detector.clean()) {
+      return 3;
+    }
   }
   return m.halted() ? 1 : 0;
 }

@@ -1,27 +1,47 @@
 #!/bin/sh
-# Sanitizer CI tier: builds with ASan+UBSan and runs the full tier-1 ctest
-# suite — which includes the differential-fuzz smoke batch (fuzz_smoke: a
-# fixed-seed generator run across the whole config lattice with determinism
-# checking), the saved regression corpus (fuzz_corpus), and the chaos_smoke
-# tier (every fault-injection scenario plus the seed-determinism check).
-# Memory errors in the simulator, the reference model, or the fault-recovery
-# paths surface here rather than as silent state divergence.
+# Sanitizer CI tier: builds with the requested sanitizers and runs the tier-1
+# ctest suite — which includes the differential-fuzz smoke batch (fuzz_smoke:
+# a fixed-seed generator run across the whole config lattice with determinism
+# and race checking), the saved regression corpus (fuzz_corpus), and the
+# chaos_smoke tier (every fault-injection scenario plus the seed-determinism
+# check). Memory errors in the simulator, the reference model, or the
+# fault-recovery paths surface here rather than as silent state divergence.
 #
-# Usage: ci_sanitize.sh [build-dir]      (default: build-sanitize)
+# The `thread` tier builds with TSan and runs the tests labelled `tsan` (the
+# concurrency-analyzer suite and the monitor/mwait race fixtures): host-level
+# data races in the simulator's own bookkeeping surface there, complementing
+# the guest-level casc-race detector.
+#
+# Usage: ci_sanitize.sh [sanitizers] [build-dir]
+#   sanitizers   comma list for -fsanitize (default: address,undefined;
+#                `thread` selects the TSan tier)
+#   build-dir    default: build-sanitize (build-sanitize-thread for TSan)
 set -eu
 
-build=${1:-build-sanitize}
+san=${1:-address,undefined}
+if [ "$san" = "thread" ]; then
+  default_build=build-sanitize-thread
+else
+  default_build=build-sanitize
+fi
+build=${2:-$default_build}
 src_root=$(cd "$(dirname "$0")/.." && pwd)
 
 cmake -B "$build" -S "$src_root" \
-  -DCASC_SANITIZE=address,undefined \
+  -DCASC_SANITIZE="$san" \
   -DCASC_WERROR=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j"$(nproc)"
 
-# halt_on_error makes UBSan findings fail the test run instead of printing
-# and continuing; detect_leaks catches forgotten event-queue allocations.
-ASAN_OPTIONS=detect_leaks=1 \
-UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-  sh -c "cd '$build' && ctest --output-on-failure -j\"\$(nproc)\""
-echo "ci_sanitize: all tests clean under address,undefined"
+# halt_on_error makes sanitizer findings fail the test run instead of
+# printing and continuing; detect_leaks catches forgotten event-queue
+# allocations.
+if [ "$san" = "thread" ]; then
+  TSAN_OPTIONS=halt_on_error=1 \
+    sh -c "cd '$build' && ctest -L tsan --output-on-failure -j\"\$(nproc)\""
+else
+  ASAN_OPTIONS=detect_leaks=1 \
+  UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+    sh -c "cd '$build' && ctest --output-on-failure -j\"\$(nproc)\""
+fi
+echo "ci_sanitize: all tests clean under $san"

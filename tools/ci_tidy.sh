@@ -1,0 +1,39 @@
+#!/bin/sh
+# clang-tidy CI tier: runs the checks configured in .clang-tidy (bugprone-*,
+# concurrency-*, performance-*) over the first-party sources, using the
+# compile_commands.json the build exports (CMAKE_EXPORT_COMPILE_COMMANDS is
+# on by default in the root CMakeLists).
+#
+# clang-tidy is optional tooling: containers that only carry gcc skip this
+# tier gracefully (exit 0 with a notice) instead of failing CI.
+#
+# Usage: ci_tidy.sh [build-dir]      (default: build)
+set -eu
+
+build=${1:-build}
+src_root=$(cd "$(dirname "$0")/.." && pwd)
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "ci_tidy: clang-tidy not installed; skipping (tier is optional)"
+  exit 0
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+  cmake -B "$build" -S "$src_root"
+fi
+if [ ! -f "$build/compile_commands.json" ]; then
+  echo "ci_tidy: $build/compile_commands.json missing after configure" >&2
+  exit 1
+fi
+
+# First-party translation units only: the exported database also lists GTest
+# and benchmark sources we do not own.
+files=$(cd "$src_root" && find src tools examples bench -name '*.cc' -o -name '*.cpp' | sort)
+status=0
+for f in $files; do
+  clang-tidy -p "$build" "$src_root/$f" || status=1
+done
+if [ "$status" -eq 0 ]; then
+  echo "ci_tidy: clean"
+fi
+exit "$status"
