@@ -14,12 +14,13 @@ Core::Core(Simulation& sim, MemorySystem& mem, ThreadSystem& ts, CoreId id, Core
       id_(id),
       timings_(timings),
       l1i_hit_latency_(mem.config().l1i.hit_latency),
+      eq_(&sim.QueueFor(sim.num_shards() != 0 ? id : 0)),
       tick_event_(this),
       stat_instructions_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".instructions")),
       stat_active_cycles_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".active_cycles")),
       stat_idle_wakeups_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".idle_wakeups")) {
   picked_.reserve(ts.config().smt_width);
-  mem_.AddCodeWriteListener([this](Addr line) { InvalidatePredecodeLine(line); });
+  mem_.AddCodeWriteListener(id_, [this](Addr line) { InvalidatePredecodeLine(line); });
 }
 
 void Core::InvalidatePredecodeAll() {
@@ -51,13 +52,13 @@ void Core::Kick() {
   if (q.Empty()) {
     return;
   }
-  const Tick next = q.NextWorkTick(sim_.now());
+  const Tick next = q.NextWorkTick(eq_->now());
   if (next == std::numeric_limits<Tick>::max()) {
     return;
   }
   if (!tick_event_.scheduled() || tick_event_.when() > next) {
     stat_idle_wakeups_++;
-    sim_.queue().Schedule(&tick_event_, std::max(next, sim_.now()));
+    eq_->Schedule(&tick_event_, std::max(next, eq_->now()));
   }
 }
 
@@ -68,7 +69,7 @@ void Core::Cycle() {
   SchedQueue& q = ts_.queue(id_);
   const uint32_t width = ts_.config().smt_width;
   for (;;) {
-    const Tick now = sim_.now();
+    const Tick now = eq_->now();
     q.PickUpTo(now, width, &picked_);
     bool active = false;
     for (HwThread* t : picked_) {
@@ -94,8 +95,8 @@ void Core::Cycle() {
     if (next == std::numeric_limits<Tick>::max()) {
       return;
     }
-    if (!sim_.queue().AdvanceIfIdle(next)) {
-      sim_.queue().Schedule(&tick_event_, next);
+    if (!eq_->AdvanceIfIdle(next)) {
+      eq_->Schedule(&tick_event_, next);
       return;
     }
   }
@@ -111,7 +112,7 @@ Tick Core::Step(HwThread& t) {
   }
   stat_instructions_++;
   if (t.state() == ThreadState::kRunnable) {
-    t.set_ready_at(sim_.now() + std::max<Tick>(1, latency));
+    t.set_ready_at(eq_->now() + std::max<Tick>(1, latency));
     ts_.store(id_).Touch(t);
   }
   return latency;

@@ -18,21 +18,34 @@ void Fabric::Route(uint64_t src_node, const std::vector<uint8_t>& frame) {
     }
   }
   if (dst == nullptr || header.dst == src_node) {
-    frames_dropped_++;
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   if (config_.loss_rate > 0 && sim_.rng().NextBool(config_.loss_rate)) {
-    frames_lost_++;
+    frames_lost_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  frames_routed_++;
+  frames_routed_.fetch_add(1, std::memory_order_relaxed);
   const Tick serialize =
       config_.bytes_per_cycle > 0 ? frame.size() / config_.bytes_per_cycle : 0;
+  Tick delay = config_.wire_latency + serialize;
   std::vector<uint8_t> copy = frame;
-  sim_.queue().ScheduleFnAfter(config_.wire_latency + serialize,
-                               [dst, copy = std::move(copy)]() mutable {
-                                 dst->InjectFrame(std::move(copy));
-                               });
+  // Delivery must run on the destination NIC's shard. Mid-window with a
+  // remote destination that means a mailbox message (clamped to at least one
+  // hop so it lands beyond the window); otherwise schedule straight into the
+  // destination's home queue.
+  ShardRouter* router = sim_.router();
+  if (router != nullptr && router->Executing() && dst->home_shard() != shard::tls_index) {
+    if (delay < router->hop()) {
+      delay = router->hop();
+    }
+    router->Post(dst->home_shard(), sim_.now() + delay,
+                 [dst, copy = std::move(copy)]() mutable { dst->InjectFrame(std::move(copy)); });
+    return;
+  }
+  dst->home_queue().ScheduleFnAfter(delay, [dst, copy = std::move(copy)]() mutable {
+    dst->InjectFrame(std::move(copy));
+  });
 }
 
 }  // namespace casc

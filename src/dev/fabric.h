@@ -5,11 +5,13 @@
 #ifndef SRC_DEV_FABRIC_H_
 #define SRC_DEV_FABRIC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <vector>
 
 #include "src/dev/nic.h"
+#include "src/sim/shard.h"
 #include "src/sim/simulation.h"
 
 namespace casc {
@@ -58,9 +60,9 @@ class Fabric {
     Route(src_node, frame);
   }
 
-  uint64_t frames_routed() const { return frames_routed_; }
-  uint64_t frames_dropped() const { return frames_dropped_; }
-  uint64_t frames_lost() const { return frames_lost_; }
+  uint64_t frames_routed() const { return frames_routed_.load(std::memory_order_relaxed); }
+  uint64_t frames_dropped() const { return frames_dropped_.load(std::memory_order_relaxed); }
+  uint64_t frames_lost() const { return frames_lost_.load(std::memory_order_relaxed); }
 
  private:
   void Route(uint64_t src_node, const std::vector<uint8_t>& frame);
@@ -68,9 +70,11 @@ class Fabric {
   Simulation& sim_;
   FabricConfig config_;
   std::vector<std::pair<uint64_t, Nic*>> nodes_;
-  uint64_t frames_routed_ = 0;
-  uint64_t frames_dropped_ = 0;
-  uint64_t frames_lost_ = 0;
+  // Counters are commutative sums: relaxed increments keep the final values
+  // deterministic when TX handlers route from concurrent shards.
+  std::atomic<uint64_t> frames_routed_{0};
+  std::atomic<uint64_t> frames_dropped_{0};
+  std::atomic<uint64_t> frames_lost_{0};
 };
 
 }  // namespace casc

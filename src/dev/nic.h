@@ -31,6 +31,11 @@ struct NicConfig {
   uint32_t irq_vector = 0x30;
   uint32_t max_frame_bytes = 2048;
   uint32_t num_rx_queues = 1;
+  // Host-parallel placement (DESIGN.md §4i): the shard that owns this NIC's
+  // ring state and delivery events. On a sharded machine the NIC's MMIO
+  // registers must be programmed from this core; frames from other shards
+  // arrive through the cross-shard mailbox. Ignored on legacy machines.
+  CoreId home_core = 0;
 };
 
 // Descriptor layout (16 bytes):
@@ -95,6 +100,10 @@ class Nic : public MmioDevice {
   void MmioWrite(Addr offset, size_t len, uint64_t value) override;
 
   const NicConfig& config() const { return config_; }
+  // The shard owning this NIC (0 on legacy machines) and its event queue;
+  // the fabric targets these when delivering frames across shards.
+  uint32_t home_shard() const { return home_shard_; }
+  EventQueue& home_queue() { return *eq_; }
   uint64_t rx_frames() const { return rx_frames_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
   uint64_t tx_frames() const { return tx_frames_; }
@@ -123,6 +132,8 @@ class Nic : public MmioDevice {
   Simulation& sim_;
   MemorySystem& mem_;
   NicConfig config_;
+  uint32_t home_shard_;
+  EventQueue* eq_;  // the home shard's queue, bound once at construction
   IrqSink* irq_sink_;
   TxHandler tx_handler_;
   RxObserver rx_observer_;

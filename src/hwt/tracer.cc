@@ -28,7 +28,7 @@ void ThreadTracer::DumpTimeline(std::ostream& os, Tick from, Tick to, uint32_t w
   }
   // Reconstruct per-thread state as a function of time.
   std::map<Ptid, std::vector<Event>> per_thread;
-  for (const Event& e : events_) {
+  for (const Event& e : events()) {
     per_thread[e.ptid].push_back(e);
   }
   const double bucket = static_cast<double>(to - from) / width;
@@ -67,8 +67,8 @@ void ThreadTracer::DumpTimeline(std::ostream& os, Tick from, Tick to, uint32_t w
     }
     os << "ptid " << ptid << " |" << line << "|\n";
   }
-  if (dropped_ > 0) {
-    os << "[tracer dropped " << dropped_ << " events past the " << max_events_
+  if (dropped() > 0) {
+    os << "[tracer dropped " << dropped() << " events past the " << max_events_
        << "-event cap; timeline is truncated]\n";
   }
 }
@@ -77,7 +77,7 @@ void ThreadTracer::DumpChromeTrace(std::ostream& os, double ghz) const {
   const double cycles_per_us = ghz * 1000.0;
   std::map<Ptid, std::vector<Event>> per_thread;
   Tick end = 0;
-  for (const Event& e : events_) {
+  for (const Event& e : events()) {
     per_thread[e.ptid].push_back(e);
     if (e.tick > end) {
       end = e.tick;
@@ -118,7 +118,7 @@ void ThreadTracer::DumpChromeTrace(std::ostream& os, double ghz) const {
       w.EndObject();
     }
   }
-  for (const Mark& m : marks_) {
+  for (const Mark& m : marks()) {
     w.BeginObject();
     w.KeyValue("name", m.label);
     w.KeyValue("ph", "i");
@@ -138,9 +138,9 @@ void ThreadTracer::DumpChromeTrace(std::ostream& os, double ghz) const {
   w.Key("otherData");
   w.BeginObject();
   w.KeyValue("clock_ghz", ghz);
-  w.KeyValue("recorded_events", static_cast<uint64_t>(events_.size()));
-  w.KeyValue("dropped_events", dropped_);
-  w.KeyValue("truncated", dropped_ > 0);
+  w.KeyValue("recorded_events", static_cast<uint64_t>(events().size()));
+  w.KeyValue("dropped_events", dropped());
+  w.KeyValue("truncated", dropped() > 0);
   w.EndObject();
   w.EndObject();
   os << "\n";

@@ -1,25 +1,51 @@
 #include "src/mem/phys_mem.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace casc {
 
-const PhysicalMemory::Page* PhysicalMemory::FindPage(Addr addr) const {
-  auto it = pages_.find(addr >> kPageBits);
-  return it == pages_.end() ? nullptr : it->second.get();
+PhysicalMemory::~PhysicalMemory() {
+  for (std::atomic<Node*>& head : buckets_) {
+    Node* n = head.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+  }
 }
 
 PhysicalMemory::Page& PhysicalMemory::EnsurePage(Addr addr) {
-  auto& slot = pages_[addr >> kPageBits];
-  if (!slot) {
-    slot = std::make_unique<Page>();
-    std::memset(slot->bytes, 0, sizeof(slot->bytes));
+  const Addr idx = addr >> kPageBits;
+  std::atomic<Node*>& head = buckets_[Bucket(idx)];
+  Node* fresh = nullptr;
+  for (;;) {
+    // Scan the current chain; a racing insert of the same page is resolved
+    // by whichever CAS wins — the loser rescans, finds the winner's node,
+    // and frees its own.
+    Node* top = head.load(std::memory_order_acquire);
+    for (Node* n = top; n != nullptr; n = n->next) {
+      if (n->idx == idx) {
+        delete fresh;
+        memo_[shard::tls_index].idx = idx;
+        memo_[shard::tls_index].page = &n->page;
+        return n->page;
+      }
+    }
+    if (fresh == nullptr) {
+      fresh = new Node();
+      fresh->idx = idx;
+      std::memset(fresh->page.bytes, 0, sizeof(fresh->page.bytes));
+    }
+    fresh->next = top;
+    if (head.compare_exchange_weak(top, fresh, std::memory_order_release,
+                                   std::memory_order_acquire)) {
+      page_count_.fetch_add(1, std::memory_order_relaxed);
+      memo_[shard::tls_index].idx = idx;
+      memo_[shard::tls_index].page = &fresh->page;
+      return fresh->page;
+    }
   }
-  memo_idx_ = addr >> kPageBits;
-  memo_page_ = slot.get();
-  memo_valid_ = true;
-  return *slot;
 }
 
 void PhysicalMemory::Read(Addr addr, void* out, size_t len) const {

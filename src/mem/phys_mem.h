@@ -1,14 +1,25 @@
 // Functional (contents-only) physical memory: a sparse, page-granular flat
 // byte store. Timing is modeled separately by the cache hierarchy.
+//
+// Concurrency: host-parallel shards (DESIGN.md §4i) access physical memory
+// directly from multiple host threads, so the page table is a lock-free
+// chained hash — fixed bucket heads holding atomic pointers to immutable,
+// CAS-published nodes. Pages are only ever added, never moved or removed;
+// readers walk a chain whose links are written once before publication.
+// Byte contents are plain memory: the determinism contract (§4i) requires
+// programs to be free of same-window cross-shard conflicting accesses, which
+// is exactly the data-race-free discipline casc-race checks. Each shard gets
+// a private page memo so the one-entry cache never ping-pongs between host
+// threads.
 #ifndef SRC_MEM_PHYS_MEM_H_
 #define SRC_MEM_PHYS_MEM_H_
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
-#include <memory>
-#include <unordered_map>
 
+#include "src/sim/shard.h"
 #include "src/sim/types.h"
 
 namespace casc {
@@ -18,12 +29,17 @@ class PhysicalMemory {
   static constexpr uint32_t kPageBits = 12;
   static constexpr Addr kPageSize = 1ull << kPageBits;
 
+  PhysicalMemory() = default;
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
+  ~PhysicalMemory();
+
   void Read(Addr addr, void* out, size_t len) const;
   void Write(Addr addr, const void* data, size_t len);
 
   // Word accessors run once per simulated fetch/load/store; the single-page
-  // fast path plus the one-entry page memo keeps them free of hash lookups
-  // for the (overwhelmingly common) page-local access streams.
+  // fast path plus the per-shard one-entry page memo keeps them free of hash
+  // lookups for the (overwhelmingly common) page-local access streams.
   uint64_t ReadUint(Addr addr, size_t len) const {
     assert(len <= 8);
     const Addr off = addr & (kPageSize - 1);
@@ -60,37 +76,63 @@ class PhysicalMemory {
   void Write64(Addr a, uint64_t v) { WriteUint(a, v, 8); }
 
   // Number of materialized pages (for tests / footprint checks).
-  size_t PageCount() const { return pages_.size(); }
+  size_t PageCount() const { return page_count_.load(std::memory_order_relaxed); }
 
  private:
   struct Page {
     uint8_t bytes[kPageSize];
   };
+  // A published node is immutable in `idx` and `next`; `page` contents are
+  // plain simulated memory.
+  struct Node {
+    Addr idx;
+    Node* next;
+    Page page;
+  };
+  // Power-of-two bucket count; ~4 pages per chain at 256 MiB of touched
+  // simulated memory.
+  static constexpr size_t kBuckets = 16384;
 
-  const Page* FindPage(Addr addr) const;
+  static size_t Bucket(Addr idx) {
+    return static_cast<size_t>((idx * 0x9E3779B97F4A7C15ull) >> 50) & (kBuckets - 1);
+  }
+
+  const Page* FindPage(Addr addr) const {
+    const Addr idx = addr >> kPageBits;
+    for (const Node* n = buckets_[Bucket(idx)].load(std::memory_order_acquire); n != nullptr;
+         n = n->next) {
+      if (n->idx == idx) {
+        return &n->page;
+      }
+    }
+    return nullptr;
+  }
   Page& EnsurePage(Addr addr);
 
-  // Pages are only ever added, and unique_ptr keeps them at stable addresses,
-  // so a positive memo entry can never go stale. Misses are not memoized
-  // (a later write may materialize the page).
+  // Positive entries can never go stale (pages are never moved or removed).
+  // Misses are not memoized (a later write may materialize the page).
   const Page* FindPageFast(Addr addr) const {
     const Addr idx = addr >> kPageBits;
-    if (memo_valid_ && idx == memo_idx_) {
-      return memo_page_;
+    Memo& memo = memo_[shard::tls_index];
+    if (memo.page != nullptr && idx == memo.idx) {
+      return memo.page;
     }
     const Page* page = FindPage(addr);
     if (page != nullptr) {
-      memo_idx_ = idx;
-      memo_page_ = page;
-      memo_valid_ = true;
+      memo.idx = idx;
+      memo.page = page;
     }
     return page;
   }
 
-  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
-  mutable Addr memo_idx_ = 0;
-  mutable const Page* memo_page_ = nullptr;
-  mutable bool memo_valid_ = false;
+  struct alignas(64) Memo {
+    Addr idx = 0;
+    const Page* page = nullptr;
+  };
+
+  std::atomic<Node*> buckets_[kBuckets] = {};
+  std::atomic<size_t> page_count_{0};
+  mutable Memo memo_[shard::kMaxShards];
 };
 
 }  // namespace casc

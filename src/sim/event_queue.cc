@@ -9,7 +9,9 @@ namespace casc {
 
 void EventQueue::Schedule(Event* ev, Tick when) {
   assert(ev != nullptr);
-  assert(when >= now_);
+  if (when < now_) {
+    when = now_;  // see the header comment on past-tick clamping
+  }
   if (ev->scheduled_) {
     // Reschedule: invalidate the old entry via a new generation.
     live_count_--;
@@ -34,7 +36,9 @@ void EventQueue::Deschedule(Event* ev) {
 }
 
 void EventQueue::ScheduleFn(Tick when, std::function<void()> fn) {
-  assert(when >= now_);
+  if (when < now_) {
+    when = now_;  // see the header comment on past-tick clamping
+  }
   AddEntry(Entry{when, next_seq_++, nullptr, 0, std::move(fn)});
   live_count_++;
 }
@@ -227,7 +231,10 @@ bool EventQueue::RunOne() {
 void EventQueue::RunUntil(Tick limit) {
   const Tick saved_limit = advance_limit_;
   advance_limit_ = limit;
-  while (NextTick() <= limit) {
+  // The live check matters at limit == Tick max: the empty-queue sentinel
+  // (NextTick() == Tick max) satisfies `<= limit` and RunOne() on an empty
+  // queue is a no-op, which would spin forever.
+  while (live_count_ != 0 && NextTick() <= limit) {
     RunOne();
   }
   advance_limit_ = saved_limit;
@@ -244,6 +251,19 @@ uint64_t EventQueue::RunAll(uint64_t max_events) {
   while (fired < max_events && RunOne()) {
     fired++;
   }
+  advance_limit_ = saved_limit;
+  return fired;
+}
+
+uint64_t EventQueue::RunWhile(Tick limit, const std::function<bool()>& pred) {
+  const Tick saved_limit = advance_limit_;
+  advance_limit_ = limit;
+  uint64_t fired = 0;
+  while (pred() && NextTick() <= limit && RunOne()) {
+    fired++;
+  }
+  // The predicate may have clamped the advance limit mid-window; the saved
+  // outer limit is restored regardless so nesting behaves like RunUntil.
   advance_limit_ = saved_limit;
   return fired;
 }

@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -91,20 +92,26 @@ class EventQueue {
     return true;
   }
 
-  // Schedules `ev` to fire at absolute tick `when` (>= now). If `ev` is
-  // already scheduled it is rescheduled.
+  // Schedules `ev` to fire at absolute tick `when`. If `ev` is already
+  // scheduled it is rescheduled. A `when` in the past is clamped to now():
+  // the unsigned distance `when - now_` would otherwise wrap and misfile the
+  // entry into the far-future heap, where it jams NextTick()/DrainHeap()
+  // (same unsigned-wrap family as the MonitorFilter and InvalidateForWrite
+  // fixes).
   void Schedule(Event* ev, Tick when);
 
-  // Convenience: schedule relative to now.
-  void ScheduleAfter(Event* ev, Tick delta) { Schedule(ev, now_ + delta); }
+  // Convenience: schedule relative to now. Saturates at Tick max so a delay
+  // armed near the top of tick space cannot wrap into the past.
+  void ScheduleAfter(Event* ev, Tick delta) { Schedule(ev, SaturatingFromNow(delta)); }
 
   // Removes `ev` from the queue if scheduled. Safe to call on an unscheduled event.
   void Deschedule(Event* ev);
 
-  // Schedules a one-shot callback at absolute tick `when`; the queue owns it.
+  // Schedules a one-shot callback at absolute tick `when` (past ticks clamp
+  // to now(), as with Schedule); the queue owns it.
   void ScheduleFn(Tick when, std::function<void()> fn);
   void ScheduleFnAfter(Tick delta, std::function<void()> fn) {
-    ScheduleFn(now_ + delta, std::move(fn));
+    ScheduleFn(SaturatingFromNow(delta), std::move(fn));
   }
 
   bool Empty() const { return live_count_ == 0; }
@@ -129,6 +136,23 @@ class EventQueue {
 
   // Runs until the queue drains or `max_events` have fired. Returns the number fired.
   uint64_t RunAll(uint64_t max_events = UINT64_MAX);
+
+  // Runs events with when <= limit while `pred()` stays true; returns the
+  // number fired. Unlike RunUntil, now() is left at the last fired tick
+  // rather than bumped to `limit` — the sharded engine uses this to execute
+  // one synchronization window per shard without over-advancing shards that
+  // go quiet early.
+  uint64_t RunWhile(Tick limit, const std::function<bool()>& pred);
+
+  // Lowers the quiet-advance ceiling to min(current, t). The shard engine
+  // uses this to abort an in-progress AdvanceIfIdle chain when a cross-shard
+  // message is posted mid-window: the solo core's Cycle() loop breaks at its
+  // next quiet-advance check and control returns to the engine barrier.
+  void ClampAdvanceLimit(Tick t) {
+    if (t < advance_limit_) {
+      advance_limit_ = t;
+    }
+  }
 
  private:
   static constexpr uint64_t kWheelMask = kWheelTicks - 1;
@@ -157,6 +181,10 @@ class EventQueue {
   }
 
   bool InWheelWindow(Tick when) const { return when - now_ < kWheelTicks; }
+  Tick SaturatingFromNow(Tick delta) const {
+    return delta > std::numeric_limits<Tick>::max() - now_ ? std::numeric_limits<Tick>::max()
+                                                           : now_ + delta;
+  }
   void AddEntry(Entry entry);
   void SetBit(size_t bucket) { bitmap_[bucket >> 6] |= 1ull << (bucket & 63); }
   void ClearBucket(size_t bucket);

@@ -1,0 +1,76 @@
+// Shard identity for host-parallel simulation (DESIGN.md §4i).
+//
+// When a Machine runs with host threads (`MachineConfig::host_threads > 0`),
+// every simulated core — with its private caches, predecoded I-cache, and
+// per-core device traffic — owns one EventQueue *shard*. Shards execute in
+// parallel between conservative synchronization barriers; all cross-shard
+// effects travel as timestamped messages posted through a ShardRouter and
+// flushed at the next window boundary in a fixed serial order, so observable
+// event order is a pure function of (program, seed, config) and never of the
+// host thread count.
+//
+// `tls_index` names the shard the calling host thread is currently
+// executing; components use it to pick their per-shard slice (event queue,
+// RNG stream, stat slab, trace buffer). On the host/control thread outside a
+// parallel phase it is 0, which aliases the legacy single-queue state — all
+// single-threaded code paths are unchanged.
+#ifndef SRC_SIM_SHARD_H_
+#define SRC_SIM_SHARD_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/sim/types.h"
+
+namespace casc {
+namespace shard {
+
+// Upper bound on shards (= simulated cores) per machine; sized so per-shard
+// arrays can be fixed-capacity and indexed without bounds checks on the hot
+// path.
+inline constexpr uint32_t kMaxShards = 64;
+
+// The shard the calling host thread is executing right now.
+inline thread_local uint32_t tls_index = 0;
+
+// RAII guard: enters shard `s` for the current host thread.
+class Scope {
+ public:
+  explicit Scope(uint32_t s) : saved_(tls_index) { tls_index = s; }
+  ~Scope() { tls_index = saved_; }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  uint32_t saved_;
+};
+
+}  // namespace shard
+
+// Cross-shard message router, implemented by the ShardEngine. Components
+// (ThreadSystem, MemorySystem, Fabric) hold a pointer to it; a null pointer
+// or `Executing() == false` means "legacy single-threaded semantics: mutate
+// the target directly".
+class ShardRouter {
+ public:
+  virtual ~ShardRouter() = default;
+
+  // True while shards are running inside a synchronization window (between
+  // barriers). Direct cross-shard mutation is forbidden in that state.
+  virtual bool Executing() const = 0;
+
+  // Posts `fn` to run in shard `dst`'s event queue at absolute tick `when`.
+  // `when` must be >= the end of the current window (guaranteed whenever the
+  // charged latency is >= the cross-shard hop, which bounds the window
+  // size). Messages are flushed at the barrier in (source shard, post order)
+  // — a deterministic order independent of host thread interleaving.
+  virtual void Post(uint32_t dst, Tick when, std::function<void()> fn) = 0;
+
+  // Minimum cross-shard latency in ticks: the conservative lookahead that
+  // sizes the synchronization window.
+  virtual Tick hop() const = 0;
+};
+
+}  // namespace casc
+
+#endif  // SRC_SIM_SHARD_H_

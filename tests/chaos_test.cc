@@ -4,6 +4,8 @@
 // handler's first monitor arm must still be serviced).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/chaos/chaos_engine.h"
 #include "src/chaos/fault.h"
 #include "src/chaos/scenarios.h"
@@ -33,6 +35,28 @@ TEST(ScheduleTest, EveryNFiresOnCadence) {
     fired += s.Fire(static_cast<Tick>(i), rng) ? 1 : 0;
   }
   EXPECT_EQ(fired, 4);  // every third opportunity
+}
+
+TEST(ScheduleTest, AtTickBoundaryAtTickMax) {
+  // --at at the very top of tick space: the comparison is `now >= at_` with
+  // no arithmetic, so there is nothing to wrap — the schedule must stay
+  // armed below the boundary and fire exactly once at it.
+  constexpr Tick kMax = std::numeric_limits<Tick>::max();
+  InjectionSchedule s = InjectionSchedule::AtTick(kMax);
+  Rng rng(1);
+  EXPECT_FALSE(s.Fire(kMax - 1, rng));
+  EXPECT_TRUE(s.Fire(kMax, rng));
+  EXPECT_FALSE(s.Fire(kMax, rng));
+}
+
+TEST(ScheduleTest, EveryZeroCoercesToEveryEvent) {
+  // --every=0 would divide by zero in `count % every`; the factory coerces
+  // it to 1 (fire on every eligible event).
+  InjectionSchedule s = InjectionSchedule::EveryN(0);
+  Rng rng(1);
+  EXPECT_TRUE(s.Fire(10, rng));
+  EXPECT_TRUE(s.Fire(20, rng));
+  EXPECT_TRUE(s.Fire(30, rng));
 }
 
 TEST(ScheduleTest, ProbabilityIsDeterministicPerSeed) {

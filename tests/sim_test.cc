@@ -312,6 +312,143 @@ TEST(EventQueueTest, RandomizedDifferentialAgainstReferenceModel) {
   EXPECT_TRUE(q.Empty());
 }
 
+TEST(EventQueueTest, SchedulePastTickClampsToNow) {
+  // Scheduling behind now() used to compute the unsigned wheel distance
+  // `when - now_`, wrap, and misfile the entry into the far-future heap,
+  // where it jammed NextTick(). Past ticks must clamp to now() and fire on
+  // the next dispatch.
+  EventQueue q;
+  q.RunUntil(100);
+  int fired = 0;
+  LambdaEvent ev([&] { fired++; });
+  q.Schedule(&ev, 40);  // 60 ticks in the past
+  EXPECT_EQ(q.NextTick(), 100u);
+  EXPECT_TRUE(q.RunOne());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), 100u);
+
+  q.ScheduleFn(7, [&] { fired++; });  // one-shot path clamps identically
+  EXPECT_EQ(q.NextTick(), 100u);
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueueTest, ScheduleAfterSaturatesAtTickMax) {
+  constexpr Tick kMax = std::numeric_limits<Tick>::max();
+  EventQueue q;
+  q.RunUntil(1000);
+  // now + delta would wrap into the past; the sum must saturate instead.
+  LambdaEvent ev([] {});
+  q.ScheduleAfter(&ev, kMax - 10);
+  EXPECT_TRUE(ev.scheduled());
+  EXPECT_EQ(ev.when(), kMax);
+  q.Deschedule(&ev);
+
+  // Exact fit (no overflow) lands on kMax without clamping side effects.
+  LambdaEvent ev2([] {});
+  q.ScheduleAfter(&ev2, kMax - 1000);
+  EXPECT_EQ(ev2.when(), kMax);
+  q.Deschedule(&ev2);
+
+  int fired = 0;
+  q.ScheduleFnAfter(kMax, [&] { fired++; });
+  EXPECT_EQ(q.NextTick(), kMax);  // live at the top of tick space, not wrapped
+  q.RunUntil(kMax);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.now(), kMax);
+}
+
+TEST(EventQueueTest, AdvanceIfIdleNeverCrossesRunLimit) {
+  // The sharded engine runs each shard one synchronization window at a time;
+  // a core's quiet-advance must stop at the window edge or it would slide
+  // past the barrier and observe cross-shard effects early.
+  EventQueue q;
+  bool within = false;
+  bool beyond = true;
+  q.ScheduleFn(50, [&] {
+    within = q.AdvanceIfIdle(90);   // inside the limit: allowed
+    beyond = q.AdvanceIfIdle(150);  // would cross RunUntil(100): refused
+  });
+  q.RunUntil(100);
+  EXPECT_TRUE(within);
+  EXPECT_FALSE(beyond);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueueTest, AdvanceLimitRestoredAcrossNestedRuns) {
+  EventQueue q;
+  bool inner_ok = false;
+  bool outer_ok = false;
+  bool outer_blocked = false;
+  q.ScheduleFn(10, [&] {
+    // A nested windowed run imposes its own tighter ceiling...
+    q.ScheduleFn(20, [&] { inner_ok = q.AdvanceIfIdle(30); });
+    q.RunWhile(40, [] { return true; });
+    // ...and the outer ceiling must be back in force on return.
+    outer_ok = q.AdvanceIfIdle(80);
+    outer_blocked = !q.AdvanceIfIdle(200);
+  });
+  q.RunUntil(100);
+  EXPECT_TRUE(inner_ok);
+  EXPECT_TRUE(outer_ok);
+  EXPECT_TRUE(outer_blocked);
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueueTest, ClampAdvanceLimitBreaksQuietAdvanceChain) {
+  // Solo fast path abort: a cross-shard Post clamps the running shard's
+  // advance ceiling so its quiet-advance chain breaks at the next check
+  // instead of sailing past the message's effect tick.
+  EventQueue q;
+  bool after_clamp = true;
+  q.ScheduleFn(10, [&] {
+    EXPECT_TRUE(q.AdvanceIfIdle(20));
+    q.ClampAdvanceLimit(q.now());
+    after_clamp = q.AdvanceIfIdle(21);
+  });
+  q.RunWhile(1000, [] { return true; });
+  EXPECT_FALSE(after_clamp);
+  EXPECT_EQ(q.now(), 20u);  // RunWhile leaves now() where execution stopped
+}
+
+TEST(EventQueueTest, WindowedExecutionMatchesMonolithicRun) {
+  // Randomized differential: the same self-rescheduling event population run
+  // (a) in one RunAll and (b) chopped into fixed windows the way the shard
+  // engine drives each shard. Firing order and every draw from the
+  // data-dependent Rng must be identical.
+  constexpr Tick kWindow = 30;
+  constexpr int kChains = 8;
+  constexpr int kSteps = 200;
+  auto run = [](bool windowed) {
+    EventQueue q;
+    Rng rng(0xC0FFEE);
+    std::vector<std::pair<Tick, int>> log;
+    std::function<void(int, int)> arm = [&](int id, int remaining) {
+      if (remaining == 0) {
+        return;
+      }
+      q.ScheduleFnAfter(1 + rng.NextBounded(3 * kWindow), [&arm, &q, &log, id, remaining] {
+        log.emplace_back(q.now(), id);
+        arm(id, remaining - 1);
+      });
+    };
+    for (int id = 0; id < kChains; id++) {
+      arm(id, kSteps);
+    }
+    if (windowed) {
+      while (!q.Empty()) {
+        const Tick t = q.NextTick();
+        q.RunWhile(t + kWindow - 1, [] { return true; });
+      }
+    } else {
+      q.RunAll();
+    }
+    return log;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
 TEST(HistogramTest, ExactForSmallValues) {
   Histogram h;
   for (uint64_t v = 0; v < 16; v++) {

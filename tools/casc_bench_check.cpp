@@ -134,6 +134,15 @@ void CheckBenchReport(const std::string& path) {
              "simhost config \"" + config + "\" missing positive \"sim_insts_per_sec\"");
       }
     }
+    // The host-parallel scaling sweep (DESIGN.md §4i) must be present: a
+    // refactor that silently dropped the sharded-engine rows would otherwise
+    // still pass the per-config checks above.
+    for (const char* required :
+         {"multicore8_ht1", "multicore8_ht2", "multicore8_ht4", "multicore8_ht8"}) {
+      if (host_ms_ok.find(required) == host_ms_ok.end()) {
+        Fail(path, "simhost sweep missing required config \"" + std::string(required) + "\"");
+      }
+    }
   }
 
   // The recovery bench proves faults were actually exercised: each fault

@@ -3,8 +3,8 @@
 //
 //   casc-chaos [--scenario=all|<class>] [--seed=N] [--faults=N]
 //              [--duration=N] [--at=T | --every=N | --prob=P]
-//              [--expect-halt] [--stats-json=<path>] [--trace-json=<path>]
-//              [--list] [--help]
+//              [--expect-halt] [--host-threads=N] [--stats-json=<path>]
+//              [--trace-json=<path>] [--list] [--help]
 //
 // Scenarios (one per fault class; `--list` prints them):
 //   nic-dma-bad-addr    RX payload DMA lands in an unwritable hole
@@ -15,7 +15,10 @@
 //   handler-crash       the fault handler crashes mid-service
 //
 // Every run is bit-reproducible: the same --seed yields byte-identical
-// --stats-json output. --expect-halt (edp-unwritable only) removes the
+// --stats-json output — at every --host-threads value (the flag runs each
+// scenario's machine on the host-parallel sharded engine, DESIGN.md §4i;
+// 0 = legacy single-threaded engine, the default).
+// --expect-halt (edp-unwritable only) removes the
 // top-level handler so the chain exhausts and the machine halts cleanly.
 // Exit code: 0 if every scenario met its expectation, 1 otherwise, 2 on
 // usage errors.
@@ -26,6 +29,7 @@
 #include <vector>
 
 #include "src/chaos/scenarios.h"
+#include "src/cpu/machine.h"
 #include "src/sim/config.h"
 
 using namespace casc;
@@ -36,9 +40,9 @@ void PrintUsage(FILE* out) {
   std::fprintf(out,
                "usage: casc-chaos [--scenario=all|<class>] [--seed=N] [--faults=N]\n"
                "                  [--duration=N] [--at=T | --every=N | --prob=P]\n"
-               "                  [--expect-halt] [--stats-json=<path>] "
-               "[--trace-json=<path>]\n"
-               "                  [--list] [--help]\n");
+               "                  [--expect-halt] [--host-threads=N] "
+               "[--stats-json=<path>]\n"
+               "                  [--trace-json=<path>] [--list] [--help]\n");
 }
 
 void PrintScenarios() {
@@ -101,6 +105,11 @@ int main(int argc, char** argv) {
     PrintScenarios();
     return 0;
   }
+
+  // Scenario machines leave MachineConfig::host_threads at its "use the
+  // process default" sentinel, so this one call threads the flag through to
+  // every machine the campaign builds.
+  SetDefaultHostThreads(static_cast<uint32_t>(cfg.GetUint("host-threads", 0)));
 
   ScenarioOptions opts;
   opts.seed = cfg.GetUint("seed", 1);

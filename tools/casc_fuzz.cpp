@@ -1,7 +1,8 @@
 // casc-fuzz: differential fuzzer for the CASC simulator.
 //
 //   casc-fuzz [--seed=N] [--iters=N] [--points=0,3,6] [--max-events=N]
-//             [--out=<dir>] [--determinism] [--race-check] [--list-points]
+//             [--out=<dir>] [--determinism] [--race-check] [--host-threads=N]
+//             [--list-points]
 //   casc-fuzz --repro=<file.casm> [--points=...]
 //   casc-fuzz --corpus=<dir> [--points=...]
 //
@@ -16,6 +17,12 @@
 // the untimed reference model. On a failure, the program is auto-shrunk to a
 // minimal repro and written as a `.casm` file (to --out, default cwd).
 //
+// --host-threads=N runs every simulator build on the host-parallel sharded
+// engine (DESIGN.md §4i; 0 = legacy, the default) — the differential
+// comparison against the untimed reference then doubles as a determinism
+// check for the sharded engine. Ignored (forced to 0, with a note) when
+// --race-check is on: the race observer is not thread-safe.
+//
 // --repro re-runs one saved case and reports pass/fail; --corpus runs every
 // `.casm` file in a directory (regression mode; no shrinking). Exit code:
 // 0 clean, 1 failure found, 2 usage error.
@@ -26,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/cpu/machine.h"
 #include "src/sim/config.h"
 #include "src/sim/rng.h"
 #include "src/verify/diff_runner.h"
@@ -97,6 +105,16 @@ int main(int argc, char** argv) {
   opts.points = ParsePoints(cfg.GetString("points"));
   opts.check_determinism = cfg.GetBool("determinism", false);
   opts.race_check = cfg.GetBool("race-check", false);
+  uint32_t host_threads = static_cast<uint32_t>(cfg.GetUint("host-threads", 0));
+  if (opts.race_check && host_threads != 0) {
+    std::fprintf(stderr,
+                 "note: --race-check forces --host-threads=0 (the race observer "
+                 "is not thread-safe)\n");
+    host_threads = 0;
+  }
+  // Lattice machines leave MachineConfig::host_threads at the "process
+  // default" sentinel, so this threads the flag through every build.
+  SetDefaultHostThreads(host_threads);
 
   const std::string repro = cfg.GetString("repro");
   if (!repro.empty()) {

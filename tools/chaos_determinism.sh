@@ -18,18 +18,33 @@ if [ ! -x "$bin" ]; then
   exit 2
 fi
 
+# The two-seed compare runs at every engine flavor — legacy (--host-threads=0)
+# and sharded with 1 and 4 host workers (DESIGN.md §4i) — and additionally
+# requires the *cross-engine* bytes to match: scenario machines are one-core,
+# so the sharded solo fast path must reproduce the legacy engine exactly.
 fail=0
 for seed in 1 7; do
-  a="$scratch/chaos.seed$seed.run1.json"
-  b="$scratch/chaos.seed$seed.run2.json"
-  "$bin" --scenario=all --seed="$seed" --stats-json="$a" > /dev/null
-  "$bin" --scenario=all --seed="$seed" --stats-json="$b" > /dev/null
-  if ! cmp -s "$a" "$b"; then
-    echo "chaos_determinism: seed $seed stats dumps differ:" >&2
-    diff "$a" "$b" >&2 || true
-    fail=1
-  else
-    echo "chaos_determinism: seed $seed ok ($(wc -c < "$a") bytes, byte-identical)"
-  fi
+  ref=""
+  for ht in 0 1 4; do
+    a="$scratch/chaos.seed$seed.ht$ht.run1.json"
+    b="$scratch/chaos.seed$seed.ht$ht.run2.json"
+    "$bin" --scenario=all --seed="$seed" --host-threads="$ht" --stats-json="$a" > /dev/null
+    "$bin" --scenario=all --seed="$seed" --host-threads="$ht" --stats-json="$b" > /dev/null
+    if ! cmp -s "$a" "$b"; then
+      echo "chaos_determinism: seed $seed ht $ht stats dumps differ:" >&2
+      diff "$a" "$b" >&2 || true
+      fail=1
+      continue
+    fi
+    if [ -z "$ref" ]; then
+      ref="$a"
+    elif ! cmp -s "$ref" "$a"; then
+      echo "chaos_determinism: seed $seed ht $ht diverges from $ref:" >&2
+      diff "$ref" "$a" >&2 || true
+      fail=1
+      continue
+    fi
+    echo "chaos_determinism: seed $seed ht $ht ok ($(wc -c < "$a") bytes, byte-identical)"
+  done
 done
 exit "$fail"

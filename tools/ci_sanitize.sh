@@ -7,10 +7,13 @@
 # check). Memory errors in the simulator, the reference model, or the
 # fault-recovery paths surface here rather than as silent state divergence.
 #
-# The `thread` tier builds with TSan and runs the tests labelled `tsan` (the
-# concurrency-analyzer suite and the monitor/mwait race fixtures): host-level
-# data races in the simulator's own bookkeeping surface there, complementing
-# the guest-level casc-race detector.
+# The `thread` tier builds with TSan and runs the tests labelled `tsan`: the
+# concurrency-analyzer suite, the monitor/mwait race fixtures, the sharded
+# engine's unit suite (test_shard), and a bench + chaos smoke with a real
+# 4-worker host pool (--host-threads=4) so the engine's claim/park/mailbox
+# machinery itself runs under the race detector. Host-level data races in the
+# simulator's own bookkeeping surface here, complementing the guest-level
+# casc-race detector.
 #
 # Usage: ci_sanitize.sh [sanitizers] [build-dir]
 #   sanitizers   comma list for -fsanitize (default: address,undefined;

@@ -5,11 +5,21 @@
 # nondeterminism bug (unseeded randomness, iteration over pointer-keyed maps,
 # uninitialized reads) — the kind that silently breaks differential fuzzing.
 #
-# Usage: determinism_check.sh <examples-dir> <scratch-dir>
+# With a casc_run binary and a program as extra arguments, the check also
+# covers the host-parallel sharded engine (DESIGN.md §4i): the program runs
+# on two cores at --host-threads 1, 2, and 4, and every stats dump — and
+# stdout — must be byte-identical. Host-thread count sizes the worker pool;
+# it is not part of the simulated configuration, so any divergence is a
+# cross-shard ordering bug (a mailbox drained in host order, a window
+# boundary that moved with the thread count).
+#
+# Usage: determinism_check.sh <examples-dir> <scratch-dir> [<casc_run> <prog.casm>]
 set -eu
 
 bindir=${1:?usage: determinism_check.sh <examples-dir> <scratch-dir>}
 scratch=${2:?usage: determinism_check.sh <examples-dir> <scratch-dir>}
+casc_run=${3:-}
+prog=${4:-}
 mkdir -p "$scratch"
 
 fail=0
@@ -31,4 +41,29 @@ for name in quickstart echo_server; do
     echo "determinism_check: $name ok ($(wc -c < "$a") bytes, byte-identical)"
   fi
 done
+
+if [ -n "$casc_run" ]; then
+  if [ ! -x "$casc_run" ] || [ ! -f "$prog" ]; then
+    echo "determinism_check: missing casc_run ($casc_run) or program ($prog)" >&2
+    exit 2
+  fi
+  base_json="$scratch/hostthreads.ht1.json"
+  base_out="$scratch/hostthreads.ht1.out"
+  "$casc_run" "$prog" --cores=2 --threads-per-core=1 --host-threads=1 \
+    --stats-json="$base_json" > "$base_out"
+  for ht in 2 4; do
+    j="$scratch/hostthreads.ht$ht.json"
+    o="$scratch/hostthreads.ht$ht.out"
+    "$casc_run" "$prog" --cores=2 --threads-per-core=1 --host-threads="$ht" \
+      --stats-json="$j" > "$o"
+    if ! cmp -s "$base_json" "$j" || ! cmp -s "$base_out" "$o"; then
+      echo "determinism_check: --host-threads=$ht diverges from --host-threads=1:" >&2
+      diff "$base_json" "$j" >&2 || true
+      diff "$base_out" "$o" >&2 || true
+      fail=1
+    else
+      echo "determinism_check: host-threads $ht ok (stats + stdout byte-identical)"
+    fi
+  done
+fi
 exit "$fail"
