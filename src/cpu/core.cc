@@ -7,6 +7,20 @@
 
 namespace casc {
 
+namespace {
+
+// Maps a fusion pattern to its superinstruction head handler. The VmHandler
+// block mirrors FusedOp ordering, so this is pure arithmetic.
+static_assert(vmFuseLoadAlu == vmFuseCmpBranch + 1 && vmFuseAddiStore == vmFuseCmpBranch + 2 &&
+                  vmFuseMonitorMwait == vmFuseCmpBranch + 3,
+              "fused handler ids must mirror FusedOp ordering");
+uint8_t FusedHandlerOf(FusedOp kind) {
+  assert(kind != FusedOp::kNone);
+  return static_cast<uint8_t>(vmFuseCmpBranch + static_cast<uint8_t>(kind) - 1);
+}
+
+}  // namespace
+
 Core::Core(Simulation& sim, MemorySystem& mem, ThreadSystem& ts, CoreId id, CoreTimings timings)
     : sim_(sim),
       mem_(mem),
@@ -16,24 +30,62 @@ Core::Core(Simulation& sim, MemorySystem& mem, ThreadSystem& ts, CoreId id, Core
       l1i_hit_latency_(mem.config().l1i.hit_latency),
       eq_(&sim.QueueFor(sim.num_shards() != 0 ? id : 0)),
       tick_event_(this),
+      ptid_base_(ts.PtidOf(id, 0)),
+      cont_(ts.config().threads_per_core),
       stat_instructions_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".instructions")),
       stat_active_cycles_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".active_cycles")),
       stat_idle_wakeups_(sim.stats().Intern("cpu.core" + std::to_string(id) + ".idle_wakeups")) {
-  picked_.reserve(ts.config().smt_width);
+  picked_.resize(ts.config().smt_width);
   mem_.AddCodeWriteListener(id_, [this](Addr line) { InvalidatePredecodeLine(line); });
 }
 
 void Core::InvalidatePredecodeAll() {
   for (PredecodedLine& line : predecode_) {
     line.base = kNoCodeLine;
+    line.tail_spans_next = false;
   }
+  code_epoch_++;  // kill every staged continuation along with the lines
 }
 
 void Core::FillPredecodeLine(PredecodedLine& line, Addr base) {
-  for (size_t i = 0; i < line.insts.size(); i++) {
-    line.insts[i] = Decode(mem_.phys().Read32(base + i * kInstBytes));
+  constexpr size_t kSlots = kLineSize / kInstBytes;
+  for (size_t i = 0; i < kSlots; i++) {
+    DecodedSlot& s = line.slots[i];
+    s.inst = Decode(mem_.phys().Read32(base + i * kInstBytes));
+    s.handler = HandlerOf(s.inst.op);
+    s.tail_handler = vmNop;
+    s.fused = 0;
+    s.tail_spans_next = false;
   }
   line.base = base;
+  line.tail_spans_next = false;
+  line.fetch_ref = Cache::LineRef{};  // memo belongs to the old contents
+  if (fusion_enabled_) {
+    // Fusion pairing pass: every slot that can head a pattern gets the fused
+    // handler plus a cached copy of its tail. The tail slot keeps its own
+    // plain handler, so a jump landing on it mid-line executes normally and
+    // it may itself head the following pair. Slot 15's tail lives in the
+    // next code line (unmapped memory reads as 0 = nop, which never matches
+    // a pattern); the copy makes the pair self-contained, and the span rule
+    // in InvalidatePredecodeLine keeps the copy coherent.
+    for (size_t i = 0; i < kSlots; i++) {
+      DecodedSlot& s = line.slots[i];
+      const bool spans = i + 1 == kSlots;
+      const Instruction tail =
+          spans ? Decode(mem_.phys().Read32(base + kLineSize)) : line.slots[i + 1].inst;
+      const FusedOp kind = MatchFusionPair(s.inst, tail);
+      if (kind == FusedOp::kNone) {
+        continue;
+      }
+      s.tail = tail;
+      s.tail_handler = HandlerOf(tail.op);
+      s.fused = static_cast<uint8_t>(kind);
+      s.handler = FusedHandlerOf(kind);
+      s.tail_spans_next = spans;
+      line.tail_spans_next = line.tail_spans_next || spans;
+    }
+  }
+  code_epoch_++;  // continuations staged on the old contents must not fire
 }
 
 void Core::BindNative(Ptid ptid, NativeProgram program) {
@@ -68,11 +120,22 @@ void Core::Cycle() {
   }
   SchedQueue& q = ts_.queue(id_);
   const uint32_t width = ts_.config().smt_width;
+  // Counters batch into locals and flush once per Cycle return: the sharded
+  // CounterHandle costs a TLS load plus two dependent loads per increment,
+  // and nothing reads these counters until after the run completes.
+  uint64_t insts = 0;
+  uint64_t active_cycles = 0;
+  // `now` is carried across AdvanceIfIdle instead of re-read: nothing inside
+  // the loop body advances the clock except that call, which sets it to
+  // exactly `next`.
+  Tick now = eq_->now();
   for (;;) {
-    const Tick now = eq_->now();
-    q.PickUpTo(now, width, &picked_);
+    const uint64_t gen = q.generation();
+    Tick unpicked_min;
+    const uint32_t npicked = q.PickUpTo(now, width, picked_.data(), &unpicked_min);
     bool active = false;
-    for (HwThread* t : picked_) {
+    for (uint32_t i = 0; i < npicked; i++) {
+      HwThread* t = picked_[i];
       if (ts_.NeedsRestore(t->ptid())) {
         // Prefetch-on-wake disabled: the restore begins only when the
         // scheduler first reaches the thread (demand restore).
@@ -80,26 +143,51 @@ void Core::Cycle() {
         continue;
       }
       Step(*t);
+      insts++;
       active = true;
       if (ts_.halted()) {
+        stat_instructions_ += insts;
+        stat_active_cycles_ += active_cycles;
         return;
       }
     }
     if (active) {
-      stat_active_cycles_++;
+      active_cycles++;
     }
     // Sleep until the next tick at which some thread can issue. When this
     // core is the only live actor, advance the clock in place and keep
     // stepping — same timing, no event dispatch round trip per tick.
-    const Tick next = q.NextWorkTick(now + 1);
+    //
+    // NextWorkTick(after) == max(after, min ready_at over runnable threads)
+    // (Tick max if none), so when no Add/Remove ran during the steps the
+    // value is reconstructed from the pick scan's unpicked minimum plus the
+    // picked threads' just-written ready_at — no second rotation walk. Any
+    // wake, block, or stop bumps the queue generation and falls back to the
+    // full scan, so the computed tick is identical by construction.
+    Tick next;
+    if (q.generation() == gen) {
+      Tick m = unpicked_min;
+      for (uint32_t i = 0; i < npicked; i++) {
+        HwThread* t = picked_[i];
+        if (t->state() == ThreadState::kRunnable) {
+          m = std::min(m, t->ready_at());
+        }
+      }
+      next = m == std::numeric_limits<Tick>::max() ? m : std::max(m, now + 1);
+    } else {
+      next = q.NextWorkTick(now + 1);
+    }
     if (next == std::numeric_limits<Tick>::max()) {
-      return;
+      break;
     }
     if (!eq_->AdvanceIfIdle(next)) {
       eq_->Schedule(&tick_event_, next);
-      return;
+      break;
     }
+    now = next;
   }
+  stat_instructions_ += insts;
+  stat_active_cycles_ += active_cycles;
 }
 
 Tick Core::Step(HwThread& t) {
@@ -110,7 +198,6 @@ Tick Core::Step(HwThread& t) {
   } else {
     latency = StepInterpreted(t);
   }
-  stat_instructions_++;
   if (t.state() == ThreadState::kRunnable) {
     t.set_ready_at(eq_->now() + std::max<Tick>(1, latency));
     ts_.store(id_).Touch(t);
@@ -121,6 +208,28 @@ Tick Core::Step(HwThread& t) {
 Tick Core::StepInterpreted(HwThread& t) {
   const Addr pc = t.arch().pc;
   if (predecode_enabled_) {
+    if (fusion_enabled_) {
+      // A continuation staged by a fused head: if the thread is still at the
+      // tail pc and no fill/invalidation intervened, dispatch the tail from
+      // the head's cached copy — no line lookup, no slot indexing. The timed
+      // fetch below runs unchanged, so timing and cache stats are identical
+      // to the unfused path. A stale hit is impossible: any predecode
+      // restructuring bumps code_epoch_, and a pc mismatch (exception,
+      // redirect) just falls through to the normal path.
+      FusedCont& c = cont_[t.ptid() - ptid_base_];
+      if (c.pc == pc && c.epoch == code_epoch_) {
+        c.pc = kNoCodeLine;  // consume: a pair fuses once per head execution
+        stat_fused_[static_cast<size_t>(c.kind)]++;
+        stat_predecode_hits_++;
+        // Spanning tails (c.line == nullptr) fetch without the head line's
+        // L1I memo — the tail word lives on a different cache line.
+        const Tick fetch = c.line != nullptr ? mem_.FetchPredecoded(id_, pc, &c.line->fetch_ref)
+                                             : mem_.Fetch(id_, pc, nullptr);
+        const Tick fetch_penalty = fetch > l1i_hit_latency_ ? fetch - l1i_hit_latency_ : 0;
+        return fetch_penalty +
+               DispatchSlot(t, c.head->tail, c.head->tail_handler, nullptr, nullptr);
+      }
+    }
     PredecodedLine& line = predecode_[(pc >> 6) & (kPredecodeLines - 1)];
     const Addr base = LineBase(pc);
     if (line.base == base) {
@@ -131,305 +240,36 @@ Tick Core::StepInterpreted(HwThread& t) {
     }
     // The timed fetch still runs through the simulated hierarchy (and counts
     // in mem.fetches); only the functional word read + Decode are skipped.
-    const Tick fetch = mem_.Fetch(id_, pc, nullptr);
+    const Tick fetch = mem_.FetchPredecoded(id_, pc, &line.fetch_ref);
     const Tick fetch_penalty = fetch > l1i_hit_latency_ ? fetch - l1i_hit_latency_ : 0;
-    return fetch_penalty + ExecuteInstruction(t, line.insts[(pc & (kLineSize - 1)) / kInstBytes]);
+    const DecodedSlot& slot = line.slots[(pc & (kLineSize - 1)) / kInstBytes];
+    return fetch_penalty + DispatchSlot(t, slot.inst, slot.handler, &line, &slot);
   }
   uint32_t word = 0;
   const Tick fetch = mem_.Fetch(id_, pc, &word);
   // Warm fetches are pipelined away; only the miss penalty stalls issue.
   const Tick fetch_penalty = fetch > l1i_hit_latency_ ? fetch - l1i_hit_latency_ : 0;
-  return fetch_penalty + ExecuteInstruction(t, Decode(word));
+  const Instruction inst = Decode(word);
+  return fetch_penalty + DispatchSlot(t, inst, HandlerOf(inst.op), nullptr, nullptr);
 }
 
-Tick Core::ExecuteInstruction(HwThread& t, const Instruction& inst) {
-  const Ptid self = t.ptid();
-  const Addr pc = t.arch().pc;
-  Addr next_pc = pc + kInstBytes;
-  Tick lat = timings_.alu;
 
-  const uint64_t rs1 = t.ReadGpr(inst.rs1);
-  const uint64_t rs2 = t.ReadGpr(inst.rs2);
-  const uint64_t rdv = t.ReadGpr(inst.rd);  // store-value / branch lhs
-  const int64_t simm = inst.imm;
-  const uint64_t zimm16 = static_cast<uint16_t>(inst.imm);
+// Instantiate the handler bodies: the computed-goto engine where the
+// toolchain supports labels-as-values, and the portable switch engine always
+// (it is also the fallback when threaded dispatch is switched off).
+#if CASC_HAS_COMPUTED_GOTO
+#define CASC_VM_FN ExecSlotGoto
+#define CASC_VM_GOTO 1
+#include "src/cpu/dispatch.inc"  // NOLINT(build/include)
+#undef CASC_VM_FN
+#undef CASC_VM_GOTO
+#endif
 
-  switch (inst.op) {
-    case Opcode::kNop:
-      break;
-    case Opcode::kHalt:
-      // Self-disable; the machine quiesces when nothing remains runnable.
-      t.arch().pc = next_pc;
-      ts_.Disable(self);
-      return lat;
-
-    case Opcode::kAdd:
-      t.WriteGpr(inst.rd, rs1 + rs2);
-      break;
-    case Opcode::kSub:
-      t.WriteGpr(inst.rd, rs1 - rs2);
-      break;
-    case Opcode::kMul:
-      t.WriteGpr(inst.rd, rs1 * rs2);
-      lat = timings_.mul;
-      break;
-    case Opcode::kDiv: {
-      if (rs2 == 0) {
-        ts_.RaiseException(self, ExceptionType::kDivideByZero, pc, 0);
-        return lat;
-      }
-      const int64_t a = static_cast<int64_t>(rs1);
-      const int64_t b = static_cast<int64_t>(rs2);
-      const int64_t q = (a == INT64_MIN && b == -1) ? a : a / b;
-      t.WriteGpr(inst.rd, static_cast<uint64_t>(q));
-      lat = timings_.div;
-      break;
-    }
-    case Opcode::kAnd:
-      t.WriteGpr(inst.rd, rs1 & rs2);
-      break;
-    case Opcode::kOr:
-      t.WriteGpr(inst.rd, rs1 | rs2);
-      break;
-    case Opcode::kXor:
-      t.WriteGpr(inst.rd, rs1 ^ rs2);
-      break;
-    case Opcode::kSll:
-      t.WriteGpr(inst.rd, rs1 << (rs2 & 63));
-      break;
-    case Opcode::kSrl:
-      t.WriteGpr(inst.rd, rs1 >> (rs2 & 63));
-      break;
-    case Opcode::kSra:
-      t.WriteGpr(inst.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (rs2 & 63)));
-      break;
-    case Opcode::kSlt:
-      t.WriteGpr(inst.rd, static_cast<int64_t>(rs1) < static_cast<int64_t>(rs2) ? 1 : 0);
-      break;
-    case Opcode::kSltu:
-      t.WriteGpr(inst.rd, rs1 < rs2 ? 1 : 0);
-      break;
-
-    case Opcode::kAddi:
-      t.WriteGpr(inst.rd, rs1 + static_cast<uint64_t>(simm));
-      break;
-    case Opcode::kAndi:
-      t.WriteGpr(inst.rd, rs1 & zimm16);
-      break;
-    case Opcode::kOri:
-      t.WriteGpr(inst.rd, rs1 | zimm16);
-      break;
-    case Opcode::kXori:
-      t.WriteGpr(inst.rd, rs1 ^ zimm16);
-      break;
-    case Opcode::kSlli:
-      t.WriteGpr(inst.rd, rs1 << (inst.imm & 63));
-      break;
-    case Opcode::kSrli:
-      t.WriteGpr(inst.rd, rs1 >> (inst.imm & 63));
-      break;
-    case Opcode::kSrai:
-      t.WriteGpr(inst.rd, static_cast<uint64_t>(static_cast<int64_t>(rs1) >> (inst.imm & 63)));
-      break;
-    case Opcode::kSlti:
-      t.WriteGpr(inst.rd, static_cast<int64_t>(rs1) < simm ? 1 : 0);
-      break;
-    case Opcode::kLui:
-      t.WriteGpr(inst.rd, zimm16 << 16);
-      break;
-
-    case Opcode::kLd:
-    case Opcode::kLw:
-    case Opcode::kLh:
-    case Opcode::kLb: {
-      const uint32_t size = inst.op == Opcode::kLd   ? 8
-                            : inst.op == Opcode::kLw ? 4
-                            : inst.op == Opcode::kLh ? 2
-                                                     : 1;
-      const Addr addr = rs1 + static_cast<uint64_t>(simm);
-      if (!t.arch().is_supervisor() && mem_.IsSupervisorOnly(addr)) {
-        ts_.RaiseException(self, ExceptionType::kPageFault, addr, 0);
-        return lat;
-      }
-      if (chb_ != nullptr) {
-        chb_->OnLoad(self, addr, size, pc);
-      }
-      uint64_t value = 0;
-      lat = mem_.Read(id_, addr, size, &value);
-      t.WriteGpr(inst.rd, value);
-      break;
-    }
-    case Opcode::kSd:
-    case Opcode::kSw:
-    case Opcode::kSh:
-    case Opcode::kSb: {
-      const uint32_t size = inst.op == Opcode::kSd   ? 8
-                            : inst.op == Opcode::kSw ? 4
-                            : inst.op == Opcode::kSh ? 2
-                                                     : 1;
-      const Addr addr = rs1 + static_cast<uint64_t>(simm);
-      if (!t.arch().is_supervisor() && mem_.IsSupervisorOnly(addr)) {
-        ts_.RaiseException(self, ExceptionType::kPageFault, addr, 0);
-        return lat;
-      }
-      // Report before the write: the write may synchronously wake an mwaiter,
-      // and the waiter's acquire must see this store's release.
-      if (chb_ != nullptr) {
-        chb_->OnStore(self, addr, size, pc);
-      }
-      lat = mem_.Write(id_, addr, size, rdv);
-      break;
-    }
-
-    case Opcode::kBeq:
-    case Opcode::kBne:
-    case Opcode::kBlt:
-    case Opcode::kBge:
-    case Opcode::kBltu:
-    case Opcode::kBgeu: {
-      bool taken = false;
-      switch (inst.op) {
-        case Opcode::kBeq:
-          taken = rdv == rs1;
-          break;
-        case Opcode::kBne:
-          taken = rdv != rs1;
-          break;
-        case Opcode::kBlt:
-          taken = static_cast<int64_t>(rdv) < static_cast<int64_t>(rs1);
-          break;
-        case Opcode::kBge:
-          taken = static_cast<int64_t>(rdv) >= static_cast<int64_t>(rs1);
-          break;
-        case Opcode::kBltu:
-          taken = rdv < rs1;
-          break;
-        default:
-          taken = rdv >= rs1;
-          break;
-      }
-      if (taken) {
-        next_pc = pc + kInstBytes + static_cast<uint64_t>(static_cast<int64_t>(simm) * 4);
-      }
-      lat = timings_.branch;
-      break;
-    }
-    case Opcode::kJal:
-      t.WriteGpr(31, pc + kInstBytes);
-      next_pc = pc + kInstBytes + static_cast<uint64_t>(static_cast<int64_t>(simm) * 4);
-      lat = timings_.branch;
-      break;
-    case Opcode::kJalr:
-      t.WriteGpr(inst.rd, pc + kInstBytes);
-      next_pc = rs1 + static_cast<uint64_t>(simm);
-      lat = timings_.branch;
-      break;
-
-    case Opcode::kCsrrd: {
-      const OpResult r = ts_.ReadCsr(self, static_cast<Csr>(inst.imm));
-      if (!r.ok) {
-        return r.latency;
-      }
-      t.WriteGpr(inst.rd, r.value);
-      lat = r.latency;
-      break;
-    }
-    case Opcode::kCsrwr: {
-      const OpResult r = ts_.WriteCsr(self, static_cast<Csr>(inst.imm), rdv);
-      if (!r.ok) {
-        return r.latency;
-      }
-      lat = r.latency;
-      break;
-    }
-
-    case Opcode::kMonitor: {
-      const OpResult r = ts_.Monitor(self, rs1);
-      if (!r.ok) {
-        return r.latency;
-      }
-      lat = r.latency;
-      break;
-    }
-    case Opcode::kMwait: {
-      const auto r = ts_.Mwait(self);
-      lat = r.latency;
-      break;  // pc advances either way; wakeup resumes after the mwait
-    }
-    case Opcode::kStart: {
-      const OpResult r = ts_.Start(self, static_cast<Vtid>(rs1));
-      if (!r.ok) {
-        return r.latency;
-      }
-      lat = r.latency;
-      break;
-    }
-    case Opcode::kStop: {
-      // Advance the pc first so a self-stop resumes after the instruction.
-      t.arch().pc = next_pc;
-      const OpResult r = ts_.Stop(self, static_cast<Vtid>(rs1));
-      if (!r.ok) {
-        t.arch().pc = pc;  // fault: descriptor should carry the faulting pc
-        return r.latency;
-      }
-      return r.latency;
-    }
-    case Opcode::kRpull: {
-      const OpResult r = ts_.Rpull(self, static_cast<Vtid>(rs1), static_cast<uint32_t>(inst.imm));
-      if (!r.ok) {
-        return r.latency;
-      }
-      t.WriteGpr(inst.rd, r.value);
-      lat = r.latency;
-      break;
-    }
-    case Opcode::kRpush: {
-      const OpResult r =
-          ts_.Rpush(self, static_cast<Vtid>(rs1), static_cast<uint32_t>(inst.imm), rdv);
-      if (!r.ok) {
-        return r.latency;
-      }
-      lat = r.latency;
-      break;
-    }
-    case Opcode::kInvtid: {
-      const Vtid remote = rs2 == UINT64_MAX ? kInvalidVtid : static_cast<Vtid>(rs2);
-      const OpResult r = ts_.Invtid(self, static_cast<Vtid>(rs1), remote);
-      if (!r.ok) {
-        return r.latency;
-      }
-      lat = r.latency;
-      break;
-    }
-    case Opcode::kAmoadd: {
-      if (chb_ != nullptr) {
-        chb_->OnAtomic(self, rs1, 8, pc);
-      }
-      uint64_t old = 0;
-      lat = mem_.AtomicAdd(id_, rs1, rs2, &old);
-      t.WriteGpr(inst.rd, old);
-      break;
-    }
-    case Opcode::kHcall:
-      t.arch().pc = next_pc;  // handlers may disable or redirect the thread
-      if (inst.imm == 0) {
-        ts_.Disable(self);  // hcall 0: exit thread (works at any privilege)
-      } else if (hcall_) {
-        hcall_(*this, t, inst.imm);
-      }
-      return lat;
-
-    default:
-      ts_.RaiseException(self, ExceptionType::kIllegalInstruction, pc,
-                         static_cast<uint64_t>(inst.op));
-      return lat;
-  }
-
-  if (t.state() != ThreadState::kDisabled) {
-    t.arch().pc = next_pc;
-  }
-  return lat;
-}
+#define CASC_VM_FN ExecSlotSwitch
+#define CASC_VM_GOTO 0
+#include "src/cpu/dispatch.inc"  // NOLINT(build/include)
+#undef CASC_VM_FN
+#undef CASC_VM_GOTO
 
 Tick Core::StepNative(HwThread& t, NativeState& ns) {
   if (!ns.task.valid() || ns.task.done() || ns.ctx->faulted()) {

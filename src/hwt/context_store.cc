@@ -28,11 +28,8 @@ ContextStore::ContextStore(Simulation& sim, MemorySystem& mem, const HwtConfig& 
 
 void ContextStore::AdmitThread(HwThread& thread) {
   threads_[thread.ptid()] = &thread;
-  if (rf_lru_.size() < config_.rf_slots) {
-    rf_lru_.push_back(thread.ptid());
-    RfPos& pos = PosFor(thread.ptid());
-    pos.it = std::prev(rf_lru_.end());
-    pos.resident = true;
+  if (rf_members_.size() < config_.rf_slots) {
+    AddMember(thread.ptid());
     thread.set_tier(StorageTier::kRegFile);
   } else {
     thread.set_tier(PickSpillTier());
@@ -114,23 +111,33 @@ void ContextStore::AssertSlotAccounting() const {
 }
 
 bool ContextStore::EvictOne(Ptid except) {
-  for (auto it = rf_lru_.begin(); it != rf_lru_.end(); ++it) {
-    HwThread* victim = threads_.at(*it);
-    if (victim->ptid() == except || victim->pinned() ||
-        victim->state() == ThreadState::kRunnable) {
+  // Lowest stamp among eligible members = the least recently used eligible
+  // thread (stamps are unique and monotonic, so this matches the old LRU
+  // list's first-eligible-from-the-front exactly).
+  HwThread* victim = nullptr;
+  uint64_t best = 0;
+  for (const Ptid ptid : rf_members_) {
+    HwThread* t = threads_.at(ptid);
+    if (t->ptid() == except || t->pinned() || t->state() == ThreadState::kRunnable) {
       continue;
     }
-    // Write-back happens in the background over the wide links; count it
-    // but do not charge the waker.
-    stat_evictions_++;
-    stat_evicted_bytes_ += TransferBytes(*victim);
-    victim->set_tier(PickSpillTier());
-    victim->ResetUsedRegs();
-    rf_pos_[*it].resident = false;
-    rf_lru_.erase(it);
-    return true;
+    const uint64_t stamp = rf_pos_[ptid].stamp;
+    if (victim == nullptr || stamp < best) {
+      victim = t;
+      best = stamp;
+    }
   }
-  return false;
+  if (victim == nullptr) {
+    return false;
+  }
+  // Write-back happens in the background over the wide links; count it
+  // but do not charge the waker.
+  stat_evictions_++;
+  stat_evicted_bytes_ += TransferBytes(*victim);
+  victim->set_tier(PickSpillTier());
+  victim->ResetUsedRegs();
+  RemoveMember(victim->ptid());
+  return true;
 }
 
 Tick ContextStore::EnsureResident(HwThread& thread) {
@@ -157,7 +164,7 @@ Tick ContextStore::EnsureResident(HwThread& thread) {
   // spill one level lower than necessary (e.g. to DRAM while an L2 slot is
   // about to free).
   ReleaseTierSlot(thread.tier());
-  if (rf_lru_.size() >= config_.rf_slots) {
+  if (rf_members_.size() >= config_.rf_slots) {
     if (!EvictOne(thread.ptid())) {
       // Everything is pinned or running; execute from the lower tier and pay
       // its latency each wake (degenerate but safe). The thread keeps its
@@ -167,10 +174,7 @@ Tick ContextStore::EnsureResident(HwThread& thread) {
     }
   }
   thread.set_tier(StorageTier::kRegFile);
-  rf_lru_.push_back(thread.ptid());
-  RfPos& pos = PosFor(thread.ptid());
-  pos.it = std::prev(rf_lru_.end());
-  pos.resident = true;
+  AddMember(thread.ptid());
   AssertSlotAccounting();
   return latency;
 }
@@ -178,16 +182,13 @@ Tick ContextStore::EnsureResident(HwThread& thread) {
 void ContextStore::ForceTier(HwThread& thread, StorageTier tier) {
   RfPos& pos = PosFor(thread.ptid());
   if (pos.resident) {
-    rf_lru_.erase(pos.it);
-    pos.resident = false;
+    RemoveMember(thread.ptid());
   } else {
     ReleaseTierSlot(thread.tier());
   }
   switch (tier) {
     case StorageTier::kRegFile:
-      rf_lru_.push_back(thread.ptid());
-      pos.it = std::prev(rf_lru_.end());
-      pos.resident = true;
+      AddMember(thread.ptid());
       break;
     case StorageTier::kL2:
       l2_used_++;
@@ -199,19 +200,6 @@ void ContextStore::ForceTier(HwThread& thread, StorageTier tier) {
       break;
   }
   thread.set_tier(tier);
-}
-
-void ContextStore::Touch(HwThread& thread) {
-  const Ptid ptid = thread.ptid();
-  if (ptid >= rf_pos_.size() || !rf_pos_[ptid].resident) {
-    return;
-  }
-  RfPos& pos = rf_pos_[ptid];
-  if (std::next(pos.it) == rf_lru_.end()) {
-    return;  // already most recently used
-  }
-  // splice() keeps pos.it valid and pointing at the same node, now at the back.
-  rf_lru_.splice(rf_lru_.end(), rf_lru_, pos.it);
 }
 
 }  // namespace casc

@@ -7,7 +7,6 @@
 #define SRC_HWT_CONTEXT_STORE_H_
 
 #include <cstdint>
-#include <list>
 #include <unordered_map>
 #include <vector>
 
@@ -32,14 +31,22 @@ class ContextStore {
   // already in the RF).
   Tick EnsureResident(HwThread& thread);
 
-  // Marks a use (keeps the thread warm in the RF LRU order).
-  void Touch(HwThread& thread);
+  // Marks a use (keeps the thread warm in the RF LRU order). Defined inline:
+  // it runs once per retired instruction from Core::Step and must reduce to
+  // one array load plus one counter store at the call site.
+  void Touch(HwThread& thread) {
+    const Ptid ptid = thread.ptid();
+    if (ptid >= rf_pos_.size() || !rf_pos_[ptid].resident) {
+      return;
+    }
+    rf_pos_[ptid].stamp = ++use_clock_;
+  }
 
   // Restore latency if the thread had to be fetched from its current tier
   // right now, without side effects.
   Tick RestoreLatency(const HwThread& thread) const;
 
-  uint32_t rf_occupancy() const { return static_cast<uint32_t>(rf_lru_.size()); }
+  uint32_t rf_occupancy() const { return static_cast<uint32_t>(rf_members_.size()); }
 
   // Tier-slot accounting, exposed so tests and stats exports can check the
   // invariant l2_used() <= l2_slots / l3_used() <= l3_slots.
@@ -67,20 +74,42 @@ class ContextStore {
   const HwtConfig& config_;
   CoreId core_;
 
-  // RF residency in LRU order (front = least recently used). The position
-  // index is a ptid-indexed vector rather than a hash map: Touch runs once
-  // per retired instruction, so the lookup must be a plain array load.
-  std::list<Ptid> rf_lru_;
+  // RF residency with timestamp LRU. Touch runs once per retired
+  // instruction, so it must be a plain array load plus a counter store — no
+  // list splice, no pointer chasing. rf_members_ is unordered (swap-erase);
+  // recency lives in the per-ptid stamp, and eviction scans the members for
+  // the lowest stamp. With rf_slots threads at most, the scan on the (rare)
+  // eviction path is cheaper than keeping a list ordered on the (hot) touch
+  // path. Stamps are unique and monotonic, so "lowest stamp among eligible"
+  // is exactly the old list's "first eligible from the LRU front".
+  std::vector<Ptid> rf_members_;
   struct RfPos {
-    std::list<Ptid>::iterator it;
+    uint64_t stamp = 0;
+    uint32_t index = 0;  // position in rf_members_ while resident
     bool resident = false;
   };
   std::vector<RfPos> rf_pos_;
+  uint64_t use_clock_ = 0;
   RfPos& PosFor(Ptid ptid) {
     if (ptid >= rf_pos_.size()) {
       rf_pos_.resize(ptid + 1);
     }
     return rf_pos_[ptid];
+  }
+  void AddMember(Ptid ptid) {
+    RfPos& pos = PosFor(ptid);
+    pos.index = static_cast<uint32_t>(rf_members_.size());
+    pos.stamp = ++use_clock_;
+    pos.resident = true;
+    rf_members_.push_back(ptid);
+  }
+  void RemoveMember(Ptid ptid) {
+    RfPos& pos = rf_pos_[ptid];
+    const uint32_t at = pos.index;
+    rf_members_[at] = rf_members_.back();
+    rf_pos_[rf_members_[at]].index = at;
+    rf_members_.pop_back();
+    pos.resident = false;
   }
   std::unordered_map<Ptid, HwThread*> threads_;
   uint32_t l2_used_ = 0;

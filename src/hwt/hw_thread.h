@@ -30,17 +30,21 @@ enum class StorageTier : uint8_t {
 
 const char* StorageTierName(StorageTier t);
 
-// Full architected state of one hardware thread.
+// Full architected state of one hardware thread. Field order is a host
+// cache-layout choice (no simulated-layout meaning): pc/mode/prio lead so
+// the per-instruction reads (fetch pc, privilege check) and the per-pick
+// scheduler read (prio) share the struct's first cache line instead of
+// sitting past the 256-byte GPR file.
 struct ArchState {
-  uint64_t gpr[kNumGprs] = {};
   uint64_t pc = 0;
   uint64_t mode = 0;      // 0 = user, 1 = supervisor
+  uint64_t prio = 1;      // hardware scheduling weight
   uint64_t edp = 0;       // exception descriptor pointer (0 = no handler)
   uint64_t tdtr = 0;      // thread descriptor table base (0 = none)
   uint64_t tdt_size = 0;  // entries in the TDT
-  uint64_t prio = 1;      // hardware scheduling weight
   uint64_t self_key = 0;  // secret-key model: this thread's management key
   uint64_t auth_key = 0;  // secret-key model: key presented to targets
+  uint64_t gpr[kNumGprs] = {};
 
   bool is_supervisor() const { return mode != 0; }
 };
@@ -88,14 +92,17 @@ class HwThread {
   }
 
  private:
+  // Scheduler-hot fields first: SchedQueue::PickUpTo reads (state_,
+  // ready_at_) for every rotation slot every simulated tick, and must not
+  // drag the architected state's cache lines in to do it.
   Ptid ptid_;
   CoreId core_;
   ThreadState state_ = ThreadState::kDisabled;
-  ArchState arch_;
   StorageTier tier_ = StorageTier::kRegFile;
-  Tick ready_at_ = 0;
   bool pinned_ = false;
   uint32_t used_mask_ = 0;
+  Tick ready_at_ = 0;
+  ArchState arch_;
 };
 
 }  // namespace casc

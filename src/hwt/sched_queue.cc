@@ -1,22 +1,14 @@
 #include "src/hwt/sched_queue.h"
 
-#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <limits>
 
 namespace casc {
 
-namespace {
-uint64_t FullCredits(const HwThread& t) { return std::max<uint64_t>(1, t.arch().prio); }
-
-bool Ready(const HwThread& t, Tick now) {
-  return t.state() == ThreadState::kRunnable && t.ready_at() <= now;
-}
-}  // namespace
-
 void SchedQueue::Add(HwThread* thread, bool front) {
   assert(thread != nullptr);
+  generation_++;  // conservatively also on the already-queued early return
   for (const Slot& s : rotation_) {
     if (s.thread->ptid() == thread->ptid()) {
       return;  // already queued
@@ -31,6 +23,7 @@ void SchedQueue::Add(HwThread* thread, bool front) {
 }
 
 void SchedQueue::Remove(Ptid ptid) {
+  generation_++;
   for (size_t i = 0; i < rotation_.size(); i++) {
     if (rotation_[i].thread->ptid() == ptid) {
       rotation_.erase(rotation_.begin() + static_cast<ptrdiff_t>(i));
@@ -43,57 +36,6 @@ void SchedQueue::Remove(Ptid ptid) {
       return;
     }
   }
-}
-
-void SchedQueue::PickUpTo(Tick now, uint32_t width, std::vector<HwThread*>* out) {
-  out->clear();
-  const size_t n = rotation_.size();
-  if (n == 0) {
-    return;
-  }
-  // Move the cursor to the next ready thread (skipping blocked/restoring).
-  // Index wrap is a compare, not a modulo: this runs every simulated tick.
-  size_t scanned = 0;
-  while (scanned < n && !Ready(*rotation_[cursor_].thread, now)) {
-    if (++cursor_ == n) {
-      cursor_ = 0;
-    }
-    scanned++;
-  }
-  if (scanned == n) {
-    return;  // nothing ready this cycle
-  }
-  // Fill the SMT slots with distinct ready threads, rotation order.
-  size_t idx = cursor_;
-  for (size_t s = 0; s < n && out->size() < width; s++) {
-    if (Ready(*rotation_[idx].thread, now)) {
-      out->push_back(rotation_[idx].thread);
-    }
-    if (++idx == n) {
-      idx = 0;
-    }
-  }
-  // Weighted RR: the head thread holds the cursor for `prio` picks.
-  Slot& head = rotation_[cursor_];
-  if (head.credits > 0) {
-    head.credits--;
-  }
-  if (head.credits == 0) {
-    head.credits = FullCredits(*head.thread);
-    if (++cursor_ == n) {
-      cursor_ = 0;
-    }
-  }
-}
-
-Tick SchedQueue::NextWorkTick(Tick after) const {
-  Tick best = std::numeric_limits<Tick>::max();
-  for (const Slot& s : rotation_) {
-    if (s.thread->state() == ThreadState::kRunnable) {
-      best = std::min(best, std::max(s.thread->ready_at(), after));
-    }
-  }
-  return best;
 }
 
 Tick SchedQueue::NextReadyTick(Tick now) const {

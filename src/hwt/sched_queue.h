@@ -5,7 +5,9 @@
 #ifndef SRC_HWT_SCHED_QUEUE_H_
 #define SRC_HWT_SCHED_QUEUE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "src/hwt/hw_thread.h"
@@ -25,10 +27,101 @@ class SchedQueue {
   // Selects up to `width` distinct threads that may issue one instruction at
   // `now` (runnable and restore complete). Weighted RR: a thread keeps its
   // slot for `prio` consecutive picks before the cursor advances past it.
-  void PickUpTo(Tick now, uint32_t width, std::vector<HwThread*>* out);
+  //
+  // When `unpicked_min` is non-null the scan visits every slot (instead of
+  // stopping once the SMT slots are full) and reports the minimum ready_at
+  // over the runnable threads it did NOT pick (Tick max if none). Combined
+  // with generation(), that lets Core::Cycle reconstruct NextWorkTick after
+  // stepping without a second rotation walk: unpicked threads' (state,
+  // ready_at) cannot have changed unless some Add/Remove ran, because every
+  // cross-thread wake/stop path goes through those two calls.
+  //
+  // Defined here (with NextWorkTick) so the per-tick scan inlines into
+  // Core::Cycle: the two calls account for a fifth of host time when left
+  // out of line, and inlining keeps the rotation base/size in registers
+  // across the pick -> step -> next-work sequence.
+  void PickUpTo(Tick now, uint32_t width, std::vector<HwThread*>* out,
+                Tick* unpicked_min = nullptr) {
+    out->resize(rotation_.size());
+    const uint32_t picked = PickUpTo(now, width, out->data(), unpicked_min);
+    out->resize(picked);
+  }
+
+  // Array flavor of the same pick (no vector bookkeeping): `out` must hold
+  // at least rotation-size slots; returns the pick count. This is the form
+  // Core::Cycle calls every simulated tick.
+  uint32_t PickUpTo(Tick now, uint32_t width, HwThread** out, Tick* unpicked_min = nullptr) {
+    uint32_t picked = 0;
+    Tick umin = std::numeric_limits<Tick>::max();
+    const size_t n = rotation_.size();
+    if (n == 0) {
+      if (unpicked_min != nullptr) {
+        *unpicked_min = umin;
+      }
+      return 0;
+    }
+    // One pass from the cursor: the first ready thread found becomes the new
+    // cursor (the weighted-RR head), and ready threads fill the SMT slots in
+    // rotation order as the same scan continues. This merges what used to be
+    // two walks (cursor advance, then fill) into one — picks are identical
+    // because the skipped prefix holds no ready threads by definition, so the
+    // fill scan could never have collected anything there. Index wrap is a
+    // compare, not a modulo: this runs every simulated tick.
+    size_t idx = cursor_;
+    bool found = false;
+    bool full = false;
+    for (size_t s = 0; s < n; s++) {
+      HwThread* t = rotation_[idx].thread;
+      const bool runnable = t->state() == ThreadState::kRunnable;
+      if (runnable && t->ready_at() <= now && !full) {
+        if (!found) {
+          found = true;
+          cursor_ = idx;
+        }
+        out[picked++] = t;
+        if (picked == width) {
+          if (unpicked_min == nullptr) {
+            break;
+          }
+          full = true;
+        }
+      } else if (runnable) {
+        umin = std::min(umin, t->ready_at());
+      }
+      if (++idx == n) {
+        idx = 0;
+      }
+    }
+    if (unpicked_min != nullptr) {
+      *unpicked_min = umin;
+    }
+    if (!found) {
+      return 0;  // nothing ready this cycle; cursor unchanged, no credit burn
+    }
+    // Weighted RR: the head thread holds the cursor for `prio` picks.
+    Slot& head = rotation_[cursor_];
+    if (head.credits > 0) {
+      head.credits--;
+    }
+    if (head.credits == 0) {
+      head.credits = FullCredits(*head.thread);
+      if (++cursor_ == n) {
+        cursor_ = 0;
+      }
+    }
+    return picked;
+  }
 
   bool Empty() const { return rotation_.empty(); }
   size_t Size() const { return rotation_.size(); }
+
+  // Bumped by every Add/Remove call (even ones that turn out to be no-ops):
+  // an unchanged generation across a stretch of Steps guarantees that no
+  // thread outside the picked set changed its scheduling state, because
+  // every wake (MakeRunnable), block (Mwait), and stop/disable path calls
+  // Add or Remove. Core::Cycle uses this to validate the single-scan
+  // next-work-tick reconstruction.
+  uint64_t generation() const { return generation_; }
 
   // Earliest ready_at among queued threads that are not yet ready at `now`;
   // Tick max if all are ready or the queue is empty. Used by the core to
@@ -37,7 +130,15 @@ class SchedQueue {
 
   // Earliest tick >= `after` at which some runnable thread can issue; Tick
   // max if the rotation holds no runnable threads.
-  Tick NextWorkTick(Tick after) const;
+  Tick NextWorkTick(Tick after) const {
+    Tick best = std::numeric_limits<Tick>::max();
+    for (const Slot& s : rotation_) {
+      if (s.thread->state() == ThreadState::kRunnable) {
+        best = std::min(best, std::max(s.thread->ready_at(), after));
+      }
+    }
+    return best;
+  }
 
  private:
   struct Slot {
@@ -45,8 +146,14 @@ class SchedQueue {
     uint64_t credits;  // remaining consecutive picks this turn
   };
 
+  static uint64_t FullCredits(const HwThread& t) { return std::max<uint64_t>(1, t.arch().prio); }
+  static bool Ready(const HwThread& t, Tick now) {
+    return t.state() == ThreadState::kRunnable && t.ready_at() <= now;
+  }
+
   std::vector<Slot> rotation_;
   size_t cursor_ = 0;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace casc

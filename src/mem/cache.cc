@@ -18,6 +18,7 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
 
 void Cache::PinRange(Addr base, uint64_t size) {
   pinned_ranges_.push_back({base, base + size});
+  epoch_++;
 }
 
 bool Cache::IsPinnedAddr(Addr addr) const {
@@ -31,6 +32,7 @@ bool Cache::IsPinnedAddr(Addr addr) const {
 
 bool Cache::Fill(Line* base, Addr tag, bool is_write, bool fill_pinned, bool* evicted_dirty) {
   misses_++;
+  epoch_++;  // any fill may evict a memoized line
   // Victim: an invalid way if any, else the LRU among eligible ways. Pinned
   // lines are only evictable by pinned fills (the partition guarantee).
   Line* victim = nullptr;
@@ -88,6 +90,7 @@ bool Cache::Invalidate(Addr addr) {
       const bool was_dirty = line.dirty;
       line.valid = false;
       line.dirty = false;
+      epoch_++;
       return was_dirty;
     }
   }
@@ -100,6 +103,7 @@ void Cache::InvalidateAll() {
     line.dirty = false;
     line.pinned = false;
   }
+  epoch_++;
 }
 
 }  // namespace casc

@@ -24,6 +24,17 @@ class Cache {
  public:
   explicit Cache(const CacheConfig& config);
 
+  // A memoized hit: a pointer to the line that served a previous read access,
+  // validated against the cache's structural epoch. The epoch advances on any
+  // fill, invalidation, or pin change, so a stale ref can never replay — the
+  // fetch path (Core's predecoded lines) uses this to skip the set walk on
+  // the common all-hits stretch while keeping hit counts and LRU state
+  // exactly as the full walk would leave them.
+  struct LineRef {
+    void* line = nullptr;
+    uint64_t epoch = 0;
+  };
+
   // Tag lookup with fill-on-miss. Returns true on hit. On miss the line is
   // installed; `evicted_dirty` (if non-null) reports whether a dirty victim
   // was written back.
@@ -50,6 +61,37 @@ class Cache {
       }
     }
     return Fill(base, tag, is_write, fill_pinned, evicted_dirty);
+  }
+
+  // Replays a memoized read hit: true iff `ref` still points at a line the
+  // cache has not restructured since capture. Performs the same bookkeeping
+  // as the Access hit path for a clean read (LRU bump + hit count). Refuses
+  // to replay while pin ranges are installed: the full walk would also
+  // refresh the line's pinned bit, and that nuance is not worth memoizing.
+  bool FastHit(const LineRef& ref) {
+    if (ref.epoch != epoch_ || !pinned_ranges_.empty()) {
+      return false;
+    }
+    Line* line = static_cast<Line*>(ref.line);
+    line->lru = ++lru_clock_;
+    hits_++;
+    return true;
+  }
+
+  // Captures a ref for `addr` after a hit so the next access can FastHit.
+  // No-op (invalid ref) if the line is not actually present.
+  void CaptureRef(Addr addr, LineRef* ref) {
+    const uint32_t set = SetIndex(addr);
+    const Addr tag = TagOf(addr);
+    Line* base = &lines_[static_cast<size_t>(set) * config_.ways];
+    for (uint32_t w = 0; w < config_.ways; w++) {
+      if (base[w].valid && base[w].tag == tag) {
+        ref->line = &base[w];
+        ref->epoch = epoch_;
+        return;
+      }
+    }
+    ref->epoch = 0;
   }
 
   // Lookup without side effects.
@@ -107,6 +149,9 @@ class Cache {
   int set_shift_ = -1;  // log2(num_sets_) when a power of two, else -1
   std::vector<Line> lines_;  // num_sets_ * ways, set-major
   std::vector<std::pair<Addr, Addr>> pinned_ranges_;  // [base, end)
+  // Structural epoch for LineRef validation; starts at 1 so a default
+  // (zeroed) ref never replays.
+  uint64_t epoch_ = 1;
   uint64_t lru_clock_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

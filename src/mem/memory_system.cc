@@ -213,6 +213,16 @@ void MemorySystem::InvalidateForWrite(Addr addr, size_t len, CoreId writer) {
   }
 }
 
+Tick MemorySystem::FetchPredecodedMiss(CoreId core, Addr addr, Cache::LineRef* ref) {
+  Cache& l1i = *core_caches_[core].l1i;
+  const Tick hit = l1i.config().hit_latency;
+  const Tick lat = AccessLatency(core, addr, /*is_write=*/false, /*is_fetch=*/true);
+  if (lat == hit) {
+    l1i.CaptureRef(addr, ref);
+  }
+  return lat;
+}
+
 Tick MemorySystem::Read(CoreId core, Addr addr, size_t len, uint64_t* out) {
   stat_reads_++;
   const MmioRegion* mmio = FindMmio(addr);

@@ -89,6 +89,24 @@ class MemorySystem {
     }
     return AccessLatency(core, addr, /*is_write=*/false, /*is_fetch=*/true);
   }
+  // Fetch for a predecoded line (no functional read): identical stats and
+  // latency to Fetch(core, addr, nullptr), but replays the common L1I hit
+  // through the epoch-validated memo captured in `ref` (one compare + LRU
+  // bump instead of the set walk). On a miss — or whenever the memo is stale —
+  // it takes the full AccessLatency walk and re-captures on an L1 hit.
+  // The miss tail lives out of line (FetchPredecodedMiss) so this wrapper is
+  // small enough to inline into Core::StepInterpreted — on the all-hits
+  // stretch the whole fetch is the memo compare plus the LRU bump, with no
+  // call at all.
+  Tick FetchPredecoded(CoreId core, Addr addr, Cache::LineRef* ref) {
+    stat_fetches_++;
+    Cache& l1i = *core_caches_[core].l1i;
+    if (l1i.FastHit(*ref)) {
+      return l1i.config().hit_latency;
+    }
+    return FetchPredecodedMiss(core, addr, ref);
+  }
+
   // Atomic fetch-add (8 bytes): returns the old value via `old`. Charged as
   // a write plus a small RMW penalty; visible to the monitor filter.
   Tick AtomicAdd(CoreId core, Addr addr, uint64_t delta, uint64_t* old);
@@ -206,6 +224,9 @@ class MemorySystem {
   Cache& l3() { return *l3_; }
 
  private:
+  // Cold half of FetchPredecoded: the full latency walk plus memo re-capture.
+  Tick FetchPredecodedMiss(CoreId core, Addr addr, Cache::LineRef* ref);
+
   struct CoreCaches {
     std::unique_ptr<Cache> l1i;
     std::unique_ptr<Cache> l1d;

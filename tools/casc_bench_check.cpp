@@ -10,6 +10,7 @@
 // reporting silently breaks fails CI rather than producing an empty file.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -51,7 +52,10 @@ bool LoadJson(const std::string& path, JsonValue* out) {
 
 // {"bench": str, "smoke": bool, "results": [{experiment, config, metric,
 //  value}...]} — results must be non-empty and every value finite.
-void CheckBenchReport(const std::string& path) {
+// `interp_floor_minsts` > 0 additionally gates the t2_simhost "interp" row's
+// host throughput (Minsts/s) — the Release bench-smoke tier's perf
+// regression fence for the direct-threaded/fused engine (§4j).
+void CheckBenchReport(const std::string& path, double interp_floor_minsts) {
   JsonValue root;
   if (!LoadJson(path, &root)) {
     return;
@@ -134,13 +138,74 @@ void CheckBenchReport(const std::string& path) {
              "simhost config \"" + config + "\" missing positive \"sim_insts_per_sec\"");
       }
     }
-    // The host-parallel scaling sweep (DESIGN.md §4i) must be present: a
-    // refactor that silently dropped the sharded-engine rows would otherwise
+    // The host-parallel scaling sweep (DESIGN.md §4i) and the interpreter
+    // engine ablation ladder (§4j) must be present: a refactor that silently
+    // dropped the sharded-engine or dispatch/fusion rows would otherwise
     // still pass the per-config checks above.
     for (const char* required :
-         {"multicore8_ht1", "multicore8_ht2", "multicore8_ht4", "multicore8_ht8"}) {
+         {"multicore8_ht1", "multicore8_ht2", "multicore8_ht4", "multicore8_ht8", "interp",
+          "interp_threaded", "interp_fused", "interp_fused_nothreaded", "interp_nopredecode"}) {
       if (host_ms_ok.find(required) == host_ms_ok.end()) {
         Fail(path, "simhost sweep missing required config \"" + std::string(required) + "\"");
+      }
+    }
+    // The fused row must carry the per-pattern fusion-hit-rate stats (§4j):
+    // every fused_pairs_* count present and finite, and the overall pair
+    // rate present. The count-loop workload fuses its addi+bne pair, so the
+    // rate must also be strictly positive — a fusion pass that silently
+    // stopped matching would zero it.
+    bool rate_ok = false;
+    std::map<std::string, bool> pattern_ok = {{"fused_pairs_cmp_branch", false},
+                                              {"fused_pairs_load_alu", false},
+                                              {"fused_pairs_addi_store", false},
+                                              {"fused_pairs_monitor_mwait", false}};
+    for (const JsonValue& r : results->arr) {
+      if (!r.is_object()) {
+        continue;
+      }
+      const JsonValue* config = r.Find("config");
+      const JsonValue* metric = r.Find("metric");
+      const JsonValue* value = r.Find("value");
+      if (config == nullptr || !config->is_string() || config->str_v != "interp_fused" ||
+          metric == nullptr || !metric->is_string()) {
+        continue;
+      }
+      auto it = pattern_ok.find(metric->str_v);
+      if (it != pattern_ok.end() && IsFiniteNumber(value) && value->num_v >= 0) {
+        it->second = true;
+      }
+      if (metric->str_v == "fused_pair_rate" && IsFiniteNumber(value) && value->num_v > 0) {
+        rate_ok = true;
+      }
+    }
+    for (const auto& [metric, ok] : pattern_ok) {
+      if (!ok) {
+        Fail(path, "simhost config \"interp_fused\" missing \"" + metric + "\"");
+      }
+    }
+    if (!rate_ok) {
+      Fail(path, "simhost config \"interp_fused\" missing positive \"fused_pair_rate\"");
+    }
+    if (interp_floor_minsts > 0) {
+      double interp_minsts = -1;
+      for (const JsonValue& r : results->arr) {
+        if (!r.is_object()) {
+          continue;
+        }
+        const JsonValue* config = r.Find("config");
+        const JsonValue* metric = r.Find("metric");
+        const JsonValue* value = r.Find("value");
+        if (config != nullptr && config->is_string() && config->str_v == "interp" &&
+            metric != nullptr && metric->is_string() &&
+            metric->str_v == "sim_insts_per_sec" && IsFiniteNumber(value)) {
+          interp_minsts = value->num_v / 1e6;
+        }
+      }
+      if (interp_minsts < interp_floor_minsts) {
+        std::ostringstream msg;
+        msg << "simhost \"interp\" throughput " << interp_minsts << " Minsts/s below the floor "
+            << interp_floor_minsts << " (dispatch/fusion perf regression)";
+        Fail(path, msg.str());
       }
     }
   }
@@ -355,8 +420,13 @@ void CheckLintJson(const std::string& path) {
 
 int main(int argc, char** argv) {
   enum class Mode { kBench, kTrace, kStats, kLint } mode = Mode::kBench;
+  double interp_floor = 0;  // Minsts/s; 0 = no throughput gate
   int checked = 0;
   for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--interp-floor") == 0 && i + 1 < argc) {
+      interp_floor = std::atof(argv[++i]);
+      continue;
+    }
     if (std::strcmp(argv[i], "--trace") == 0) {
       mode = Mode::kTrace;
       continue;
@@ -371,7 +441,7 @@ int main(int argc, char** argv) {
     }
     switch (mode) {
       case Mode::kBench:
-        CheckBenchReport(argv[i]);
+        CheckBenchReport(argv[i], interp_floor);
         break;
       case Mode::kTrace:
         CheckChromeTrace(argv[i]);
@@ -387,7 +457,7 @@ int main(int argc, char** argv) {
   }
   if (checked == 0) {
     std::fprintf(stderr,
-                 "usage: casc-bench-check [--trace|--stats|--lint] <file.json> ...\n");
+                 "usage: casc-bench-check [--interp-floor <Minsts/s>] [--trace|--stats|--lint] <file.json> ...\n");
     return 2;
   }
   if (g_errors > 0) {

@@ -19,19 +19,28 @@ if [ ! -x "$bin" ]; then
 fi
 
 # The two-seed compare runs at every engine flavor — legacy (--host-threads=0)
-# and sharded with 1 and 4 host workers (DESIGN.md §4i) — and additionally
-# requires the *cross-engine* bytes to match: scenario machines are one-core,
-# so the sharded solo fast path must reproduce the legacy engine exactly.
+# and sharded with 1 and 4 host workers (DESIGN.md §4i), plus the interpreter
+# fallback engines (--no-fusion, and --no-fusion --no-threaded-dispatch;
+# DESIGN.md §4j) — and additionally requires the *cross-engine* bytes to
+# match: scenario machines are one-core, so the sharded solo fast path must
+# reproduce the legacy engine exactly, and dispatch/fusion are timing-neutral
+# so the interpreter engines must agree byte for byte too.
 fail=0
 for seed in 1 7; do
   ref=""
-  for ht in 0 1 4; do
-    a="$scratch/chaos.seed$seed.ht$ht.run1.json"
-    b="$scratch/chaos.seed$seed.ht$ht.run2.json"
-    "$bin" --scenario=all --seed="$seed" --host-threads="$ht" --stats-json="$a" > /dev/null
-    "$bin" --scenario=all --seed="$seed" --host-threads="$ht" --stats-json="$b" > /dev/null
+  for eng in "ht0" "ht1" "ht4" "nofusion" "legacy-dispatch"; do
+    case "$eng" in
+      ht*) flags="--host-threads=${eng#ht}" ;;
+      nofusion) flags="--host-threads=0 --no-fusion" ;;
+      legacy-dispatch) flags="--host-threads=0 --no-fusion --no-threaded-dispatch" ;;
+    esac
+    a="$scratch/chaos.seed$seed.$eng.run1.json"
+    b="$scratch/chaos.seed$seed.$eng.run2.json"
+    # shellcheck disable=SC2086  # flags is a deliberate word list
+    "$bin" --scenario=all --seed="$seed" $flags --stats-json="$a" > /dev/null
+    "$bin" --scenario=all --seed="$seed" $flags --stats-json="$b" > /dev/null
     if ! cmp -s "$a" "$b"; then
-      echo "chaos_determinism: seed $seed ht $ht stats dumps differ:" >&2
+      echo "chaos_determinism: seed $seed engine $eng stats dumps differ:" >&2
       diff "$a" "$b" >&2 || true
       fail=1
       continue
@@ -39,12 +48,12 @@ for seed in 1 7; do
     if [ -z "$ref" ]; then
       ref="$a"
     elif ! cmp -s "$ref" "$a"; then
-      echo "chaos_determinism: seed $seed ht $ht diverges from $ref:" >&2
+      echo "chaos_determinism: seed $seed engine $eng diverges from $ref:" >&2
       diff "$ref" "$a" >&2 || true
       fail=1
       continue
     fi
-    echo "chaos_determinism: seed $seed ht $ht ok ($(wc -c < "$a") bytes, byte-identical)"
+    echo "chaos_determinism: seed $seed engine $eng ok ($(wc -c < "$a") bytes, byte-identical)"
   done
 done
 exit "$fail"

@@ -6,6 +6,10 @@
 # chaos_smoke tier (every fault-injection scenario plus the seed-determinism
 # check). Memory errors in the simulator, the reference model, or the
 # fault-recovery paths surface here rather than as silent state divergence.
+# The direct-threaded dispatch engine and the fusion pass (DESIGN.md §4j) are
+# default-on, so every tier exercises the computed-goto table (when the
+# compiler supports it) and the fused-continuation hot path; the fuzz
+# lattice's nofusion / fused-nothreaded points cover the other engines.
 #
 # The `thread` tier builds with TSan and runs the tests labelled `tsan`: the
 # concurrency-analyzer suite, the monitor/mwait race fixtures, the sharded
