@@ -103,6 +103,7 @@ void ChaosEngine::SetRecovered(FaultRecord& r, Tick now) {
 }
 
 void ChaosEngine::NoteDetected(FaultClass cls, Tick now) {
+  std::lock_guard<std::mutex> lock(mu_);
   FaultRecord* r = FirstUndetected(cls);
   if (r != nullptr) {
     SetDetected(*r, now);
@@ -110,6 +111,7 @@ void ChaosEngine::NoteDetected(FaultClass cls, Tick now) {
 }
 
 void ChaosEngine::NoteRecovered(FaultClass cls, Tick now) {
+  std::lock_guard<std::mutex> lock(mu_);
   // Only records already past detection recover; an undetected loss being
   // "recovered" would invert the latency the engine is measuring.
   for (FaultRecord& r : records_) {
@@ -124,6 +126,7 @@ void ChaosEngine::FinishRun() {
   if (!machine_.halted()) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mu_);
   for (FaultRecord& r : records_) {
     if (r.recovered_at == 0) {
       r.halted = true;
@@ -148,15 +151,19 @@ void ChaosEngine::Arm() {
   bool want_nic = false;
   bool want_block = false;
   bool want_msix = false;
+  bool want_fabric = false;
   bool want_threads = false;
   for (const Campaign& c : campaigns_) {
     switch (c.config.fault) {
       case FaultClass::kNicDmaBadAddr: want_nic = true; break;
       case FaultClass::kBlockTimeout: want_block = true; break;
       case FaultClass::kMsixDoorbellDrop: want_msix = true; break;
+      case FaultClass::kFabricLinkFault: want_fabric = true; break;
       case FaultClass::kContextPoison:
       case FaultClass::kEdpUnwritable:
-      case FaultClass::kHandlerCrash: want_threads = true; break;
+      case FaultClass::kHandlerCrash:
+      case FaultClass::kMigrationCrash:
+      case FaultClass::kRemoteStartRace: want_threads = true; break;
     }
   }
   if (want_nic && nic_ != nullptr) {
@@ -167,6 +174,9 @@ void ChaosEngine::Arm() {
   }
   if (want_msix && msix_ != nullptr) {
     InstallMsixHooks();
+  }
+  if (want_fabric && fabric_ != nullptr) {
+    InstallFabricHooks();
   }
   if (want_threads) {
     InstallThreadHooks();
@@ -179,6 +189,7 @@ void ChaosEngine::InstallNicHooks() {
   // consumer sees a frame slot whose payload never arrived.
   machine_.mem().AddUnwritableRange(kDmaHoleBase, kDmaHoleSize);
   nic_->SetRxBufHook([this](uint32_t, Addr buf) -> Addr {
+    std::lock_guard<std::mutex> lock(mu_);
     const Tick now = machine_.sim().now();
     for (Campaign& c : campaigns_) {
       if (c.config.fault == FaultClass::kNicDmaBadAddr && ShouldFire(c, now)) {
@@ -192,6 +203,7 @@ void ChaosEngine::InstallNicHooks() {
 
 void ChaosEngine::InstallBlockHooks() {
   block_->SetCompletionFaultHook([this](const BlockCommand&, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu_);
     const Tick now = machine_.sim().now();
     for (Campaign& c : campaigns_) {
       if (c.config.fault == FaultClass::kBlockTimeout && ShouldFire(c, now)) {
@@ -204,6 +216,7 @@ void ChaosEngine::InstallBlockHooks() {
   // A doorbell ring while a swallowed completion is outstanding is the
   // driver's deadline expiring and resubmitting: detection.
   block_->SetDoorbellObserver([this](uint64_t) {
+    std::lock_guard<std::mutex> lock(mu_);
     FaultRecord* r = FirstUndetected(FaultClass::kBlockTimeout);
     if (r != nullptr) {
       SetDetected(*r, machine_.sim().now());
@@ -217,6 +230,7 @@ void ChaosEngine::InstallBlockHooks() {
 
 void ChaosEngine::InstallMsixHooks() {
   msix_->SetDropHook([this](uint32_t) {
+    std::lock_guard<std::mutex> lock(mu_);
     const Tick now = machine_.sim().now();
     for (Campaign& c : campaigns_) {
       if (c.config.fault == FaultClass::kMsixDoorbellDrop && ShouldFire(c, now)) {
@@ -231,6 +245,7 @@ void ChaosEngine::InstallMsixHooks() {
   // value. Detection is normally noted earlier by the consumer's watchdog
   // (NoteDetected); if it never was, charge both here.
   msix_->SetDeliveryObserver([this](uint32_t, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu_);
     FaultRecord* r = FirstUnrecovered(FaultClass::kMsixDoorbellDrop);
     if (r != nullptr) {
       SetRecovered(*r, machine_.sim().now());
@@ -238,10 +253,111 @@ void ChaosEngine::InstallMsixHooks() {
   });
 }
 
+void ChaosEngine::InstallFabricHooks() {
+  // --- fabric-link-fault: drop or delay a frame in transit -----------------
+  // The victim ptid is 0 (links have no thread); record matching stays
+  // unambiguous because at most one link fault is outstanding per campaign
+  // budget and recovery is keyed on route order, which is deterministic per
+  // transmitting shard.
+  fabric_->SetLinkFaultHook([this](uint64_t, uint64_t) -> int64_t {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Tick now = machine_.sim().now();
+    for (Campaign& c : campaigns_) {
+      if (c.config.fault != FaultClass::kFabricLinkFault || !ShouldFire(c, now)) {
+        continue;
+      }
+      Inject(FaultClass::kFabricLinkFault, 0, now);
+      // Drop and delay are the two physical flavors of a flaky link; the
+      // engine's private RNG picks so workload RNG streams never move.
+      if (rng_.NextBool(0.5)) {
+        return -1;
+      }
+      return static_cast<int64_t>(c.config.link_delay);
+    }
+    return 0;
+  });
+  // The next frame the fabric commits to deliver closes the loss window:
+  // sequence numbers advance past the gap (detection is normally noted
+  // earlier by the consumer's gap check via NoteDetected; if it never was,
+  // recovery charges both). Same-tick self-matches are skipped so a delayed
+  // frame does not "recover" the very fault that delayed it.
+  fabric_->SetDeliveryObserver([this](uint64_t, uint64_t) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Tick now = machine_.sim().now();
+    for (FaultRecord& r : records_) {
+      if (r.cls == FaultClass::kFabricLinkFault && r.recovered_at == 0 &&
+          r.injected_at < now) {
+        SetRecovered(r, now);
+        return;
+      }
+    }
+  });
+}
+
 void ChaosEngine::InstallThreadHooks() {
   ThreadSystem& ts = machine_.threads();
+  // --- migration-crash: kill the migration engine mid-rpull/rpush ---------
+  ts.SetMigrationFaultHook([this](Ptid issuer, Ptid, bool) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Tick now = machine_.sim().now();
+    for (Campaign& c : campaigns_) {
+      if (c.config.fault == FaultClass::kMigrationCrash && TargetsMatch(c, issuer) &&
+          ShouldFire(c, now)) {
+        // The issuer is the victim: it raises kMigrationAbort when we return
+        // true (the target stays disabled and untouched).
+        Inject(FaultClass::kMigrationCrash, issuer, now);
+        return true;
+      }
+    }
+    return false;
+  });
+  // --- remote-start-race: revoke a cross-core start shortly after issue ---
+  ts.SetRemoteStartObserver([this](Ptid, Ptid target) {
+    Tick delay = 0;
+    bool fire = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const Tick now = machine_.sim().now();
+      for (Campaign& c : campaigns_) {
+        if (c.config.fault != FaultClass::kRemoteStartRace || !TargetsMatch(c, target)) {
+          continue;
+        }
+        if (!ShouldFire(c, now)) {
+          continue;
+        }
+        Inject(FaultClass::kRemoteStartRace, target, now);
+        delay = c.config.collision_delay;
+        fire = true;
+        break;
+      }
+    }
+    if (!fire) {
+      return;
+    }
+    machine_.sim().queue().ScheduleFnAfter(delay, [this, target] {
+      ThreadSystem& sys = machine_.threads();
+      if (sys.halted()) {
+        return;
+      }
+      {
+        // The collision lands now: that is the architecturally visible
+        // detection point (the worker everyone believes is running is gone).
+        std::lock_guard<std::mutex> lock(mu_);
+        const Tick now = machine_.sim().now();
+        for (FaultRecord& r : records_) {
+          if (r.cls == FaultClass::kRemoteStartRace && r.ptid == target &&
+              r.detected_at == 0) {
+            SetDetected(r, now);
+            break;
+          }
+        }
+      }
+      sys.HostStop(target);
+    });
+  });
   // --- context poison: corrupt a context image mid-restore ----------------
   ts.SetRestoreFaultHook([this](Ptid ptid) {
+    std::lock_guard<std::mutex> lock(mu_);
     const Tick now = machine_.sim().now();
     for (Campaign& c : campaigns_) {
       if (c.config.fault == FaultClass::kContextPoison && TargetsMatch(c, ptid) &&
@@ -253,11 +369,21 @@ void ChaosEngine::InstallThreadHooks() {
     return false;
   });
   ts.AddExceptionObserver([this](Ptid ptid, ExceptionType type, Addr, uint32_t depth) {
+    std::lock_guard<std::mutex> lock(mu_);
     const Tick now = machine_.sim().now();
     // Poison detected: the hardware raised kContextPoison on the victim.
     if (type == ExceptionType::kContextPoison) {
       for (FaultRecord& r : records_) {
         if (r.cls == FaultClass::kContextPoison && r.ptid == ptid && r.detected_at == 0) {
+          SetDetected(r, now);
+          break;
+        }
+      }
+    }
+    // Migration crash detected: the issuer raised kMigrationAbort.
+    if (type == ExceptionType::kMigrationAbort) {
+      for (FaultRecord& r : records_) {
+        if (r.cls == FaultClass::kMigrationCrash && r.ptid == ptid && r.detected_at == 0) {
           SetDetected(r, now);
           break;
         }
@@ -296,11 +422,19 @@ void ChaosEngine::InstallThreadHooks() {
     }
   });
   ts.AddDeliveryObserver([this](const ExceptionDescriptor& d, Addr, uint32_t depth) {
+    std::lock_guard<std::mutex> lock(mu_);
     const Tick now = machine_.sim().now();
     // An escalated descriptor landing means a live handler now knows about
-    // the sunk fault: the chain absorbed it.
+    // the sunk fault: the chain absorbed it. (Inlined NoteRecovered — we
+    // already hold the engine lock.)
     if (depth > 0) {
-      NoteRecovered(FaultClass::kEdpUnwritable, now);
+      for (FaultRecord& r : records_) {
+        if (r.cls == FaultClass::kEdpUnwritable && r.detected_at != 0 &&
+            r.recovered_at == 0) {
+          SetRecovered(r, now);
+          break;
+        }
+      }
     }
     // A crashed handler's own descriptor landing at its parent = detection.
     for (FaultRecord& r : records_) {
@@ -311,10 +445,12 @@ void ChaosEngine::InstallThreadHooks() {
     }
   });
   ts.AddWakeObserver([this](Ptid ptid, TraceCause cause) {
+    std::lock_guard<std::mutex> lock(mu_);
     const Tick now = machine_.sim().now();
     // Recovery for thread-victim classes: the victim is runnable again.
     for (FaultRecord& r : records_) {
-      if ((r.cls == FaultClass::kContextPoison || r.cls == FaultClass::kHandlerCrash) &&
+      if ((r.cls == FaultClass::kContextPoison || r.cls == FaultClass::kHandlerCrash ||
+           r.cls == FaultClass::kMigrationCrash || r.cls == FaultClass::kRemoteStartRace) &&
           r.ptid == ptid && r.detected_at != 0 && r.recovered_at == 0) {
         SetRecovered(r, now);
       }
@@ -337,7 +473,12 @@ void ChaosEngine::InstallThreadHooks() {
         if (sys.halted() || sys.thread(ptid).state() == ThreadState::kDisabled) {
           return;
         }
-        Inject(FaultClass::kHandlerCrash, ptid, machine_.sim().now());
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          Inject(FaultClass::kHandlerCrash, ptid, machine_.sim().now());
+        }
+        // Raised outside the lock: the raise re-enters our own exception
+        // observer, which takes the lock afresh.
         sys.RaiseException(ptid, ExceptionType::kIllegalInstruction, 0, /*errcode=*/0xc4a05);
       });
     }

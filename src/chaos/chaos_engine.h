@@ -10,12 +10,14 @@
 #define SRC_CHAOS_CHAOS_ENGINE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "src/chaos/fault.h"
 #include "src/chaos/schedule.h"
 #include "src/cpu/machine.h"
 #include "src/dev/block_dev.h"
+#include "src/dev/fabric.h"
 #include "src/dev/msix.h"
 #include "src/dev/nic.h"
 #include "src/hwt/tracer.h"
@@ -32,6 +34,13 @@ struct CampaignConfig {
   // Handler-crash: cycles between the handler's wake and its injected fault
   // (models a crash partway through descriptor service).
   Tick crash_delay = 10;
+  // Remote-start-race: cycles between the observed cross-core start and the
+  // injected colliding stop. Kept past the interconnect hop so the start's
+  // wake always lands first and the collision is a true revocation.
+  Tick collision_delay = 90;
+  // Fabric-link-fault: extra wire latency for the delay flavor (the drop
+  // flavor loses the frame outright; the engine's RNG picks per injection).
+  Tick link_delay = 20000;
 };
 
 class ChaosEngine {
@@ -52,6 +61,7 @@ class ChaosEngine {
   void AttachNic(Nic* nic) { nic_ = nic; }
   void AttachBlock(BlockDevice* block) { block_ = block; }
   void AttachMsix(MsixBridge* msix) { msix_ = msix; }
+  void AttachFabric(Fabric* fabric) { fabric_ = fabric; }
   // Chaos marks ("chaos:inject:<class>" / ":detect:" / ":recover:") land on
   // the victim ptid's track as Chrome-trace instant events.
   void SetTracer(ThreadTracer* tracer) { tracer_ = tracer; }
@@ -109,13 +119,23 @@ class ChaosEngine {
   void InstallNicHooks();
   void InstallBlockHooks();
   void InstallMsixHooks();
+  void InstallFabricHooks();
   void InstallThreadHooks();
 
   Machine& machine_;
   Rng rng_;  // private stream: injection choices never perturb workload RNG
+  // Engine state is mutated from injection hooks and observers, which on a
+  // sharded machine (host_threads >= 2) fire from concurrent shard workers.
+  // Hooks take this lock around record/counter/RNG mutation and release it
+  // before calling back into the thread system (whose observers re-enter the
+  // engine and take it afresh). Aggregate determinism survives the lock
+  // because every record match is keyed (by class + victim ptid), never by
+  // arrival order.
+  std::mutex mu_;
   Nic* nic_ = nullptr;
   BlockDevice* block_ = nullptr;
   MsixBridge* msix_ = nullptr;
+  Fabric* fabric_ = nullptr;
   ThreadTracer* tracer_ = nullptr;
   std::vector<Campaign> campaigns_;
   std::vector<FaultRecord> records_;

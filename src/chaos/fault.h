@@ -17,9 +17,19 @@ enum class FaultClass : uint8_t {
   kContextPoison = 3,     // context image corrupted during a tier restore
   kEdpUnwritable = 4,     // descriptor write lands on an unwritable page
   kHandlerCrash = 5,      // handler ptid faults while servicing a descriptor
+  kFabricLinkFault = 6,   // inter-node fabric frame dropped or delayed in flight
+  kMigrationCrash = 7,    // migration engine dies mid-rpull/rpush tier move
+  kRemoteStartRace = 8,   // injected stop collides with a cross-core start
 };
 
-inline constexpr uint32_t kNumFaultClasses = 6;
+inline constexpr uint32_t kNumFaultClasses = 9;
+
+// The cross-core subset: faults that only make sense on machines with more
+// than one simulated core (fabric links, remote migration, remote start).
+inline constexpr bool IsCrossCoreFault(FaultClass cls) {
+  return cls == FaultClass::kFabricLinkFault || cls == FaultClass::kMigrationCrash ||
+         cls == FaultClass::kRemoteStartRace;
+}
 
 inline const char* FaultClassName(FaultClass cls) {
   switch (cls) {
@@ -29,6 +39,9 @@ inline const char* FaultClassName(FaultClass cls) {
     case FaultClass::kContextPoison: return "context-poison";
     case FaultClass::kEdpUnwritable: return "edp-unwritable";
     case FaultClass::kHandlerCrash: return "handler-crash";
+    case FaultClass::kFabricLinkFault: return "fabric-link-fault";
+    case FaultClass::kMigrationCrash: return "migration-crash";
+    case FaultClass::kRemoteStartRace: return "remote-start-race";
   }
   return "?";
 }

@@ -5,6 +5,7 @@
 
 #include "src/dev/apic_timer.h"
 #include "src/dev/block_dev.h"
+#include "src/dev/fabric.h"
 #include "src/dev/msix.h"
 #include "src/dev/nic.h"
 #include "src/runtime/recovery.h"
@@ -587,14 +588,349 @@ ScenarioOutcome RunHandlerCrashScenario(const ScenarioOptions& opts, bool want_t
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// fabric-link-fault: a frame crossing the two-node fabric is dropped or
+// delayed in transit. The client (a host-side load generator on node 1)
+// sends sequence-numbered requests to the server NIC on node 2, homed on
+// core 1; the server's sequence check spots the gap (drop) or reordering
+// (delay), and the next frame the fabric commits to deliver closes the
+// recovery window. Lost requests are reaped by a timeout sweep.
+// ---------------------------------------------------------------------------
+ScenarioOutcome RunFabricLinkScenario(const ScenarioOptions& opts, bool want_trace) {
+  ScenarioOutcome out;
+  out.name = FaultClassName(FaultClass::kFabricLinkFault);
+
+  constexpr uint64_t kClientNode = 1;
+  constexpr uint64_t kServerNode = 2;
+  constexpr Addr kClientMmio = 0xf0000000;
+  constexpr Addr kServerMmio = 0xf0100000;
+  constexpr Addr kRing = 0x40000;
+  constexpr Addr kTail = 0x48000;
+  constexpr Addr kBufBase = 0x50000;
+  constexpr uint64_t kRingSize = 32;
+  constexpr uint64_t kBufStride = 2048;
+  constexpr Tick kGap = 2'500;       // inter-frame gap
+  constexpr Tick kTimeout = 80'000;  // per-request deadline (covers the delay flavor)
+
+  MachineConfig mc;
+  mc.seed = opts.seed;
+  mc.num_cores = 2;
+  Machine machine(mc);
+  ThreadTracer tracer;
+  machine.threads().SetTracer(&tracer);
+  Simulation& sim = machine.sim();
+
+  NicConfig client_cfg;
+  client_cfg.mmio_base = kClientMmio;
+  client_cfg.home_core = 0;
+  Nic client_nic(sim, machine.mem(), client_cfg);
+  NicConfig server_cfg;
+  server_cfg.mmio_base = kServerMmio;
+  server_cfg.home_core = 1;
+  Nic server_nic(sim, machine.mem(), server_cfg);
+  Fabric fabric(sim, FabricConfig{});
+  fabric.Attach(kClientNode, &client_nic);
+  fabric.Attach(kServerNode, &server_nic);
+
+  ChaosEngine engine(machine, opts.seed);
+  engine.AttachFabric(&fabric);
+  engine.SetTracer(&tracer);
+  CampaignConfig campaign;
+  campaign.fault = FaultClass::kFabricLinkFault;
+  campaign.schedule = PickSchedule(opts, InjectionSchedule::EveryN(3));
+  campaign.max_faults = opts.faults;
+  engine.AddCampaign(campaign);
+  engine.Arm();
+
+  LatencyRecorder recorder;
+  struct ServerState {
+    uint64_t head = 0;
+    uint64_t next_seq = 1;  // next in-order sequence number expected
+    uint64_t gaps = 0;
+  };
+  ServerState srv;
+
+  // Server on core 1 (the server NIC's home core, as §4i placement
+  // requires): consume frames, check the sequence, flag any anomaly.
+  NativeProgram server = [&](GuestContext& ctx) -> GuestTask {
+    for (uint64_t i = 0; i < kRingSize; i++) {
+      const Addr d = kRing + i * NicDescriptor::kBytes;
+      co_await ctx.Store(d, kBufBase + i * kBufStride, 8);
+      co_await ctx.Store(d + 8, kBufStride, 4);
+      co_await ctx.Store(d + 12, 0, 4);
+    }
+    co_await ctx.Store(kServerMmio + kNicRxBase, kRing, 8);
+    co_await ctx.Store(kServerMmio + kNicRxSize, kRingSize, 8);
+    co_await ctx.Store(kServerMmio + kNicRxTailAddr, kTail, 8);
+    for (;;) {
+      co_await ctx.Monitor(kTail);
+      const uint64_t tail = co_await ctx.Load(kTail, 8);
+      if (tail == srv.head) {
+        co_await ctx.Mwait();
+        continue;
+      }
+      while (srv.head < tail) {
+        const Addr buf = kBufBase + (srv.head % kRingSize) * kBufStride;
+        // Payload sits past the 16-byte fabric header.
+        const uint64_t seq = co_await ctx.Load(buf + FabricHeader::kBytes, 8);
+        co_await ctx.Compute(200);  // per-request service work
+        if (seq != srv.next_seq) {
+          // A skipped sequence number (drop) or a stale one arriving late
+          // (delay): either way the link misbehaved.
+          srv.gaps++;
+          engine.NoteDetected(FaultClass::kFabricLinkFault, sim.now());
+        }
+        if (seq >= srv.next_seq) {
+          srv.next_seq = seq + 1;
+        }
+        recorder.OnReceive(seq, sim.now());
+        srv.head++;
+        co_await ctx.Store(kServerMmio + kNicRxHead, srv.head, 8);
+      }
+    }
+  };
+  machine.Start(machine.BindNative(1, 0, server, /*supervisor=*/true));
+
+  // Client load generator: fixed-rate sequence-numbered frames from node 1,
+  // plus a timeout sweep reaping the ones the link ate.
+  uint64_t next_seq = 1;
+  LambdaEvent<std::function<void()>> inject_ev([&] {
+    std::vector<uint8_t> frame(FabricHeader::kBytes + 16);
+    FabricHeader h;
+    h.dst = kServerNode;
+    h.src = kClientNode;
+    h.WriteTo(&frame);
+    const uint64_t seq = next_seq++;
+    std::memcpy(frame.data() + FabricHeader::kBytes, &seq, 8);
+    recorder.OnSend(seq, sim.now(), /*service=*/200);
+    fabric.InjectFrom(kClientNode, frame);
+    sim.queue().ScheduleAfter(&inject_ev, kGap);
+  });
+  LambdaEvent<std::function<void()>> sweep_ev([&] {
+    recorder.SweepTimeouts(sim.now(), kTimeout);
+    sim.queue().ScheduleAfter(&sweep_ev, kTimeout / 4);
+  });
+  sim.queue().Schedule(&inject_ev, 1'000);
+  sim.queue().Schedule(&sweep_ev, kTimeout);
+
+  machine.RunFor(opts.duration);
+  FillCommon(out, machine, engine, FaultClass::kFabricLinkFault, tracer, want_trace);
+  out.completed = recorder.completed();
+  out.timeouts = recorder.timed_out();
+  out.drops = recorder.timed_out();
+  out.bad_frames = srv.gaps;
+  ExpectRecovering(out);
+  Expect(out, out.completed > 0, "no requests completed");
+  out.ok = out.why_not_ok.empty();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// migration-crash: the migration engine dies partway through an rpull/rpush
+// tier move. The manager on core 0 shuttles register state in and out of a
+// dormant pool on core 1; an injected crash raises kMigrationAbort on the
+// manager (the target stays disabled and untouched — the move is
+// transactional), and the handler watching the manager's EDP restarts it.
+// ---------------------------------------------------------------------------
+ScenarioOutcome RunMigrationCrashScenario(const ScenarioOptions& opts, bool want_trace) {
+  ScenarioOutcome out;
+  out.name = FaultClassName(FaultClass::kMigrationCrash);
+
+  constexpr uint32_t kDormants = 4;
+  constexpr Addr kManagerEdp = 0x30000;
+  constexpr Addr kHandlerEdp = 0x30100;
+
+  MachineConfig mc;
+  mc.seed = opts.seed;
+  mc.num_cores = 2;
+  Machine machine(mc);
+  ThreadTracer tracer;
+  machine.threads().SetTracer(&tracer);
+
+  // The dormant pool: disabled hardware threads on core 1 whose registers
+  // the manager reads and writes remotely. They never run — rpull/rpush
+  // require the "stably disabled" contract — so they need no program.
+  std::vector<Ptid> dormants;
+  for (uint32_t i = 0; i < kDormants; i++) {
+    dormants.push_back(machine.threads().PtidOf(1, i));
+  }
+
+  struct ManagerState {
+    uint64_t moves = 0;  // completed pull+push round trips
+  };
+  ManagerState ms;
+  NativeProgram manager = [&, dormants](GuestContext& ctx) -> GuestTask {
+    // Re-invoked fresh after every restart; `ms` persists across crashes.
+    for (uint64_t round = 1;; round++) {
+      for (const Ptid d : dormants) {
+        for (uint32_t reg = 1; reg <= 4; reg++) {
+          const uint64_t v = co_await ctx.Rpull(d, reg);
+          co_await ctx.Rpush(d, reg, v + round);
+        }
+        co_await ctx.Compute(300);
+        ms.moves++;
+      }
+    }
+  };
+  const Ptid manager_ptid =
+      machine.BindNative(0, 1, manager, /*supervisor=*/true, kManagerEdp);
+
+  HandlerStats hstats;
+  HandlerPolicy hpolicy;
+  hpolicy.max_restarts_per_ward = 64;
+  NativeProgram handler = [&, manager_ptid](GuestContext& ctx) -> GuestTask {
+    return FaultHandlerLoop(ctx, {{manager_ptid, kManagerEdp}}, hpolicy, &hstats);
+  };
+  const Ptid handler_ptid =
+      machine.BindNative(0, 0, handler, /*supervisor=*/true, kHandlerEdp);
+
+  ChaosEngine engine(machine, opts.seed);
+  engine.SetTracer(&tracer);
+  CampaignConfig campaign;
+  campaign.fault = FaultClass::kMigrationCrash;
+  campaign.schedule = PickSchedule(opts, InjectionSchedule::EveryN(5));
+  campaign.max_faults = opts.faults;
+  campaign.targets = {manager_ptid};
+  engine.AddCampaign(campaign);
+  engine.Arm();
+
+  machine.Start(handler_ptid);
+  machine.Start(manager_ptid);
+
+  machine.RunFor(opts.duration);
+  FillCommon(out, machine, engine, FaultClass::kMigrationCrash, tracer, want_trace);
+  out.completed = ms.moves;
+  out.retries = hstats.restarts;
+  ExpectRecovering(out);
+  Expect(out, out.completed > 0, "no tier moves completed");
+  Expect(out, hstats.restarts > 0, "the handler never restarted the manager");
+  out.ok = out.why_not_ok.empty();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// remote-start-race: a cross-core start collides with a stop — the freshly
+// started worker is revoked before it makes progress. The manager on core 0
+// starts a worker on core 1 and waits on a done-counter line with an APIC
+// timer as deadline (mwait has no timeout); when the worker is silently
+// stopped mid-job, the deadline expires and the manager re-issues the start,
+// whose wake closes the recovery window.
+// ---------------------------------------------------------------------------
+ScenarioOutcome RunRemoteStartRaceScenario(const ScenarioOptions& opts, bool want_trace) {
+  ScenarioOutcome out;
+  out.name = FaultClassName(FaultClass::kRemoteStartRace);
+
+  constexpr Addr kDone = 0x70000;
+  constexpr Addr kTimerLine = 0x70040;
+  constexpr Tick kDeadline = 20'000;  // worker job is ~2k cycles
+
+  MachineConfig mc;
+  mc.seed = opts.seed;
+  mc.num_cores = 2;
+  Machine machine(mc);
+  ThreadTracer tracer;
+  machine.threads().SetTracer(&tracer);
+  Simulation& sim = machine.sim();
+  ApicTimerConfig tc;
+  tc.period = 4'000;
+  tc.counter_addr = kTimerLine;
+  ApicTimer timer(sim, machine.mem(), tc);
+  timer.StartTimer();
+
+  // Worker on core 1: one job per start, then stop-self. A revoked start
+  // kills it mid-Compute, before the done counter moves.
+  NativeProgram worker = [&](GuestContext& ctx) -> GuestTask {
+    co_await ctx.Compute(2'000);
+    co_await ctx.AtomicAdd(kDone, 1);
+    co_await ctx.StopSelf();
+  };
+  const Ptid worker_ptid = machine.BindNative(1, 0, worker, /*supervisor=*/true);
+
+  struct ManagerState {
+    uint64_t jobs = 0;
+    uint64_t retries = 0;  // starts re-issued after a blown deadline
+  };
+  ManagerState ms;
+  NativeProgram manager = [&, worker_ptid](GuestContext& ctx) -> GuestTask {
+    for (;;) {
+      const uint64_t before = co_await ctx.Load(kDone, 8);
+      co_await ctx.Start(worker_ptid);
+      uint64_t deadline = (co_await ctx.ReadCsr(Csr::kCycle)) + kDeadline;
+      for (;;) {
+        // Arm both lines before the check so a completion between the load
+        // and the mwait flags the wait as already satisfied.
+        co_await ctx.Monitor(kDone);
+        co_await ctx.Monitor(kTimerLine);
+        const uint64_t done = co_await ctx.Load(kDone, 8);
+        if (done > before) {
+          ms.jobs++;
+          break;
+        }
+        const uint64_t now = co_await ctx.ReadCsr(Csr::kCycle);
+        if (now >= deadline) {
+          // The start was revoked: the worker is stopped and the job never
+          // ran. Re-issue the start (a no-op if the worker is alive).
+          ms.retries++;
+          co_await ctx.Start(worker_ptid);
+          deadline = now + kDeadline;
+        }
+        co_await ctx.Mwait();
+      }
+    }
+  };
+  const Ptid manager_ptid = machine.BindNative(0, 0, manager, /*supervisor=*/true);
+
+  ChaosEngine engine(machine, opts.seed);
+  engine.SetTracer(&tracer);
+  CampaignConfig campaign;
+  campaign.fault = FaultClass::kRemoteStartRace;
+  campaign.schedule = PickSchedule(opts, InjectionSchedule::EveryN(4));
+  campaign.max_faults = opts.faults;
+  campaign.targets = {worker_ptid};
+  engine.AddCampaign(campaign);
+  engine.Arm();
+
+  machine.Start(manager_ptid);
+
+  machine.RunFor(opts.duration);
+  FillCommon(out, machine, engine, FaultClass::kRemoteStartRace, tracer, want_trace);
+  out.completed = ms.jobs;
+  out.retries = ms.retries;
+  out.timeouts = ms.retries;  // each retry is a deadline that expired
+  ExpectRecovering(out);
+  Expect(out, out.completed > 0, "no jobs completed");
+  Expect(out, ms.retries > 0, "the manager never re-issued a revoked start");
+  out.ok = out.why_not_ok.empty();
+  return out;
+}
+
 }  // namespace
 
 const std::vector<FaultClass>& AllScenarioClasses() {
   static const std::vector<FaultClass> kAll = {
+      FaultClass::kNicDmaBadAddr,  FaultClass::kBlockTimeout,  FaultClass::kMsixDoorbellDrop,
+      FaultClass::kContextPoison,  FaultClass::kEdpUnwritable, FaultClass::kHandlerCrash,
+      FaultClass::kFabricLinkFault, FaultClass::kMigrationCrash,
+      FaultClass::kRemoteStartRace,
+  };
+  return kAll;
+}
+
+const std::vector<FaultClass>& CrossCoreScenarioClasses() {
+  static const std::vector<FaultClass> kCross = {
+      FaultClass::kFabricLinkFault,
+      FaultClass::kMigrationCrash,
+      FaultClass::kRemoteStartRace,
+  };
+  return kCross;
+}
+
+const std::vector<FaultClass>& SingleCoreScenarioClasses() {
+  static const std::vector<FaultClass> kSingle = {
       FaultClass::kNicDmaBadAddr, FaultClass::kBlockTimeout, FaultClass::kMsixDoorbellDrop,
       FaultClass::kContextPoison, FaultClass::kEdpUnwritable, FaultClass::kHandlerCrash,
   };
-  return kAll;
+  return kSingle;
 }
 
 ScenarioOutcome RunScenario(FaultClass cls, const ScenarioOptions& opts, bool want_trace) {
@@ -611,6 +947,12 @@ ScenarioOutcome RunScenario(FaultClass cls, const ScenarioOptions& opts, bool wa
       return RunEdpScenario(opts, want_trace);
     case FaultClass::kHandlerCrash:
       return RunHandlerCrashScenario(opts, want_trace);
+    case FaultClass::kFabricLinkFault:
+      return RunFabricLinkScenario(opts, want_trace);
+    case FaultClass::kMigrationCrash:
+      return RunMigrationCrashScenario(opts, want_trace);
+    case FaultClass::kRemoteStartRace:
+      return RunRemoteStartRaceScenario(opts, want_trace);
   }
   ScenarioOutcome out;
   out.name = "unknown";

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "src/dev/nic.h"
@@ -64,12 +65,26 @@ class Fabric {
   uint64_t frames_dropped() const { return frames_dropped_.load(std::memory_order_relaxed); }
   uint64_t frames_lost() const { return frames_lost_.load(std::memory_order_relaxed); }
 
+  // Chaos-engine link-fault hook, consulted once per routable frame (after
+  // dst lookup, before the loss roll). Return < 0 to drop the frame in
+  // transit (counted in frames_lost), 0 to leave it alone, or > 0 extra
+  // ticks of wire delay. Runs on whichever shard transmitted.
+  using LinkFaultHook = std::function<int64_t(uint64_t src, uint64_t dst)>;
+  void SetLinkFaultHook(LinkFaultHook fn) { link_fault_hook_ = std::move(fn); }
+  // Observes every frame the fabric commits to deliver (at route time, on
+  // the transmitting shard). The chaos engine closes a link-fault's recovery
+  // window on the next delivered frame.
+  using DeliveryObserver = std::function<void(uint64_t src, uint64_t dst)>;
+  void SetDeliveryObserver(DeliveryObserver fn) { delivery_observer_ = std::move(fn); }
+
  private:
   void Route(uint64_t src_node, const std::vector<uint8_t>& frame);
 
   Simulation& sim_;
   FabricConfig config_;
   std::vector<std::pair<uint64_t, Nic*>> nodes_;
+  LinkFaultHook link_fault_hook_;
+  DeliveryObserver delivery_observer_;
   // Counters are commutative sums: relaxed increments keep the final values
   // deterministic when TX handlers route from concurrent shards.
   std::atomic<uint64_t> frames_routed_{0};

@@ -16,6 +16,7 @@ const char* ExceptionTypeName(ExceptionType type) {
     case ExceptionType::kSyscall: return "syscall";
     case ExceptionType::kHypercall: return "hypercall";
     case ExceptionType::kContextPoison: return "context-poison";
+    case ExceptionType::kMigrationAbort: return "migration-abort";
   }
   return "?";
 }

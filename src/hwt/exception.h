@@ -24,9 +24,11 @@ enum class ExceptionType : uint32_t {
   kSyscall = 9,                // software-raised (used by baseline-style traps)
   kHypercall = 10,             // software-raised by guest code
   kContextPoison = 11,         // corrupted context image detected on restore
+  kMigrationAbort = 12,        // migration engine died mid-rpull/rpush; the
+                               // issuer faults, the target stays disabled
 };
 
-inline constexpr uint32_t kNumExceptionTypes = 12;
+inline constexpr uint32_t kNumExceptionTypes = 13;
 
 const char* ExceptionTypeName(ExceptionType type);
 

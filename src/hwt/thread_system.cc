@@ -236,6 +236,9 @@ OpResult ThreadSystem::Start(Ptid issuer, Vtid vtid) {
   }
   const bool remote = target.core() != thread(issuer).core();
   MakeRunnable(t.ptid, remote ? config_.remote_start_cycles : 0);
+  if (remote && remote_start_observer_) {
+    remote_start_observer_(issuer, t.ptid);
+  }
   if (chb_ != nullptr) {
     chb_->OnThreadStart(issuer, t.ptid);
   }
@@ -310,6 +313,11 @@ OpResult ThreadSystem::Rpull(Ptid issuer, Vtid vtid, uint32_t remote_reg) {
     RaiseException(issuer, ExceptionType::kIllegalInstruction, 0, remote_reg);
     return result;
   }
+  if (migration_fault_hook_ && migration_fault_hook_(issuer, t.ptid, /*is_push=*/false)) {
+    result.ok = false;
+    RaiseException(issuer, ExceptionType::kMigrationAbort, 0, t.ptid);
+    return result;
+  }
   result.value = *slot;
   if (chb_ != nullptr) {
     chb_->OnRpull(issuer, t.ptid);
@@ -344,6 +352,11 @@ OpResult ThreadSystem::Rpush(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64
       !issuer_t.arch().is_supervisor()) {
     result.ok = false;
     RaiseException(issuer, ExceptionType::kPrivilegedInstruction, 0, remote_reg);
+    return result;
+  }
+  if (migration_fault_hook_ && migration_fault_hook_(issuer, t.ptid, /*is_push=*/true)) {
+    result.ok = false;
+    RaiseException(issuer, ExceptionType::kMigrationAbort, 0, t.ptid);
     return result;
   }
   if (is_gpr) {
@@ -704,6 +717,15 @@ void ThreadSystem::Disable(Ptid ptid, TraceCause cause) {
   if (chb_ != nullptr) {
     chb_->OnThreadDisabled(ptid);
   }
+}
+
+void ThreadSystem::HostStop(Ptid ptid, TraceCause cause) {
+  if (CrossShardTarget(CoreOf(ptid))) {
+    router_->Post(CoreOf(ptid), PostTick(router_->hop()),
+                  [this, ptid, cause] { Disable(ptid, cause); });
+    return;
+  }
+  Disable(ptid, cause);
 }
 
 void ThreadSystem::OnMonitorWake(Ptid ptid) {

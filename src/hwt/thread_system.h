@@ -117,6 +117,25 @@ class ThreadSystem {
   // resuming, the thread raises kContextPoison when the transfer completes.
   using RestoreFaultHook = std::function<bool(Ptid)>;
   void SetRestoreFaultHook(RestoreFaultHook fn) { restore_fault_hook_ = std::move(fn); }
+  // Consulted once per validated rpull/rpush, after the permission and
+  // target-disabled checks but before any state moves. Returning true kills
+  // the migration mid-move: the op fails and the issuer raises
+  // kMigrationAbort with the target ptid in errcode (the target stays
+  // disabled and untouched — the §4 tier move is transactional).
+  using MigrationFaultHook = std::function<bool(Ptid issuer, Ptid target, bool is_push)>;
+  void SetMigrationFaultHook(MigrationFaultHook fn) { migration_fault_hook_ = std::move(fn); }
+  // Observes every cross-core start (issuer and target on different cores),
+  // after the wake is already in flight. The chaos engine uses it to line up
+  // a colliding stop.
+  using RemoteStartObserver = std::function<void(Ptid issuer, Ptid target)>;
+  void SetRemoteStartObserver(RemoteStartObserver fn) {
+    remote_start_observer_ = std::move(fn);
+  }
+
+  // Host-side stop that respects shard routing: when the target's core lives
+  // on another shard mid-window, the disable is posted through the mailbox
+  // (like Stop's cross-shard path) instead of touching remote state directly.
+  void HostStop(Ptid ptid, TraceCause cause = TraceCause::kStop);
 
   // Called by the core when it picks a thread that still needs its state
   // restored (prefetch-on-wake disabled). Sets ready_at; the thread will not
@@ -194,6 +213,8 @@ class ThreadSystem {
   std::vector<ExceptionObserver> exception_observers_;
   std::vector<DeliveryObserver> delivery_observers_;
   RestoreFaultHook restore_fault_hook_;
+  MigrationFaultHook migration_fault_hook_;
+  RemoteStartObserver remote_start_observer_;
   bool halted_ = false;
   std::string halt_reason_;
   HaltInfo halt_info_;

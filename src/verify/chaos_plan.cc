@@ -1,0 +1,110 @@
+#include "src/verify/chaos_plan.h"
+
+#include <sstream>
+
+#include "src/sim/rng.h"
+
+namespace casc {
+namespace verify {
+
+namespace {
+
+constexpr FaultClass kMaskOrder[] = {
+    FaultClass::kFabricLinkFault,
+    FaultClass::kMigrationCrash,
+    FaultClass::kRemoteStartRace,
+};
+
+std::string SpecLine(const ChaosSpec& s) {
+  std::ostringstream os;
+  os << FaultClassName(s.cls) << " every=" << s.every << " max=" << s.max_faults;
+  return os.str();
+}
+
+}  // namespace
+
+ChaosPlan MakeChaosPlan(uint64_t seed, uint32_t fault_mask, Tick watchdog_ticks) {
+  ChaosPlan plan;
+  plan.enabled = true;
+  plan.seed = seed;
+  plan.watchdog_ticks = watchdog_ticks;
+  // The RNG draws happen for every mask bit position, set or not, so the
+  // cadence a class gets under mask 0x7 is the cadence it keeps when the
+  // mask narrows — shrinking the mask never reshuffles the survivors.
+  Rng rng(seed);
+  for (uint32_t bit = 0; bit < 3; bit++) {
+    const uint64_t every = 2 + rng.NextBounded(4);       // 2..5
+    const uint64_t max_faults = 1 + rng.NextBounded(3);  // 1..3
+    if ((fault_mask & (1u << bit)) == 0) {
+      continue;
+    }
+    plan.specs.push_back({kMaskOrder[bit], every, max_faults});
+  }
+  return plan;
+}
+
+std::string FormatChaosPlanHeader(const ChaosPlan& plan) {
+  std::ostringstream os;
+  os << "# chaos-seed: " << plan.seed << "\n";
+  os << "# chaos-watchdog: " << plan.watchdog_ticks << "\n";
+  for (const ChaosSpec& s : plan.specs) {
+    os << "# chaos-spec: " << SpecLine(s) << "\n";
+  }
+  return os.str();
+}
+
+bool ParseChaosPlanHeader(const std::string& source, ChaosPlan* out) {
+  ChaosPlan plan;
+  plan.enabled = true;
+  bool any = false;
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string hash, key;
+    ls >> hash >> key;
+    if (hash != "#") {
+      continue;
+    }
+    if (key == "chaos-seed:") {
+      ls >> plan.seed;
+      any = true;
+    } else if (key == "chaos-watchdog:") {
+      ls >> plan.watchdog_ticks;
+      any = true;
+    } else if (key == "chaos-spec:") {
+      std::string name, kv;
+      ls >> name;
+      ChaosSpec spec;
+      if (!ParseFaultClass(name, &spec.cls)) {
+        continue;
+      }
+      while (ls >> kv) {
+        if (kv.rfind("every=", 0) == 0) {
+          spec.every = std::stoull(kv.substr(6));
+        } else if (kv.rfind("max=", 0) == 0) {
+          spec.max_faults = std::stoull(kv.substr(4));
+        }
+      }
+      plan.specs.push_back(spec);
+      any = true;
+    }
+  }
+  if (any) {
+    *out = plan;
+  }
+  return any;
+}
+
+std::string FormatChaosPlan(const ChaosPlan& plan) {
+  std::ostringstream os;
+  os << "seed=" << plan.seed << " watchdog=" << plan.watchdog_ticks << " specs=[";
+  for (size_t i = 0; i < plan.specs.size(); i++) {
+    os << (i ? ", " : "") << SpecLine(plan.specs[i]);
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace verify
+}  // namespace casc

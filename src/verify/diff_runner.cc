@@ -13,25 +13,25 @@ namespace verify {
 
 namespace {
 
-MachineConfig BaseMachine() {
+MachineConfig BaseMachine(uint32_t num_cores) {
   MachineConfig cfg;
-  cfg.num_cores = 1;
-  cfg.hwt.threads_per_core = kGenThreads;
+  cfg.num_cores = num_cores;
+  cfg.hwt.threads_per_core = kGenThreads / num_cores;
   return cfg;
 }
 
-std::vector<LatticePoint> BuildLattice() {
+std::vector<LatticePoint> BuildLattice(uint32_t num_cores) {
   std::vector<LatticePoint> points;
 
-  points.push_back({"default", BaseMachine(), /*predecode=*/true});
+  points.push_back({"default", BaseMachine(num_cores), /*predecode=*/true});
 
   {
-    LatticePoint p{"nopredecode-smt1", BaseMachine(), /*predecode=*/false};
+    LatticePoint p{"nopredecode-smt1", BaseMachine(num_cores), /*predecode=*/false};
     p.machine.hwt.smt_width = 1;
     points.push_back(p);
   }
   {
-    LatticePoint p{"smt4-tiny-tiers", BaseMachine(), true};
+    LatticePoint p{"smt4-tiny-tiers", BaseMachine(num_cores), true};
     p.machine.hwt.smt_width = 4;
     p.machine.hwt.rf_slots = 2;
     p.machine.hwt.l2_slots = 2;
@@ -39,12 +39,12 @@ std::vector<LatticePoint> BuildLattice() {
     points.push_back(p);
   }
   {
-    LatticePoint p{"nodirty", BaseMachine(), true};
+    LatticePoint p{"nodirty", BaseMachine(num_cores), true};
     p.machine.hwt.dirty_register_tracking = false;
     points.push_back(p);
   }
   {
-    LatticePoint p{"smt1-rf-only", BaseMachine(), true};
+    LatticePoint p{"smt1-rf-only", BaseMachine(num_cores), true};
     p.machine.hwt.smt_width = 1;
     p.machine.hwt.prefetch_on_wake = false;
     p.machine.hwt.l2_slots = 0;
@@ -52,12 +52,12 @@ std::vector<LatticePoint> BuildLattice() {
     points.push_back(p);
   }
   {
-    LatticePoint p{"monitor2", BaseMachine(), true};
+    LatticePoint p{"monitor2", BaseMachine(num_cores), true};
     p.machine.mem.monitor.max_watches_per_thread = 2;
     points.push_back(p);
   }
   {
-    LatticePoint p{"secretkey", BaseMachine(), true};
+    LatticePoint p{"secretkey", BaseMachine(num_cores), true};
     p.machine.hwt.security_model = SecurityModel::kSecretKey;
     points.push_back(p);
   }
@@ -65,12 +65,12 @@ std::vector<LatticePoint> BuildLattice() {
   // are host-speed choices, so these points must match the default point's
   // architectural signature bit for bit — including cache/timing stats.
   {
-    LatticePoint p{"nofusion", BaseMachine(), true};
+    LatticePoint p{"nofusion", BaseMachine(num_cores), true};
     p.machine.fusion = false;
     points.push_back(p);
   }
   {
-    LatticePoint p{"fused-nothreaded", BaseMachine(), true};
+    LatticePoint p{"fused-nothreaded", BaseMachine(num_cores), true};
     p.machine.threaded_dispatch = false;
     points.push_back(p);
   }
@@ -80,17 +80,19 @@ std::vector<LatticePoint> BuildLattice() {
 // Architectural signature: the parameters that are allowed to change
 // architectural outcomes. Lattice points with equal signatures must agree
 // with each other and with one shared reference run.
-using ArchSig = std::tuple<uint8_t, uint32_t, uint32_t, uint32_t>;
+using ArchSig = std::tuple<uint8_t, uint32_t, uint32_t, uint32_t, uint32_t>;
 
 ArchSig SignatureOf(const LatticePoint& p) {
   return {static_cast<uint8_t>(p.machine.hwt.security_model), p.machine.hwt.threads_per_core,
-          p.machine.mem.monitor.max_watches_per_thread, p.machine.mem.monitor.max_watch_lines};
+          p.machine.num_cores, p.machine.mem.monitor.max_watches_per_thread,
+          p.machine.mem.monitor.max_watch_lines};
 }
 
 RefConfig RefConfigFor(const LatticePoint& p) {
   RefConfig cfg;
   cfg.security_model = p.machine.hwt.security_model;
-  cfg.num_threads = p.machine.hwt.threads_per_core;
+  cfg.num_threads = p.machine.hwt.threads_per_core * p.machine.num_cores;
+  cfg.threads_per_core = p.machine.num_cores > 1 ? p.machine.hwt.threads_per_core : 0;
   cfg.max_watches_per_thread = p.machine.mem.monitor.max_watches_per_thread;
   cfg.max_watch_lines = p.machine.mem.monitor.max_watch_lines;
   return cfg;
@@ -98,7 +100,12 @@ RefConfig RefConfigFor(const LatticePoint& p) {
 
 DiffFailure Fail(const std::string& config, const std::string& category,
                  const std::string& detail) {
-  return DiffFailure{true, config, category, detail};
+  DiffFailure f;
+  f.failed = true;
+  f.config = config;
+  f.category = category;
+  f.detail = detail;
+  return f;
 }
 
 std::string StatsJson(Machine& machine) {
@@ -110,12 +117,20 @@ std::string StatsJson(Machine& machine) {
 }  // namespace
 
 const std::vector<LatticePoint>& DefaultLattice() {
-  static const std::vector<LatticePoint> kLattice = BuildLattice();
+  static const std::vector<LatticePoint> kLattice = BuildLattice(1);
   return kLattice;
 }
 
+const std::vector<LatticePoint>& LatticeFor(uint32_t num_cores) {
+  if (num_cores <= 1) {
+    return DefaultLattice();
+  }
+  static const std::vector<LatticePoint> kTwoCore = BuildLattice(2);
+  return kTwoCore;
+}
+
 DiffFailure RunDifferential(const Program& program, const DiffOptions& opts) {
-  const std::vector<LatticePoint>& lattice = DefaultLattice();
+  const std::vector<LatticePoint>& lattice = LatticeFor(opts.num_cores);
   std::vector<size_t> points = opts.points;
   if (points.empty()) {
     for (size_t i = 0; i < lattice.size(); i++) {
@@ -147,18 +162,65 @@ DiffFailure RunDifferential(const Program& program, const DiffOptions& opts) {
     oracles.emplace(sig, std::move(ref));
   }
 
+  const bool chaos = opts.chaos.enabled && !opts.chaos.specs.empty();
+  uint64_t fired_total = 0;
   for (size_t i : points) {
     const LatticePoint& p = lattice[i];
     SimRun run(program, specs, p.machine, p.predecode);
     // Attach before any event runs: boot starts fire their release edges
-    // into all-zero clocks, which is exactly the initial state.
+    // into all-zero clocks, which is exactly the initial state. Never under
+    // chaos: injected faults are deliberate races by construction.
     std::unique_ptr<RaceDetector> detector;
-    if (opts.race_check) {
+    if (opts.race_check && !chaos) {
       detector = std::make_unique<RaceDetector>(p.machine.hwt.threads_per_core);
       run.machine().SetConcurrencyObserver(detector.get());
     }
-    Snapshot sim = run.Run(opts.max_events);
-    if (!sim.quiesced) {
+    if (chaos) {
+      run.ArmChaos(opts.chaos);
+    }
+    Snapshot sim = chaos ? run.RunBounded(opts.chaos.watchdog_ticks) : run.Run(opts.max_events);
+    if (chaos) {
+      const uint64_t fired = run.chaos_injected();
+      fired_total += fired;
+      if (fired > 0) {
+        // Liveness oracle: a faulted run may legitimately diverge from the
+        // fault-free reference, but it must still make bounded progress —
+        // quiesce (agreement or a parked recovery handshake, with the fault
+        // records explaining the divergence) or halt with a structured
+        // reason. Anything still scheduling events at the watchdog wedged.
+        if (!sim.quiesced && !(sim.halted && run.machine().halt_why() != HaltReason::kNone)) {
+          return Fail(p.name, "wedge",
+                      std::to_string(fired) + " fault(s) fired and the machine was still "
+                      "scheduling events at the " +
+                      std::to_string(opts.chaos.watchdog_ticks) + "-tick watchdog (plan " +
+                      FormatChaosPlan(opts.chaos) + ")");
+        }
+        // Quiesced faulted runs still honor the simulator's own invariants
+        // (tier accounting survives aborted migrations by design); halted
+        // runs stop mid-flight and are exempt, as in the fault-free path.
+        if (sim.quiesced && opts.check_invariants && !sim.halted) {
+          std::string inv = run.CheckInvariants();
+          if (!inv.empty()) {
+            return Fail(p.name, "invariant", inv + " (after " + std::to_string(fired) +
+                        " injected fault(s))");
+          }
+        }
+        continue;
+      }
+      // No fault fired (nothing eligible before quiescence): the plan is
+      // inert and the ordinary differential contract applies below.
+      if (!sim.quiesced && !sim.halted) {
+        return Fail(p.name, "wedge",
+                    "no faults fired but the machine was still scheduling events at the " +
+                    std::to_string(opts.chaos.watchdog_ticks) + "-tick watchdog");
+      }
+      // DrainBudget stops at a halt with stale events still queued, where
+      // the fault-free path drains them; normalize so the halt-only compare
+      // below sees the same quiescence flag the reference reports.
+      if (sim.halted) {
+        sim.quiesced = true;
+      }
+    } else if (!sim.quiesced) {
       return Fail(p.name, "quiesce", "simulator hit the event cap before quiescing");
     }
     const Snapshot& ref = oracles.at(SignatureOf(p));
@@ -189,17 +251,29 @@ DiffFailure RunDifferential(const Program& program, const DiffOptions& opts) {
   }
 
   if (opts.check_determinism && !points.empty()) {
+    // Under chaos both runs arm the same plan, so the stats JSON comparison
+    // also covers the injection/detection/recovery counters: the campaign
+    // must replay tick-for-tick from its seed.
     const LatticePoint& p = lattice[points[0]];
     SimRun a(program, specs, p.machine, p.predecode);
-    a.Run(opts.max_events);
     SimRun b(program, specs, p.machine, p.predecode);
-    b.Run(opts.max_events);
+    if (chaos) {
+      a.ArmChaos(opts.chaos);
+      b.ArmChaos(opts.chaos);
+      a.RunBounded(opts.chaos.watchdog_ticks);
+      b.RunBounded(opts.chaos.watchdog_ticks);
+    } else {
+      a.Run(opts.max_events);
+      b.Run(opts.max_events);
+    }
     if (StatsJson(a.machine()) != StatsJson(b.machine())) {
       return Fail(p.name, "determinism", "two identical runs produced different stats JSON");
     }
   }
 
-  return DiffFailure{};
+  DiffFailure ok;
+  ok.chaos_injected = fired_total;
+  return ok;
 }
 
 DiffFailure RunDifferentialSource(const std::string& source, const DiffOptions& opts) {

@@ -27,6 +27,10 @@ struct LatticePoint {
 // signature; "monitor2" narrows the per-thread watch cap and "secretkey"
 // switches the security model (each gets its own reference run).
 const std::vector<LatticePoint>& DefaultLattice();
+// The same lattice shapes with kGenThreads split across `num_cores` cores
+// (threads_per_core = kGenThreads / num_cores). LatticeFor(1) is
+// DefaultLattice().
+const std::vector<LatticePoint>& LatticeFor(uint32_t num_cores);
 
 struct DiffOptions {
   uint64_t max_events = 2'000'000;      // simulator event cap per point
@@ -38,15 +42,32 @@ struct DiffOptions {
   // for programs meant to be race-free: the generated-program smoke batch,
   // not the saved corpus (which keeps deliberately racy repros).
   bool race_check = false;
+  // Core count for every lattice point (LatticeFor). 2 splits the generated
+  // program's threads across two cores so starts, sync handshakes, and
+  // rpull/rpush tier moves cross the interconnect.
+  uint32_t num_cores = 1;
+  // Seeded fault campaign replayed identically at every lattice point
+  // (chaos_plan.h). When enabled, each point runs under the plan's
+  // bounded-progress watchdog instead of the event cap, and the oracle
+  // splits: points where no fault fired keep the full architectural compare
+  // against the reference (which never models faults); points where at least
+  // one fault fired are held to the liveness contract — quiesce, or halt
+  // with a structured HaltReason, within the watchdog. A machine still
+  // scheduling events at the watchdog fails with category "wedge".
+  // race_check is ignored under chaos: injected faults are deliberate races.
+  ChaosPlan chaos;
   std::vector<size_t> points;      // lattice indices; empty = all
 };
 
 struct DiffFailure {
   bool failed = false;
+  // Faults fired across all points run (chaos mode; 0 otherwise). Filled in
+  // on success too, so callers can report whether a campaign actually bit.
+  uint64_t chaos_injected = 0;
   std::string config;    // lattice point name ("" for oracle/setup issues)
   std::string category;  // "assemble","timeout","halt","state","mem",
                          // "exceptions","quiesce","invariant","determinism",
-                         // "race"
+                         // "race","wedge"
   std::string detail;
 };
 

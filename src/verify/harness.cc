@@ -1,6 +1,12 @@
 #include "src/verify/harness.h"
 
+#include <cstring>
 #include <sstream>
+
+#include "src/chaos/chaos_engine.h"
+#include "src/dev/fabric.h"
+#include "src/dev/nic.h"
+#include "src/sim/event_queue.h"
 
 namespace casc {
 namespace verify {
@@ -152,6 +158,25 @@ std::string CompareSnapshots(const Snapshot& a, const Snapshot& b,
 // Simulator side
 // ---------------------------------------------------------------------------
 
+// Chaos attachment for one simulator run: the engine plus, when the plan
+// includes fabric-link faults, a two-node background fabric (client NIC on
+// core 0, server NIC on the last core, fixed frame burst). The rig's MMIO
+// windows sit at 0xf0000000+, far above any generated program, and the
+// server NIC is never programmed: frames drop at its empty ring, so the rig
+// adds eligible link traffic without writing a byte of compared memory.
+struct SimRun::ChaosRig {
+  ChaosRig(Machine& machine, uint64_t seed) : engine(machine, seed) {}
+
+  ChaosEngine engine;
+  std::unique_ptr<Nic> client_nic;
+  std::unique_ptr<Nic> server_nic;
+  std::unique_ptr<Fabric> fabric;
+  std::unique_ptr<LambdaEvent<std::function<void()>>> pump;
+  uint64_t frames_left = 0;
+};
+
+SimRun::~SimRun() = default;
+
 SimRun::SimRun(const Program& program, const std::vector<ThreadSpec>& specs,
                const MachineConfig& cfg, bool predecode)
     : program_(program), specs_(specs), machine_(cfg) {
@@ -170,9 +195,79 @@ SimRun::SimRun(const Program& program, const std::vector<ThreadSpec>& specs,
   }
 }
 
+void SimRun::ArmChaos(const ChaosPlan& plan) {
+  if (!plan.enabled || plan.specs.empty()) {
+    return;
+  }
+  chaos_ = std::make_unique<ChaosRig>(machine_, plan.seed);
+  bool want_fabric = false;
+  for (const ChaosSpec& spec : plan.specs) {
+    if (spec.cls == FaultClass::kFabricLinkFault) {
+      want_fabric = true;
+    }
+    CampaignConfig campaign;
+    campaign.fault = spec.cls;
+    campaign.schedule = InjectionSchedule::EveryN(spec.every);
+    campaign.max_faults = spec.max_faults;
+    chaos_->engine.AddCampaign(campaign);
+  }
+  if (want_fabric) {
+    Simulation& sim = machine_.sim();
+    constexpr uint64_t kClientNode = 1;
+    constexpr uint64_t kServerNode = 2;
+    NicConfig client_cfg;
+    client_cfg.mmio_base = 0xf0000000;
+    client_cfg.home_core = 0;
+    chaos_->client_nic = std::make_unique<Nic>(sim, machine_.mem(), client_cfg);
+    NicConfig server_cfg;
+    server_cfg.mmio_base = 0xf0100000;
+    server_cfg.home_core = machine_.num_cores() > 1 ? 1 : 0;
+    chaos_->server_nic = std::make_unique<Nic>(sim, machine_.mem(), server_cfg);
+    chaos_->fabric = std::make_unique<Fabric>(sim, FabricConfig{});
+    chaos_->fabric->Attach(kClientNode, chaos_->client_nic.get());
+    chaos_->fabric->Attach(kServerNode, chaos_->server_nic.get());
+    chaos_->engine.AttachFabric(chaos_->fabric.get());
+    // Fixed burst: the frame count never depends on how long the program
+    // runs, so link-fault eligibility is identical at every lattice point
+    // and the pump cannot keep a finished machine from quiescing.
+    chaos_->frames_left = 48;
+    ChaosRig* rig = chaos_.get();
+    chaos_->pump = std::make_unique<LambdaEvent<std::function<void()>>>([this, rig] {
+      std::vector<uint8_t> frame(FabricHeader::kBytes + 16);
+      FabricHeader h;
+      h.dst = kServerNode;
+      h.src = kClientNode;
+      h.WriteTo(&frame);
+      const uint64_t seq = rig->frames_left;
+      std::memcpy(frame.data() + FabricHeader::kBytes, &seq, 8);
+      rig->fabric->InjectFrom(kClientNode, frame);
+      if (--rig->frames_left > 0) {
+        machine_.sim().queue().ScheduleAfter(rig->pump.get(), 2'000);
+      }
+    });
+    sim.queue().Schedule(chaos_->pump.get(), 1'000);
+  }
+  chaos_->engine.Arm();
+}
+
+uint64_t SimRun::chaos_injected() const {
+  return chaos_ ? chaos_->engine.total_injected() : 0;
+}
+
 Snapshot SimRun::Run(uint64_t max_events) {
+  return Capture(machine_.RunToQuiescence(max_events));
+}
+
+Snapshot SimRun::RunBounded(Tick watchdog) {
+  return Capture(machine_.DrainBudget(watchdog));
+}
+
+Snapshot SimRun::Capture(bool quiesced) {
+  if (chaos_) {
+    chaos_->engine.FinishRun();
+  }
   Snapshot snap;
-  snap.quiesced = machine_.RunToQuiescence(max_events);
+  snap.quiesced = quiesced;
   snap.halted = machine_.halted();
   snap.halt_reason = machine_.halt_reason();
   const uint32_t n = machine_.threads().num_threads();

@@ -14,11 +14,13 @@
 #ifndef SRC_VERIFY_HARNESS_H_
 #define SRC_VERIFY_HARNESS_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cpu/machine.h"
 #include "src/isa/assembler.h"
+#include "src/verify/chaos_plan.h"
 #include "src/verify/ref_model.h"
 
 namespace casc {
@@ -64,9 +66,29 @@ class SimRun {
  public:
   SimRun(const Program& program, const std::vector<ThreadSpec>& specs, const MachineConfig& cfg,
          bool predecode);
+  ~SimRun();
 
   // Runs to quiescence (or the event cap). Returns the snapshot.
   Snapshot Run(uint64_t max_events);
+
+  // Arms a seeded chaos campaign over this run's machine (call before Run /
+  // RunBounded; no-op when the plan is disabled or empty). Thread-level
+  // fault classes hook the machine directly; a fabric-link spec additionally
+  // brings up a two-node background fabric rig — two NICs that the program
+  // never touches, fed a fixed burst of host frames — so link faults have
+  // traffic to bite without perturbing architectural state (the receiving
+  // NIC is never programmed, so every frame drops at the ring and no DMA
+  // lands in compared memory).
+  void ArmChaos(const ChaosPlan& plan);
+
+  // Bounded-progress run for chaos campaigns: fires events up to `watchdog`
+  // ticks of simulated time. Snapshot.quiesced is true only when the machine
+  // fully drained — a run still scheduling events at the watchdog comes back
+  // !quiesced && !halted, which the differential oracle calls a wedge.
+  Snapshot RunBounded(Tick watchdog);
+
+  // Faults actually fired by the armed campaign (0 until ArmChaos).
+  uint64_t chaos_injected() const;
 
   // Post-run internal invariants: context-store slot accounting, storage-tier
   // consistency, vtid-cache coherence with the in-memory TDTs. Returns "" or
@@ -76,9 +98,14 @@ class SimRun {
   Machine& machine() { return machine_; }
 
  private:
+  struct ChaosRig;  // engine + optional fabric rig; lives in harness.cc
+
+  Snapshot Capture(bool quiesced);
+
   const Program& program_;
   const std::vector<ThreadSpec>& specs_;
   Machine machine_;
+  std::unique_ptr<ChaosRig> chaos_;
 };
 
 // One reference-model execution under a given architectural configuration.

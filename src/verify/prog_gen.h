@@ -28,10 +28,24 @@ namespace casc {
 namespace verify {
 
 // Number of hardware threads the generated programs assume (must match the
-// config lattice's threads_per_core on a single core).
+// config lattice's total thread count: threads_per_core x num_cores).
 inline constexpr uint32_t kGenThreads = 16;
 
+struct GenOptions {
+  uint64_t seed = 1;
+  // 1 = the classic single-core layout (mains 0..2, workers 4.., dormants
+  // 8..). 2 = cross-core layout: mains stay on core 0 (ptids 0..2), workers
+  // (8..) and dormants (12..) live on core 1 with threads_per_core = 8, so
+  // every start/sync handshake and rpull/rpush tier move crosses the
+  // interconnect; a structured recovery gadget (a core-0 handler thread
+  // restarting a deliberately faulting core-1 ward over a monitor/mwait
+  // handshake, DESIGN.md 4k) may ride along. Observable lower-half state
+  // stays interleaving-insensitive in both layouts.
+  uint32_t num_cores = 1;
+};
+
 std::string GenerateProgram(uint64_t seed);
+std::string GenerateProgram(const GenOptions& opts);
 
 }  // namespace verify
 }  // namespace casc

@@ -435,7 +435,7 @@ bool RefMachine::OpReadCsr(Ptid issuer, Csr csr, uint64_t* value) {
       *value = issuer;
       return true;
     case Csr::kCoreId:
-      *value = 0;  // single-core fuzz contract
+      *value = config_.threads_per_core == 0 ? 0 : issuer / config_.threads_per_core;
       return true;
     case Csr::kCycle:
       // Timing state: outside the architectural contract. The generator

@@ -61,6 +61,10 @@ class RefMemory {
 struct RefConfig {
   SecurityModel security_model = SecurityModel::kTdt;
   uint32_t num_threads = 16;
+  // Core geometry for the `coreid` CSR (ptid / threads_per_core). 0 means
+  // "everything on core 0" — the classic single-core fuzz contract. The
+  // model stays untimed either way: cores only change what coreid reads.
+  uint32_t threads_per_core = 0;
   uint32_t max_watches_per_thread = 8;
   uint32_t max_watch_lines = 4096;
 };

@@ -188,6 +188,65 @@ std::string Shrink(const std::string& source, const FailurePredicate& still_fail
   return JoinLines(lines);
 }
 
+PlanShrinkResult ShrinkWithPlan(const std::string& source, const ChaosPlan& plan,
+                                const PlanFailurePredicate& still_fails) {
+  PlanShrinkResult cur{source, plan};
+  for (int round = 0; round < 8; round++) {
+    bool changed = false;
+
+    // Program pass: ordinary ddmin with the current plan held fixed.
+    const std::string shrunk = Shrink(
+        cur.source, [&](const std::string& s) { return still_fails(s, cur.plan); });
+    if (shrunk != cur.source) {
+      cur.source = shrunk;
+      changed = true;
+    }
+
+    // Plan pass 1: drop whole specs (a fault class the failure does not
+    // need disappears from the schedule entirely).
+    for (size_t i = 0; i < cur.plan.specs.size();) {
+      ChaosPlan candidate = cur.plan;
+      candidate.specs.erase(candidate.specs.begin() + static_cast<long>(i));
+      if (!candidate.specs.empty() && still_fails(cur.source, candidate)) {
+        cur.plan = std::move(candidate);
+        changed = true;
+      } else {
+        i++;
+      }
+    }
+
+    // Plan pass 2: squeeze each surviving spec — fault budget toward one
+    // injection, then cadence toward the sparsest reproducing value (a
+    // larger `every` means fewer eligible events actually fire).
+    for (size_t i = 0; i < cur.plan.specs.size(); i++) {
+      while (cur.plan.specs[i].max_faults != 1) {
+        ChaosPlan candidate = cur.plan;
+        candidate.specs[i].max_faults =
+            candidate.specs[i].max_faults == 0 ? 1 : candidate.specs[i].max_faults / 2;
+        if (!still_fails(cur.source, candidate)) {
+          break;
+        }
+        cur.plan = std::move(candidate);
+        changed = true;
+      }
+      while (true) {
+        ChaosPlan candidate = cur.plan;
+        candidate.specs[i].every *= 2;
+        if (candidate.specs[i].every > 64 || !still_fails(cur.source, candidate)) {
+          break;
+        }
+        cur.plan = std::move(candidate);
+        changed = true;
+      }
+    }
+
+    if (!changed) {
+      break;
+    }
+  }
+  return cur;
+}
+
 size_t CountInstructions(const std::string& source) {
   size_t count = 0;
   std::istringstream in(source);

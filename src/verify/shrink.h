@@ -13,6 +13,8 @@
 #include <functional>
 #include <string>
 
+#include "src/verify/chaos_plan.h"
+
 namespace casc {
 namespace verify {
 
@@ -27,6 +29,26 @@ std::string Shrink(const std::string& source, const FailurePredicate& still_fail
 // Number of instruction lines (non-blank, non-label, non-directive) —
 // the metric the acceptance criteria bound.
 size_t CountInstructions(const std::string& source);
+
+// --- joint program + fault-schedule shrinking (chaos mode) -----------------
+
+// True when (candidate_source, candidate_plan) still reproduces the failure.
+// Candidates that fail to assemble must return false.
+using PlanFailurePredicate = std::function<bool(const std::string&, const ChaosPlan&)>;
+
+struct PlanShrinkResult {
+  std::string source;
+  ChaosPlan plan;
+};
+
+// Shrinks the program and the fault schedule jointly, to fixpoint: a ddmin
+// pass over the program (with the current plan held fixed) alternates with a
+// plan pass that drops whole specs, then squeezes each surviving spec's
+// fault budget toward one and its cadence toward the sparsest value that
+// still reproduces. (source, plan) must satisfy the predicate; the result
+// always does.
+PlanShrinkResult ShrinkWithPlan(const std::string& source, const ChaosPlan& plan,
+                                const PlanFailurePredicate& still_fails);
 
 }  // namespace verify
 }  // namespace casc

@@ -107,6 +107,45 @@ TEST(ScenarioTest, SameSeedSameStatsBytes) {
   EXPECT_EQ(a.stats_json, b.stats_json);  // bit-reproducibility contract
 }
 
+// Cross-core scenario determinism (DESIGN.md §4k): each of the three
+// cross-core fault classes must be bit-reproducible per engine — same seed,
+// same stats JSON — on the legacy engine and on the sharded engine, and the
+// sharded aggregate must be independent of the worker count (ht1 == ht4).
+// ht0 is allowed to differ from ht>=1 (direct cross-core paths vs mailbox
+// hops are different timing models), which is why this test compares within
+// each engine, never across.
+TEST(ScenarioTest, CrossCoreScenariosAreDeterministicPerEngine) {
+  for (FaultClass cls : CrossCoreScenarioClasses()) {
+    for (uint32_t ht : {0u, 1u, 4u}) {
+      SCOPED_TRACE(std::string(FaultClassName(cls)) + " ht" + std::to_string(ht));
+      SetDefaultHostThreads(ht);
+      ScenarioOptions opts;
+      opts.seed = 9;
+      const ScenarioOutcome a = RunScenario(cls, opts);
+      const ScenarioOutcome b = RunScenario(cls, opts);
+      EXPECT_TRUE(a.ok) << a.why_not_ok;
+      EXPECT_GE(a.injected, 1u);
+      EXPECT_EQ(a.stats_json, b.stats_json);  // bit-reproducibility contract
+    }
+  }
+  SetDefaultHostThreads(0);
+}
+
+TEST(ScenarioTest, CrossCoreScenariosShardIdenticallyAcrossWorkerCounts) {
+  for (FaultClass cls : CrossCoreScenarioClasses()) {
+    SCOPED_TRACE(FaultClassName(cls));
+    ScenarioOptions opts;
+    opts.seed = 5;
+    SetDefaultHostThreads(1);
+    const ScenarioOutcome a = RunScenario(cls, opts);
+    SetDefaultHostThreads(4);
+    const ScenarioOutcome b = RunScenario(cls, opts);
+    SetDefaultHostThreads(0);
+    EXPECT_TRUE(a.ok) << a.why_not_ok;
+    EXPECT_EQ(a.stats_json, b.stats_json) << "sharded aggregate depends on worker count";
+  }
+}
+
 TEST(ScenarioTest, ChainExhaustionHaltsWithReportableReason) {
   ScenarioOptions opts;
   opts.seed = 1;

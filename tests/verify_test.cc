@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/isa/assembler.h"
+#include "src/verify/chaos_plan.h"
 #include "src/verify/diff_runner.h"
 #include "src/verify/harness.h"
 #include "src/verify/prog_gen.h"
@@ -269,6 +270,103 @@ TEST(ProgGen, GeneratedProgramsAssembleAndPassDifferential) {
 TEST(ProgGen, DeterministicForSameSeed) {
   EXPECT_EQ(GenerateProgram(42), GenerateProgram(42));
   EXPECT_NE(GenerateProgram(42), GenerateProgram(43));
+}
+
+// ---------------------------------------------------------------------------
+// Chaos-differential fuzzing (DESIGN.md §4k)
+
+std::string ReadCorpusFile(const std::string& name) {
+  std::ifstream in(std::filesystem::path(CASC_CORPUS_DIR) / name);
+  EXPECT_TRUE(in.good()) << name;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ChaosPlan, MakeIsDeterministicAndMaskNarrowingIsStable) {
+  const ChaosPlan a = MakeChaosPlan(5, kChaosMaskAll);
+  const ChaosPlan b = MakeChaosPlan(5, kChaosMaskAll);
+  ASSERT_EQ(a.specs.size(), 3u);
+  for (size_t i = 0; i < a.specs.size(); i++) {
+    EXPECT_EQ(a.specs[i].cls, b.specs[i].cls);
+    EXPECT_EQ(a.specs[i].every, b.specs[i].every);
+    EXPECT_EQ(a.specs[i].max_faults, b.specs[i].max_faults);
+  }
+  // Narrowing the mask keeps each surviving class's cadence: shrinking the
+  // campaign never reshuffles what remains.
+  const ChaosPlan narrow = MakeChaosPlan(5, kChaosMaskMigrationCrash);
+  ASSERT_EQ(narrow.specs.size(), 1u);
+  EXPECT_EQ(narrow.specs[0].cls, FaultClass::kMigrationCrash);
+  EXPECT_EQ(narrow.specs[0].every, a.specs[1].every);
+  EXPECT_EQ(narrow.specs[0].max_faults, a.specs[1].max_faults);
+}
+
+TEST(ChaosPlan, HeaderRoundTripsThroughCasmComments) {
+  ChaosPlan plan = MakeChaosPlan(42, kChaosMaskAll, 123'456);
+  const std::string header = FormatChaosPlanHeader(plan);
+  ChaosPlan parsed;
+  ASSERT_TRUE(ParseChaosPlanHeader(header + "t0_entry:\n  halt\n", &parsed));
+  EXPECT_EQ(parsed.seed, plan.seed);
+  EXPECT_EQ(parsed.watchdog_ticks, plan.watchdog_ticks);
+  ASSERT_EQ(parsed.specs.size(), plan.specs.size());
+  for (size_t i = 0; i < plan.specs.size(); i++) {
+    EXPECT_EQ(parsed.specs[i].cls, plan.specs[i].cls);
+    EXPECT_EQ(parsed.specs[i].every, plan.specs[i].every);
+    EXPECT_EQ(parsed.specs[i].max_faults, plan.specs[i].max_faults);
+  }
+  ChaosPlan none;
+  EXPECT_FALSE(ParseChaosPlanHeader("# just a comment\nt0_entry:\n  halt\n", &none));
+}
+
+// Each cross-core corpus fixture carries its own chaos plan in `# chaos-*`
+// header comments. Replayed on the two-core lattice, the campaign must
+// actually bite (injections > 0) and every point must satisfy the liveness
+// oracle — quiesce or structured halt, never a wedge.
+TEST(ChaosDiff, CorpusFixturesSurviveTheirFaultCampaigns) {
+  for (const char* name : {"fabric_fault.casm", "migration_crash.casm",
+                           "remote_start_race.casm"}) {
+    SCOPED_TRACE(name);
+    const std::string source = ReadCorpusFile(name);
+    DiffOptions opts;
+    opts.num_cores = 2;
+    ASSERT_TRUE(ParseChaosPlanHeader(source, &opts.chaos));
+    const DiffFailure f = RunDifferentialSource(source, opts);
+    EXPECT_FALSE(f.failed) << "[" << f.config << "/" << f.category << "]: " << f.detail;
+    EXPECT_GT(f.chaos_injected, 0u);
+  }
+}
+
+// The deliberately wedged fixture (no restart budget, unbounded fault
+// schedule) must be caught by the bounded-progress watchdog — and the joint
+// shrinker must minimize the program while keeping the one-spec schedule
+// that still wedges it.
+TEST(ChaosDiff, WedgedFixtureIsCaughtByWatchdogAndShrinksJointly) {
+  const std::string source = ReadCorpusFile("wedge_restart_storm.casm");
+  DiffOptions opts;
+  opts.points = {0};  // one lattice point keeps the storm affordable
+  ASSERT_TRUE(ParseChaosPlanHeader(source, &opts.chaos));
+  opts.chaos.watchdog_ticks = 100'000;
+  const DiffFailure f = RunDifferentialSource(source, opts);
+  ASSERT_TRUE(f.failed);
+  EXPECT_EQ(f.category, "wedge");
+
+  const PlanShrinkResult r = ShrinkWithPlan(
+      source, opts.chaos, [&](const std::string& s, const ChaosPlan& plan) {
+        DiffOptions o = opts;
+        o.chaos = plan;
+        const DiffFailure cf = RunDifferentialSource(s, o);
+        return cf.failed && cf.config == f.config && cf.category == f.category;
+      });
+  const DiffFailure sf = [&] {
+    DiffOptions o = opts;
+    o.chaos = r.plan;
+    return RunDifferentialSource(r.source, o);
+  }();
+  EXPECT_TRUE(sf.failed);
+  EXPECT_EQ(sf.category, "wedge");
+  EXPECT_LT(CountInstructions(r.source), CountInstructions(source));
+  ASSERT_EQ(r.plan.specs.size(), 1u);
+  EXPECT_EQ(r.plan.specs[0].cls, FaultClass::kMigrationCrash);
 }
 
 // ---------------------------------------------------------------------------

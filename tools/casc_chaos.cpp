@@ -1,8 +1,8 @@
 // casc-chaos: run seeded fault-injection campaigns against the simulated
 // machine and report detection/recovery per fault class.
 //
-//   casc-chaos [--scenario=all|<class>] [--seed=N] [--faults=N]
-//              [--duration=N] [--at=T | --every=N | --prob=P]
+//   casc-chaos [--scenario=all|single-core|cross-core|<class>] [--seed=N]
+//              [--faults=N] [--duration=N] [--at=T | --every=N | --prob=P]
 //              [--expect-halt] [--host-threads=N] [--stats-json=<path>]
 //              [--trace-json=<path>] [--list] [--help]
 //
@@ -13,11 +13,18 @@
 //   context-poison      a context image is corrupted mid-restore
 //   edp-unwritable      a descriptor write faults and escalates up the chain
 //   handler-crash       the fault handler crashes mid-service
+//   fabric-link-fault   a frame is dropped or delayed crossing the fabric
+//   migration-crash     the migration engine dies mid-rpull/rpush tier move
+//   remote-start-race   a cross-core start collides with a revoking stop
 //
 // Every run is bit-reproducible: the same --seed yields byte-identical
-// --stats-json output — at every --host-threads value (the flag runs each
-// scenario's machine on the host-parallel sharded engine, DESIGN.md §4i;
-// 0 = legacy single-threaded engine, the default).
+// --stats-json output per engine. The single-core group is additionally
+// byte-identical across every --host-threads value; the cross-core group
+// (two-core machines) is byte-identical across all sharded engines
+// (--host-threads >= 1) but legitimately differs at --host-threads 0, where
+// cross-core operations take direct paths instead of mailbox hops
+// (the flag runs each scenario's machine on the host-parallel sharded
+// engine, DESIGN.md §4i; 0 = legacy single-threaded engine, the default).
 // --expect-halt (edp-unwritable only) removes the
 // top-level handler so the chain exhausts and the machine halts cleanly.
 // Exit code: 0 if every scenario met its expectation, 1 otherwise, 2 on
@@ -38,7 +45,8 @@ namespace {
 
 void PrintUsage(FILE* out) {
   std::fprintf(out,
-               "usage: casc-chaos [--scenario=all|<class>] [--seed=N] [--faults=N]\n"
+               "usage: casc-chaos [--scenario=all|single-core|cross-core|<class>]\n"
+               "                  [--seed=N] [--faults=N]\n"
                "                  [--duration=N] [--at=T | --every=N | --prob=P]\n"
                "                  [--expect-halt] [--host-threads=N] "
                "[--stats-json=<path>]\n"
@@ -149,6 +157,10 @@ int main(int argc, char** argv) {
   std::vector<FaultClass> to_run;
   if (which == "all") {
     to_run = AllScenarioClasses();
+  } else if (which == "single-core") {
+    to_run = SingleCoreScenarioClasses();
+  } else if (which == "cross-core") {
+    to_run = CrossCoreScenarioClasses();
   } else {
     FaultClass cls;
     if (!ParseFaultClass(which, &cls)) {

@@ -2,9 +2,26 @@
 //
 //   casc-fuzz [--seed=N] [--iters=N] [--points=0,3,6] [--max-events=N]
 //             [--out=<dir>] [--determinism] [--race-check] [--host-threads=N]
-//             [--list-points]
+//             [--cores=N] [--chaos] [--chaos-seed=N] [--fault-mask=N]
+//             [--watchdog-ticks=N] [--list-points]
 //   casc-fuzz --repro=<file.casm> [--points=...]
 //   casc-fuzz --corpus=<dir> [--points=...]
+//
+// --cores=2 splits each generated program's threads across two simulated
+// cores, so starts, monitor handshakes, and rpull/rpush tier moves cross the
+// interconnect (and the sharded engine's mailboxes under --host-threads).
+//
+// --chaos arms a seeded cross-core fault campaign (chaos_plan.h) over every
+// lattice point: --fault-mask picks the classes (bit 0 fabric-link-fault,
+// bit 1 migration-crash, bit 2 remote-start-race; default 7 = all),
+// --chaos-seed derives each class's cadence and budget, and
+// --watchdog-ticks bounds each run (default 2000000). Points where a fault
+// fired are held to the liveness oracle — quiesce or halt with a structured
+// reason, never keep scheduling events past the watchdog ("wedge") — and
+// failures shrink the program and the fault schedule jointly. Chaos repros
+// carry the plan in `# chaos-*` header comments; --repro re-arms it
+// automatically. --race-check is disabled under --chaos (injected faults
+// are deliberate races).
 //
 // --race-check attaches the vector-clock race detector to every simulator
 // run (failure category "race"). Generated programs are race-free by
@@ -36,6 +53,7 @@
 #include "src/cpu/machine.h"
 #include "src/sim/config.h"
 #include "src/sim/rng.h"
+#include "src/verify/chaos_plan.h"
 #include "src/verify/diff_runner.h"
 #include "src/verify/prog_gen.h"
 #include "src/verify/shrink.h"
@@ -105,10 +123,30 @@ int main(int argc, char** argv) {
   opts.points = ParsePoints(cfg.GetString("points"));
   opts.check_determinism = cfg.GetBool("determinism", false);
   opts.race_check = cfg.GetBool("race-check", false);
+  opts.num_cores = static_cast<uint32_t>(cfg.GetUint("cores", 1));
+  if (opts.num_cores != 1 && opts.num_cores != 2) {
+    std::fprintf(stderr, "--cores must be 1 or 2\n");
+    return 2;
+  }
+  if (cfg.GetBool("chaos", false)) {
+    const uint32_t mask = static_cast<uint32_t>(cfg.GetUint("fault-mask", kChaosMaskAll));
+    if (mask == 0 || mask > kChaosMaskAll) {
+      std::fprintf(stderr, "--fault-mask must be 1..%u\n", kChaosMaskAll);
+      return 2;
+    }
+    opts.chaos = MakeChaosPlan(cfg.GetUint("chaos-seed", 1), mask,
+                               cfg.GetUint("watchdog-ticks", 2'000'000));
+    if (opts.race_check) {
+      std::fprintf(stderr,
+                   "warning: --chaos disables --race-check (injected faults are deliberate "
+                   "races)\n");
+      opts.race_check = false;
+    }
+  }
   uint32_t host_threads = static_cast<uint32_t>(cfg.GetUint("host-threads", 0));
   if (opts.race_check && host_threads != 0) {
     std::fprintf(stderr,
-                 "note: --race-check forces --host-threads=0 (the race observer "
+                 "warning: --race-check forces --host-threads=0 (the race observer "
                  "is not thread-safe)\n");
     host_threads = 0;
   }
@@ -125,6 +163,13 @@ int main(int argc, char** argv) {
     }
     std::ostringstream ss;
     ss << in.rdbuf();
+    // Chaos repros are self-contained: re-arm the plan recorded in the
+    // header (explicit --chaos flags, when given, win).
+    if (!opts.chaos.enabled && ParseChaosPlanHeader(ss.str(), &opts.chaos)) {
+      std::fprintf(stderr, "replaying chaos plan from header: %s\n",
+                   FormatChaosPlan(opts.chaos).c_str());
+      opts.race_check = false;
+    }
     return RunOneSource(ss.str(), repro, opts);
   }
 
@@ -158,11 +203,16 @@ int main(int argc, char** argv) {
   const std::string out_dir = cfg.GetString("out", ".");
 
   Rng seeder(seed);
+  uint64_t chaos_fired = 0;
   for (uint64_t i = 0; i < iters; i++) {
     const uint64_t case_seed = seeder.Next();
-    const std::string source = GenerateProgram(case_seed);
+    GenOptions gen;
+    gen.seed = case_seed;
+    gen.num_cores = opts.num_cores;
+    const std::string source = GenerateProgram(gen);
     DiffFailure f = RunDifferentialSource(source, opts);
     if (!f.failed) {
+      chaos_fired += f.chaos_injected;
       continue;
     }
     const std::string label = "iter " + std::to_string(i) + " (seed " +
@@ -171,7 +221,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "shrinking (%zu instructions)...\n", CountInstructions(source));
     DiffOptions shrink_opts = opts;
     shrink_opts.check_determinism = false;
-    const std::string shrunk = Shrink(source, MatchingFailure(f, shrink_opts));
+    std::string shrunk;
+    if (opts.chaos.enabled) {
+      // Joint minimization: the fault schedule shrinks with the program, so
+      // the repro names the fewest injections that still wedge/diverge.
+      PlanShrinkResult r = ShrinkWithPlan(
+          source, opts.chaos, [&](const std::string& s, const ChaosPlan& plan) {
+            DiffOptions o = shrink_opts;
+            o.chaos = plan;
+            DiffFailure cf = RunDifferentialSource(s, o);
+            return cf.failed && cf.config == f.config && cf.category == f.category;
+          });
+      shrunk = r.source;
+      shrink_opts.chaos = r.plan;
+    } else {
+      shrunk = Shrink(source, MatchingFailure(f, shrink_opts));
+    }
     // The shrunk program fails in the same config+category but its first
     // reported difference may be a simpler one — record its own detail.
     const DiffFailure sf = RunDifferentialSource(shrunk, shrink_opts);
@@ -185,13 +250,23 @@ int main(int argc, char** argv) {
     }
     of << "# casc-fuzz repro: seed " << case_seed << ", config " << f.config << ", category "
        << f.category << "\n# original: " << f.detail << "\n# shrunk:   "
-       << (sf.failed ? sf.detail : "(no longer fails?)") << "\n" << shrunk;
+       << (sf.failed ? sf.detail : "(no longer fails?)") << "\n";
+    if (shrink_opts.chaos.enabled) {
+      of << FormatChaosPlanHeader(shrink_opts.chaos);
+    }
+    of << shrunk;
     of.close();
     std::fprintf(stderr, "minimal repro (%zu instructions): %s\n", CountInstructions(shrunk),
                  path.c_str());
     return 1;
   }
-  std::printf("casc-fuzz: %llu iterations clean (seed %llu)\n",
-              static_cast<unsigned long long>(iters), static_cast<unsigned long long>(seed));
+  if (opts.chaos.enabled) {
+    std::printf("casc-fuzz: %llu iterations clean (seed %llu, %llu fault(s) injected)\n",
+                static_cast<unsigned long long>(iters), static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(chaos_fired));
+  } else {
+    std::printf("casc-fuzz: %llu iterations clean (seed %llu)\n",
+                static_cast<unsigned long long>(iters), static_cast<unsigned long long>(seed));
+  }
   return 0;
 }

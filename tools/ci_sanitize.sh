@@ -2,9 +2,12 @@
 # Sanitizer CI tier: builds with the requested sanitizers and runs the tier-1
 # ctest suite — which includes the differential-fuzz smoke batch (fuzz_smoke:
 # a fixed-seed generator run across the whole config lattice with determinism
-# and race checking), the saved regression corpus (fuzz_corpus), and the
+# and race checking), the saved regression corpus (fuzz_corpus), the
 # chaos_smoke tier (every fault-injection scenario plus the seed-determinism
-# check). Memory errors in the simulator, the reference model, or the
+# check), and the fuzz_chaos tier (chaos-differential batches across the
+# host-threads lattice and per-fault-class masks, campaign-replay
+# determinism, and the wedged-fixture watchdog negative; DESIGN.md §4k).
+# Memory errors in the simulator, the reference model, or the
 # fault-recovery paths surface here rather than as silent state divergence.
 # The direct-threaded dispatch engine and the fusion pass (DESIGN.md §4j) are
 # default-on, so every tier exercises the computed-goto table (when the
@@ -13,8 +16,9 @@
 #
 # The `thread` tier builds with TSan and runs the tests labelled `tsan`: the
 # concurrency-analyzer suite, the monitor/mwait race fixtures, the sharded
-# engine's unit suite (test_shard), and a bench + chaos smoke with a real
-# 4-worker host pool (--host-threads=4) so the engine's claim/park/mailbox
+# engine's unit suite (test_shard), and bench + chaos smokes with a real
+# 4-worker host pool (--host-threads=4) — including the cross-core fault
+# campaigns (chaos_tsan_cross_core) — so the engine's claim/park/mailbox
 # machinery itself runs under the race detector. Host-level data races in the
 # simulator's own bookkeeping surface here, complementing the guest-level
 # casc-race detector.
