@@ -4,13 +4,20 @@
 // device and blocks on the completion queue tail — three layers of blocking
 // (app -> service -> device) with zero interrupts and zero mode switches.
 //
+// With --ring the service runs behind the shared submission/completion ring
+// transport instead of the per-call channel: the app batches all three reads
+// into one ring submission (--batch sets the depth) and kernel worker ptids
+// (--workers) drain them concurrently.
+//
 // Build & run:  ./examples/microkernel_fs [--trace] [--trace-json=out.json]
+//                                         [--ring] [--workers=N] [--batch=N]
 #include <cstdio>
 #include <string>
 
 #include "examples/example_util.h"
 #include "src/cpu/machine.h"
 #include "src/dev/block_dev.h"
+#include "src/runtime/ring.h"
 #include "src/runtime/services.h"
 #include "src/runtime/syscall_layer.h"
 #include "src/sim/config.h"
@@ -43,21 +50,58 @@ int main(int argc, char** argv) {
   drv.sq_size = 64;
   drv.cq_tail = 0x00601000;
   drv.state = 0x00601040;
+  drv.publish = 0x00601080;  // ring workers issue concurrently: order doorbells
   m.mem().Write(0, drv.mmio_base + kBlkSqBase, 8, drv.sq_base);
   m.mem().Write(0, drv.mmio_base + kBlkSqSize, 8, drv.sq_size);
   m.mem().Write(0, drv.mmio_base + kBlkCqTailAddr, 8, drv.cq_tail);
 
-  // The file service: a dedicated hardware thread serving kFsRead.
-  const Channel ch{0x00400000};
-  const Ptid service = m.BindNative(0, 0, MakeSyscallServer(ch, MakeFileHandler(drv)),
-                                    /*supervisor=*/true);
+  const bool use_ring = cfg.GetBool("ring", false);
+  const uint32_t workers = static_cast<uint32_t>(cfg.GetUint("workers", 2));
+  const uint32_t batch = static_cast<uint32_t>(cfg.GetUint("batch", 3));
 
-  // The application: reads the three "files" by sector, in user mode.
+  // The file service: per-call channel by default, or the shared ring
+  // transport (--ring) with a worker pool and batched submission.
+  const Channel ch{0x00400000};
+  Ptid service = kInvalidPtid;
+  RingConfig ring_cfg;
+  ring_cfg.entries = 16;
+  ring_cfg.num_workers = workers;
+  ring_cfg.name = "fs";
+  RingServer ring_server(m, 0, /*first_local=*/0, Ring{0x00410000}, ring_cfg,
+                         MakeFileHandler(drv));
+  if (use_ring) {
+    ring_server.Install();
+  } else {
+    service = m.BindNative(0, 0, MakeSyscallServer(ch, MakeFileHandler(drv)),
+                           /*supervisor=*/true);
+  }
+
+  // The application: reads the three "files" by sector, in user mode. On the
+  // ring path the reads go out as one batch and complete concurrently.
   std::vector<std::string> contents;
   std::vector<Tick> per_read_cycles;
+  const uint32_t app_local = use_ring ? workers : 1;
   const Ptid app = m.BindNative(
-      0, 1,
+      0, app_local,
       [&](GuestContext& ctx) -> GuestTask {
+        if (use_ring) {
+          std::vector<SyscallRequest> reqs;
+          for (uint64_t i = 0; i < 3; i++) {
+            reqs.push_back({.nr = kFsRead, .a0 = i, .a1 = 512, .a2 = 0x00700000 + i * 512});
+          }
+          for (uint64_t first = 0; first < reqs.size(); first += batch) {
+            const uint32_t n =
+                std::min<uint32_t>(batch, static_cast<uint32_t>(reqs.size() - first));
+            const Tick start = co_await ctx.ReadCsr(Csr::kCycle);
+            uint64_t rets[3] = {};
+            co_await ctx.Call(RingCallBatch(ctx, ring_server.ring(), &reqs[first], n, rets));
+            const Tick end = co_await ctx.ReadCsr(Csr::kCycle);
+            for (uint32_t i = 0; i < n; i++) {
+              per_read_cycles.push_back(end - start);  // batch completes together
+            }
+          }
+          co_return;
+        }
         for (uint64_t i = 0; i < 3; i++) {
           const Tick start = co_await ctx.ReadCsr(Csr::kCycle);
           uint64_t ret = 0;
@@ -70,7 +114,9 @@ int main(int argc, char** argv) {
       },
       /*supervisor=*/false);
 
-  m.Start(service);
+  if (!use_ring) {
+    m.Start(service);
+  }
   m.Start(app);
   m.RunToQuiescence();
 

@@ -306,7 +306,7 @@ Tick Core::ExecuteNativeOp(HwThread& t, GuestContext& ctx, const GuestOp& op) {
   const Ptid self = t.ptid();
   // Memory protection (page-fault analog, §3) applies to native code too.
   if ((op.kind == GuestOp::Kind::kLoad || op.kind == GuestOp::Kind::kStore ||
-       op.kind == GuestOp::Kind::kAtomicAdd) &&
+       op.kind == GuestOp::Kind::kAtomicAdd || op.kind == GuestOp::Kind::kAtomicCas) &&
       !t.arch().is_supervisor() && mem_.IsSupervisorOnly(op.addr)) {
     ctx.set_faulted(true);
     ts_.RaiseException(self, ExceptionType::kPageFault, op.addr, 0);
@@ -350,8 +350,19 @@ Tick Core::ExecuteNativeOp(HwThread& t, GuestContext& ctx, const GuestOp& op) {
       ctx.DeliverResult(old);
       return lat;
     }
+    case GuestOp::Kind::kAtomicCas: {
+      if (chb_ != nullptr) {
+        chb_->OnAtomic(self, op.addr, 8, /*pc=*/0);
+      }
+      uint64_t old = 0;
+      const Tick lat = mem_.AtomicCas(id_, op.addr, op.value, op.value2, &old);
+      ctx.DeliverResult(old);
+      return lat;
+    }
     case GuestOp::Kind::kMonitor:
       return fail_or(ts_.Monitor(self, op.addr));
+    case GuestOp::Kind::kUnmonitor:
+      return fail_or(ts_.Unmonitor(self, op.addr));
     case GuestOp::Kind::kMwait: {
       const auto r = ts_.Mwait(self);
       ctx.DeliverResult(0);

@@ -114,7 +114,9 @@ struct GuestOp {
     kLoad,      // result <- mem[addr]
     kStore,     // mem[addr] <- value
     kAtomicAdd, // result <- mem[addr]; mem[addr] += value
+    kAtomicCas, // result <- mem[addr]; if result == value: mem[addr] = value2
     kMonitor,   // arm watch on addr
+    kUnmonitor, // disarm watch on addr
     kMwait,     // block until watched write
     kStart,     // start vtid
     kStop,      // stop vtid
@@ -128,6 +130,7 @@ struct GuestOp {
   Kind kind = Kind::kNone;
   Addr addr = 0;
   uint64_t value = 0;
+  uint64_t value2 = 0;  // CAS desired value
   uint32_t size = 8;
   Vtid vtid = 0;
   Vtid vtid2 = 0;
@@ -163,7 +166,17 @@ class GuestContext {
   Awaiter AtomicAdd(Addr addr, uint64_t delta) {
     return Issue({.kind = GuestOp::Kind::kAtomicAdd, .addr = addr, .value = delta});
   }
+  // Returns the old value: the swap happened iff result == expected.
+  Awaiter AtomicCas(Addr addr, uint64_t expected, uint64_t desired) {
+    return Issue({.kind = GuestOp::Kind::kAtomicCas,
+                  .addr = addr,
+                  .value = expected,
+                  .value2 = desired});
+  }
   Awaiter Monitor(Addr addr) { return Issue({.kind = GuestOp::Kind::kMonitor, .addr = addr}); }
+  Awaiter Unmonitor(Addr addr) {
+    return Issue({.kind = GuestOp::Kind::kUnmonitor, .addr = addr});
+  }
   Awaiter Mwait() { return Issue({.kind = GuestOp::Kind::kMwait}); }
   Awaiter Start(Vtid vtid) { return Issue({.kind = GuestOp::Kind::kStart, .vtid = vtid}); }
   Awaiter Stop(Vtid vtid) { return Issue({.kind = GuestOp::Kind::kStop, .vtid = vtid}); }

@@ -42,6 +42,10 @@ class ConcurrencyObserver {
   // completion is the acquire point for stores to the armed lines.
   virtual void OnMonitorArm(Ptid ptid, Addr line) = 0;
   virtual void OnMwaitReturn(Ptid ptid) = 0;
+  // Explicit single-line disarm (`unmonitor`): later stores to the line no
+  // longer synchronize with this thread's next mwait return. Default no-op so
+  // observers that predate the op keep compiling.
+  virtual void OnMonitorDisarm(Ptid ptid, Addr line) { (void)ptid; (void)line; }
 
   // Any disable (stop, halt, exception): the hardware tears down the
   // thread's watch set here (ThreadSystem::Disable → ClearWatches).

@@ -425,6 +425,16 @@ OpResult ThreadSystem::Monitor(Ptid issuer, Addr addr) {
   return result;
 }
 
+OpResult ThreadSystem::Unmonitor(Ptid issuer, Addr addr) {
+  OpResult result;
+  result.latency = 2;
+  mem_.monitors().RemoveWatch(issuer, addr);
+  if (chb_ != nullptr) {
+    chb_->OnMonitorDisarm(issuer, LineBase(addr));
+  }
+  return result;
+}
+
 ThreadSystem::MwaitResult ThreadSystem::Mwait(Ptid issuer) {
   MwaitResult result;
   result.latency = 2;

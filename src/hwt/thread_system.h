@@ -62,6 +62,10 @@ class ThreadSystem {
   OpResult Rpush(Ptid issuer, Vtid vtid, uint32_t remote_reg, uint64_t value);
   OpResult Invtid(Ptid issuer, Vtid vtid, Vtid remote_vtid);
   OpResult Monitor(Ptid issuer, Addr addr);
+  // Disarms one watched line (ring slots re-target their guard watches per
+  // ticket; without disarm they would exhaust max_watches_per_thread).
+  // Idempotent, never faults.
+  OpResult Unmonitor(Ptid issuer, Addr addr);
 
   struct MwaitResult {
     bool blocked = false;  // true: thread is now kWaiting

@@ -269,6 +269,20 @@ Tick MemorySystem::AtomicAdd(CoreId core, Addr addr, uint64_t delta, uint64_t* o
   return lat + 4;  // lock/RMW penalty
 }
 
+Tick MemorySystem::AtomicCas(CoreId core, Addr addr, uint64_t expected, uint64_t desired,
+                             uint64_t* old) {
+  const uint64_t prev = phys_.Read64(addr);
+  if (old != nullptr) {
+    *old = prev;
+  }
+  if (prev != expected) {
+    // Failed CAS: the line is still acquired exclusively (charged like a
+    // write), but there is no functional update and no monitor notification.
+    return AccessLatency(core, addr, /*is_write=*/true, /*is_fetch=*/false) + 4;
+  }
+  return Write(core, addr, 8, desired) + 4;  // lock/RMW penalty
+}
+
 void MemorySystem::DmaWrite(Addr addr, const void* data, size_t len) {
   if (!DmaWriteAllowed(addr, len)) {
     // The fabric rejects the write whole: no functional update, no

@@ -111,6 +111,12 @@ class MemorySystem {
   // a write plus a small RMW penalty; visible to the monitor filter.
   Tick AtomicAdd(CoreId core, Addr addr, uint64_t delta, uint64_t* old);
 
+  // Atomic compare-and-swap (8 bytes): if mem[addr] == expected, stores
+  // `desired`. Returns the old value via `old` (success iff *old == expected).
+  // A successful swap is a write (monitor-visible); a failed one still pays
+  // the RMW line access but changes nothing and wakes nobody.
+  Tick AtomicCas(CoreId core, Addr addr, uint64_t expected, uint64_t desired, uint64_t* old);
+
   // Timing-only probe used by bulk movers; does not touch functional state.
   // `cc.l3p` is the shared L3 in legacy mode and the core's private L3 slice
   // in sharded mode, so this path is branch-free either way.

@@ -66,6 +66,32 @@ void MonitorFilter::ClearWatches(Ptid ptid) {
   threads_.erase(it);
 }
 
+void MonitorFilter::RemoveWatch(Ptid ptid, Addr addr) {
+  const Addr line = LineBase(addr);
+  auto it = threads_.find(ptid);
+  if (it == threads_.end()) {
+    return;
+  }
+  auto& lines = it->second.lines;
+  auto lit = std::find(lines.begin(), lines.end(), line);
+  if (lit == lines.end()) {
+    return;
+  }
+  lines.erase(lit);
+  auto wit = watchers_.find(line);
+  if (wit != watchers_.end()) {
+    auto& vec = wit->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), ptid), vec.end());
+    if (vec.empty()) {
+      watchers_.erase(wit);
+      summary_[SummarySlot(line)]--;  // last watcher of the line is gone
+    }
+  }
+  if (lines.empty() && !it->second.pending && !it->second.waiting) {
+    threads_.erase(it);  // keep TrackedThreadCount tight (mirrors AddWatch)
+  }
+}
+
 bool MonitorFilter::ConsumePending(Ptid ptid) {
   auto it = threads_.find(ptid);
   if (it == threads_.end()) {

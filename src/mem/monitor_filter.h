@@ -51,6 +51,12 @@ class MonitorFilter {
   // Removes all watches of `ptid` and clears its pending flag.
   void ClearWatches(Ptid ptid);
 
+  // Removes one watch (the line containing `addr`) from `ptid`'s set.
+  // Idempotent: disarming an unwatched line is a no-op. The pending flag is
+  // left alone — a write consumed as "pending" may have hit any still-armed
+  // line, and protocols tolerate spurious mwait returns anyway.
+  void RemoveWatch(Ptid ptid, Addr addr);
+
   // mwait entry: returns true if a watched write already happened (thread
   // must not block); clears the pending flag either way.
   bool ConsumePending(Ptid ptid);

@@ -37,6 +37,24 @@ uint64_t KernelScheduler::Submit(Addr pc, uint64_t a0, uint64_t a1, uint64_t pri
   return st.id;
 }
 
+SyscallHandler KernelScheduler::SpawnHandler() {
+  return [this](GuestContext& ctx, const SyscallRequest& req, uint64_t* ret) -> GuestTask {
+    SoftThreadInfo st;
+    st.id = softs_.size();
+    st.pc = req.a0;
+    st.a0 = req.a1;
+    st.a1 = 0;
+    st.prio = req.a2 != 0 ? req.a2 : 1;
+    softs_.push_back(st);
+    pending_.push_back(st.id);
+    doorbell_seq_++;
+    // A plain store, not DMA: the ring worker is a guest thread, so the
+    // doorbell write takes the timed CPU path and wakes the scheduler.
+    co_await ctx.Store(config_.submit_doorbell, doorbell_seq_);
+    *ret = st.id;
+  };
+}
+
 Ptid KernelScheduler::LocationOf(uint64_t soft_id) const {
   return soft_id < softs_.size() ? softs_[soft_id].location : kInvalidPtid;
 }

@@ -18,8 +18,12 @@
 #include <vector>
 
 #include "src/cpu/machine.h"
+#include "src/runtime/ring.h"
 
 namespace casc {
+
+// Ring request number understood by KernelScheduler::SpawnHandler.
+inline constexpr uint64_t kSchedSpawn = 1;
 
 struct SchedulerConfig {
   Addr timer_counter = 0x00700000;  // APIC timer increments this line
@@ -41,6 +45,13 @@ class KernelScheduler {
   // rings the scheduler's doorbell. Host-side API standing in for a spawn
   // syscall. Returns a software-thread id.
   uint64_t Submit(Addr pc, uint64_t a0 = 0, uint64_t a1 = 0, uint64_t prio = 1);
+
+  // Guest-side spawn over the shared ring transport: install the returned
+  // handler in a RingServer on the scheduler's core and ptids can submit
+  // kSchedSpawn descriptors (a0 = pc, a1 = arg, a2 = prio; completion = soft
+  // id) — the ring worker queues the spawn and rings the scheduler doorbell,
+  // replacing the host-side Submit hop with an in-machine protocol.
+  SyscallHandler SpawnHandler();
 
   // Binds and starts the scheduler hardware thread.
   void Install();
@@ -78,7 +89,9 @@ class KernelScheduler {
   SchedulerConfig config_;
   Ptid sched_ptid_ = kInvalidPtid;
   std::vector<Pool> pools_;
-  std::vector<SoftThreadInfo> softs_;
+  // Deque, not vector: Place/Migrate hold SoftThreadInfo pointers across
+  // awaits, and a ring-submitted spawn may push_back mid-placement.
+  std::deque<SoftThreadInfo> softs_;
   std::deque<uint64_t> pending_;  // soft ids awaiting placement
   uint64_t doorbell_seq_ = 0;
   StatsRegistry::CounterHandle placements_;

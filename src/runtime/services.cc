@@ -20,17 +20,37 @@ SyscallHandler MakeKvHandler(HashTableRef table) {
 }
 
 GuestTask BlockRead(GuestContext& ctx, BlockDriver drv, uint64_t lba, uint32_t len, Addr buf) {
-  // Build the 32-byte submission entry with normal stores.
-  const uint64_t idx = co_await ctx.Load(drv.state);
+  // Claim an SQ slot atomically (several ring workers may issue
+  // concurrently) and build the 32-byte submission entry with normal stores.
+  const uint64_t idx = co_await ctx.AtomicAdd(drv.state, 1);
   const Addr entry = drv.sq_base + (idx % drv.sq_size) * BlockCommand::kBytes;
   co_await ctx.Store(entry, BlockCommand::kOpRead, 1);
   co_await ctx.Store(entry + 8, lba);
   co_await ctx.Store(entry + 16, len, 4);
   co_await ctx.Store(entry + 24, buf);
-  co_await ctx.Store(drv.state, idx + 1);
+  // Multi-issuer ordering: the device consumes entries strictly below the
+  // doorbell, so doorbells must advance in index order or it would read a
+  // neighbor's half-written entry.
+  if (drv.publish != 0) {
+    uint64_t published = co_await ctx.Load(drv.publish);
+    if (published != idx) {
+      co_await ctx.Monitor(drv.publish);
+      for (;;) {
+        published = co_await ctx.Load(drv.publish);
+        if (published == idx) {
+          break;
+        }
+        co_await ctx.Mwait();
+      }
+      co_await ctx.Unmonitor(drv.publish);
+    }
+  }
   // Arm the completion watch before ringing the doorbell.
   co_await ctx.Monitor(drv.cq_tail);
   co_await ctx.Store(drv.mmio_base + kBlkSqDoorbell, idx + 1);
+  if (drv.publish != 0) {
+    co_await ctx.Store(drv.publish, idx + 1);  // release the next issuer
+  }
   // Block until our command completes — no polling loop burning a core.
   for (;;) {
     const uint64_t done = co_await ctx.Load(drv.cq_tail);
@@ -57,6 +77,14 @@ SyscallHandler MakeProxyHandler(Channel upstream, Tick policy_cycles) {
                                    uint64_t* ret) -> GuestTask {
     co_await ctx.Compute(policy_cycles);  // policy: filtering, telemetry, routing
     co_await ctx.Call(SyscallCall(ctx, upstream, req, ret));
+  };
+}
+
+SyscallHandler MakeRingProxyHandler(Ring upstream, Tick policy_cycles) {
+  return [upstream, policy_cycles](GuestContext& ctx, const SyscallRequest& req,
+                                   uint64_t* ret) -> GuestTask {
+    co_await ctx.Compute(policy_cycles);  // policy: filtering, telemetry, routing
+    co_await ctx.Call(RingCall(ctx, upstream, req, ret));
   };
 }
 

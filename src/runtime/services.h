@@ -11,6 +11,7 @@
 #include "src/dev/block_dev.h"
 #include "src/runtime/channel.h"
 #include "src/runtime/hash_table.h"
+#include "src/runtime/ring.h"
 #include "src/runtime/syscall_layer.h"
 
 namespace casc {
@@ -30,7 +31,12 @@ struct BlockDriver {
   Addr sq_base = 0;     // submission ring
   uint64_t sq_size = 0;
   Addr cq_tail = 0;     // completion counter the service mwaits on
-  Addr state = 0;       // u64: submission producer index
+  Addr state = 0;       // u64: submission producer index (claimed by amoadd)
+  // Optional in-order publication line for multi-issuer drivers (several
+  // ring workers sharing one device): an issuer rings the SQ doorbell only
+  // when all lower-indexed submissions have rung theirs, so the device never
+  // reads a half-written entry. 0 = single issuer, skip the ordering wait.
+  Addr publish = 0;
 };
 
 // Submits one read and blocks (monitor/mwait on the CQ tail) until it
@@ -50,6 +56,12 @@ SyscallHandler MakeFileHandler(BlockDriver drv);
 // service threads; no kernel hops. Combine with MakeSyscallServer:
 //   MakeSyscallServer(app_channel, MakeProxyHandler(upstream, 80))
 SyscallHandler MakeProxyHandler(Channel upstream, Tick policy_cycles);
+
+// Ring-backed proxy: same policy interposition, but the upstream hop rides
+// the shared ring transport (src/runtime/ring.h) instead of a per-call
+// channel — the proxy chain composes with RingServer on both sides:
+//   RingServer(..., MakeRingProxyHandler(upstream_ring, 80))
+SyscallHandler MakeRingProxyHandler(Ring upstream, Tick policy_cycles);
 
 }  // namespace casc
 

@@ -180,6 +180,15 @@ void RaceDetector::OnMwaitReturn(Ptid ptid) {
   }
 }
 
+void RaceDetector::OnMonitorDisarm(Ptid ptid, Addr line) {
+  if (armed_[ptid].erase(line) > 0) {
+    auto it = watch_count_.find(line);
+    if (it != watch_count_.end() && it->second > 0) {
+      it->second--;
+    }
+  }
+}
+
 void RaceDetector::OnThreadDisabled(Ptid ptid) {
   for (Addr line : armed_[ptid]) {
     auto it = watch_count_.find(line);

@@ -74,6 +74,7 @@ class RaceDetector : public ConcurrencyObserver {
   void OnRpush(Ptid issuer, Ptid target) override;
   void OnMonitorArm(Ptid ptid, Addr line) override;
   void OnMwaitReturn(Ptid ptid) override;
+  void OnMonitorDisarm(Ptid ptid, Addr line) override;
   void OnThreadDisabled(Ptid ptid) override;
 
  private:

@@ -52,6 +52,53 @@ class OpenLoopSource {
   uint64_t limit_ = 0;
 };
 
+// Bursty open-loop source: bursts of `burst_size` back-to-back arrivals,
+// with exponential gaps between bursts. At burst_size = 1 this degenerates
+// to OpenLoopSource; larger bursts keep the same mean offered load (the
+// burst gap scales with the size) while concentrating arrivals — the E14
+// sweep uses it to show where ring batching beats per-call channels.
+class BurstySource {
+ public:
+  using Emit = std::function<void(uint64_t req_id, Tick service_cycles)>;
+
+  BurstySource(Simulation& sim, double mean_interarrival_cycles, uint32_t burst_size,
+               ServiceDist service, Emit emit)
+      : sim_(sim),
+        mean_burst_gap_(mean_interarrival_cycles * std::max<uint32_t>(1, burst_size)),
+        burst_size_(std::max<uint32_t>(1, burst_size)),
+        service_(service),
+        emit_(std::move(emit)),
+        event_([this] { Fire(); }) {}
+
+  void StartAt(Tick when) { sim_.queue().Schedule(&event_, when); }
+  void Stop() { sim_.queue().Deschedule(&event_); }
+
+  uint64_t emitted() const { return next_id_ - 1; }
+  void set_limit(uint64_t n) { limit_ = n; }
+
+ private:
+  void Fire() {
+    for (uint32_t i = 0; i < burst_size_; i++) {
+      if (limit_ != 0 && next_id_ > limit_) {
+        return;
+      }
+      emit_(next_id_++, service_.Sample(sim_.rng()));
+    }
+    const Tick gap =
+        std::max<Tick>(1, static_cast<Tick>(sim_.rng().NextExponential(mean_burst_gap_)));
+    sim_.queue().ScheduleAfter(&event_, gap);
+  }
+
+  Simulation& sim_;
+  double mean_burst_gap_;
+  uint32_t burst_size_;
+  ServiceDist service_;
+  Emit emit_;
+  LambdaEvent<std::function<void()>> event_;
+  uint64_t next_id_ = 1;
+  uint64_t limit_ = 0;
+};
+
 // Tracks per-request sojourn times and slowdown (sojourn / service).
 class LatencyRecorder {
  public:

@@ -133,5 +133,40 @@ TEST_F(KschedulerTest, PriorityPolicyApplied) {
   EXPECT_GT(hi_count, 2 * lo_mean);
 }
 
+TEST_F(KschedulerTest, RingSpawnReplacesHostSubmitHop) {
+  // Guest-side spawn over the shared ring transport: a ring worker queues
+  // the request and rings the scheduler doorbell — no host-side Submit.
+  sched_->AddWorkerPool(0, 1, 4);
+  sched_->Install();
+  timer_->StartTimer();
+  RingConfig cfg;
+  cfg.entries = 8;
+  cfg.num_workers = 1;
+  cfg.name = "sched";
+  RingServer spawn_ring(*machine_, 0, 6, Ring{0x00440000}, cfg, sched_->SpawnHandler());
+  spawn_ring.Install();
+  uint64_t soft_ids[2] = {~0ull, ~0ull};
+  const Ptid spawner = machine_->BindNative(
+      0, 8,
+      [&](GuestContext& ctx) -> GuestTask {
+        SyscallRequest reqs[2] = {
+            {.nr = kSchedSpawn, .a0 = entry_, .a1 = 500, .a2 = 2},
+            {.nr = kSchedSpawn, .a0 = entry_, .a1 = 600, .a2 = 3},
+        };
+        co_await ctx.Call(RingCallBatch(ctx, spawn_ring.ring(), reqs, 2, soft_ids));
+        co_await ctx.StopSelf();
+      },
+      /*supervisor=*/false);
+  machine_->Start(spawner);
+  machine_->RunFor(60000);
+  EXPECT_EQ(spawn_ring.served(), 2u);
+  EXPECT_EQ(sched_->placements(), 2u);
+  for (uint64_t id : soft_ids) {
+    const Ptid loc = sched_->LocationOf(id);
+    ASSERT_NE(loc, kInvalidPtid);
+    EXPECT_GT(machine_->threads().thread(loc).ReadGpr(10), 400u);
+  }
+}
+
 }  // namespace
 }  // namespace casc

@@ -259,6 +259,71 @@ void CheckBenchReport(const std::string& path, double interp_floor_minsts) {
       }
     }
   }
+
+  // The ring-transport bench carries the E14 headline in its shape: batched
+  // ring calls (depth >= 4) must beat the per-call channel on cycles/call,
+  // every burstiness row must complete its full arrival count, and the
+  // worker-policy ablation must include the deep-park counters.
+  if (bench != nullptr && bench->is_string() && bench->str_v == "e14_ring") {
+    double channel_cycles = 0;
+    double ring_b4_cycles = 0;
+    size_t burstiness_rows = 0;
+    size_t policy_rows = 0;
+    bool deep_park_metric = false;
+    for (const JsonValue& r : results->arr) {
+      if (!r.is_object()) {
+        continue;
+      }
+      const JsonValue* experiment = r.Find("experiment");
+      const JsonValue* config = r.Find("config");
+      const JsonValue* metric = r.Find("metric");
+      const JsonValue* value = r.Find("value");
+      if (experiment == nullptr || !experiment->is_string() || config == nullptr ||
+          !config->is_string() || metric == nullptr || !metric->is_string()) {
+        continue;
+      }
+      if (experiment->str_v == "throughput" && metric->str_v == "cycles_per_call" &&
+          IsFiniteNumber(value)) {
+        if (config->str_v == "channel") {
+          channel_cycles = value->num_v;
+        }
+        if (config->str_v == "ring_b4") {
+          ring_b4_cycles = value->num_v;
+        }
+      }
+      if (experiment->str_v == "burstiness" && metric->str_v == "completed") {
+        burstiness_rows++;
+        if (!IsFiniteNumber(value) || value->num_v <= 0) {
+          Fail(path, "burstiness config \"" + config->str_v + "\" completed nothing");
+        }
+      }
+      if (experiment->str_v == "worker_policy") {
+        if (metric->str_v == "deep_parks" && IsFiniteNumber(value)) {
+          deep_park_metric = true;
+        }
+        if (metric->str_v == "completed") {
+          policy_rows++;
+          if (!IsFiniteNumber(value) || value->num_v <= 0) {
+            Fail(path, "worker_policy config \"" + config->str_v + "\" completed nothing");
+          }
+        }
+      }
+    }
+    if (channel_cycles <= 0 || ring_b4_cycles <= 0) {
+      Fail(path, "ring bench missing throughput rows for \"channel\" and \"ring_b4\"");
+    } else if (ring_b4_cycles >= channel_cycles) {
+      std::ostringstream msg;
+      msg << "ring_b4 (" << ring_b4_cycles << " cyc/call) does not beat the per-call channel ("
+          << channel_cycles << ") — the E14 batching claim regressed";
+      Fail(path, msg.str());
+    }
+    if (burstiness_rows == 0) {
+      Fail(path, "ring bench has no burstiness rows");
+    }
+    if (policy_rows == 0 || !deep_park_metric) {
+      Fail(path, "ring bench worker-policy ablation rows are missing");
+    }
+  }
 }
 
 // Chrome trace_event: {"traceEvents": [...]} where every event has ph/pid/

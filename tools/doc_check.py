@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """doc_check: keep the paper-reproduction book honest.
 
-Runs as the `docs_check` ctest. Three passes over the prose docs
-(README.md, DESIGN.md, tools/README.md):
+Runs as the `docs_check` ctest. Four passes over the prose docs
+(README.md, DESIGN.md, tools/README.md, docs/ARCHITECTURE.md,
+docs/TUTORIAL.md):
 
 1. Every fenced ```casm block must assemble and lint clean via casc_lint —
    a doc example that rots fails CI, same as a unit test.
@@ -11,8 +12,12 @@ Runs as the `docs_check` ctest. Three passes over the prose docs
    tools/, bench/, and examples/ sources), printed by `casc_run --help`,
    or on the short external allowlist (ctest/cmake flags we don't own).
 3. Every `build/...` path and repo-relative source path (src/, tools/,
-   tests/, bench/, examples/) the docs mention must exist on disk; glob
-   patterns and placeholders are skipped.
+   tests/, bench/, examples/, docs/) the docs mention must exist on disk;
+   glob patterns and placeholders are skipped.
+4. Every DESIGN.md section reference — a lettered `§4i`-style id anywhere,
+   or a plain `DESIGN.md §N` — must name a real `## N.`/`## 4x.` heading in
+   DESIGN.md. (Bare numeric `§N` without the DESIGN.md prefix is left
+   alone: those cite the source paper.)
 
 Usage:
   doc_check.py --root=<repo> --build=<builddir> --lint=<casc_lint> \
@@ -28,7 +33,13 @@ import subprocess
 import sys
 import tempfile
 
-DOC_FILES = ["README.md", "DESIGN.md", os.path.join("tools", "README.md")]
+DOC_FILES = [
+    "README.md",
+    "DESIGN.md",
+    os.path.join("tools", "README.md"),
+    os.path.join("docs", "ARCHITECTURE.md"),
+    os.path.join("docs", "TUTORIAL.md"),
+]
 
 # Directories whose sources are scanned for flags the tools actually parse.
 FLAG_SOURCE_DIRS = ["tools", "bench", "examples"]
@@ -45,8 +56,14 @@ EXTERNAL_FLAGS = {
 FLAG_RE = re.compile(r"(?<![\w-])--([a-z][a-z0-9-]*)")
 GETTER_RE = re.compile(r'(?:Get(?:Bool|Int|Uint|Double|String)|Has)\s*\(\s*"([a-z][a-z0-9-]*)"')
 LITERAL_FLAG_RE = re.compile(r"--([a-z][a-z0-9-]*)")
-PATH_RE = re.compile(r"(?<![\w/-])((?:build|src|tools|tests|bench|examples)/[A-Za-z0-9_./*-]+)")
+PATH_RE = re.compile(r"(?<![\w/-])((?:build|src|tools|tests|bench|examples|docs)/[A-Za-z0-9_./*-]+)")
 FENCE_RE = re.compile(r"^```(\w*)\s*$")
+# DESIGN.md subsection headings look like `## 4i. Title` (top-level: `## 5.`).
+HEADING_RE = re.compile(r"^## (\d+[a-z]?)\.", re.MULTILINE)
+# A lettered id (§4i) can only be a DESIGN.md subsection; a bare numeric §N
+# is a paper citation unless explicitly prefixed with "DESIGN.md".
+LETTERED_REF_RE = re.compile(r"§(\d+[a-z])\b")
+PREFIXED_REF_RE = re.compile(r"DESIGN\.md §(\d+[a-z]?)\b")
 
 errors = []
 
@@ -131,6 +148,24 @@ def check_paths(doc, text, root, build_dir):
                 fail(doc, line_no, f"path {token} does not exist in the repo or build tree")
 
 
+def design_headings(root):
+    path = os.path.join(root, "DESIGN.md")
+    if not os.path.exists(path):
+        return set()
+    with open(path, errors="replace") as f:
+        return set(HEADING_RE.findall(f.read()))
+
+
+def check_section_refs(doc, text, headings):
+    for line_no, line in enumerate(text.splitlines(), 1):
+        refs = set(LETTERED_REF_RE.findall(line))
+        refs.update(PREFIXED_REF_RE.findall(line))
+        for ref in refs:
+            if ref not in headings:
+                fail(doc, line_no, f"§{ref} does not match any `## {ref}.` "
+                                   "heading in DESIGN.md")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--root", required=True)
@@ -144,6 +179,7 @@ def main():
     os.makedirs(scratch, exist_ok=True)
 
     flags = known_flags(args.root, args.run)
+    headings = design_headings(args.root)
     checked = 0
     for rel in DOC_FILES:
         doc = os.path.join(args.root, rel)
@@ -155,6 +191,7 @@ def main():
         check_casm_blocks(rel, text, args.lint, scratch)
         check_flags(rel, text, flags)
         check_paths(rel, text, args.root, args.build)
+        check_section_refs(rel, text, headings)
         checked += 1
 
     if errors:
@@ -162,7 +199,8 @@ def main():
             print(e, file=sys.stderr)
         print(f"doc_check: {len(errors)} problem(s) in {checked} doc(s)", file=sys.stderr)
         return 1
-    print(f"doc_check: {checked} docs ok ({len(flags)} known flags)")
+    print(f"doc_check: {checked} docs ok ({len(flags)} known flags, "
+          f"{len(headings)} DESIGN.md sections)")
     return 0
 
 
