@@ -104,7 +104,7 @@ double ChannelPerCall(uint32_t payload) {
 double RingPerCall(uint32_t payload, uint32_t batch, RingConfig cfg) {
   Machine m;
   cfg.name = "e14";
-  RingServer server(m, 0, 1, Ring{kRingBase}, cfg, WorkHandler(payload));
+  RingServer server(m, 0, 1, kRingBase, cfg, WorkHandler(payload));
   server.Install();
   Tick done = 0;
   const Ptid app = m.BindNative(
@@ -141,7 +141,7 @@ BurstyResult RunBursty(uint32_t burst, bool use_ring, RingConfig cfg) {
   Machine m;
   cfg.name = "e14";
   const Channel ch{kChannelBase};
-  RingServer ring_server(m, 0, 1, Ring{kRingBase}, cfg, WorkHandler(0));
+  RingServer ring_server(m, 0, 1, kRingBase, cfg, WorkHandler(0));
   Ptid channel_server = kInvalidPtid;
   if (use_ring) {
     ring_server.Install();

@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   ring_cfg.entries = 16;
   ring_cfg.num_workers = workers;
   ring_cfg.name = "fs";
-  RingServer ring_server(m, 0, /*first_local=*/0, Ring{0x00410000}, ring_cfg,
+  RingServer ring_server(m, 0, /*first_local=*/0, 0x00410000, ring_cfg,
                          MakeFileHandler(drv));
   if (use_ring) {
     ring_server.Install();

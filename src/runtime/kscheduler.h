@@ -24,6 +24,9 @@ namespace casc {
 
 // Ring request number understood by KernelScheduler::SpawnHandler.
 inline constexpr uint64_t kSchedSpawn = 1;
+// Completion value returned when a spawn is refused because the handler ran
+// on the wrong core (see SpawnHandler); never a valid soft-thread id.
+inline constexpr uint64_t kSchedSpawnRefused = ~uint64_t{0};
 
 struct SchedulerConfig {
   Addr timer_counter = 0x00700000;  // APIC timer increments this line
@@ -50,7 +53,10 @@ class KernelScheduler {
   // handler in a RingServer on the scheduler's core and ptids can submit
   // kSchedSpawn descriptors (a0 = pc, a1 = arg, a2 = prio; completion = soft
   // id) — the ring worker queues the spawn and rings the scheduler doorbell,
-  // replacing the host-side Submit hop with an in-machine protocol.
+  // replacing the host-side Submit hop with an in-machine protocol. The
+  // on-core constraint is enforced: a handler executing on any other core
+  // (a host-level data race under --host-threads sharding) refuses the
+  // spawn and completes with kSchedSpawnRefused.
   SyscallHandler SpawnHandler();
 
   // Binds and starts the scheduler hardware thread.

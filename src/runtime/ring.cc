@@ -131,19 +131,19 @@ GuestTask RingCallBatch(GuestContext& ctx, Ring ring, const SyscallRequest* reqs
   co_await ctx.Call(RingCollect(ctx, ring, ticket, n, rets));
 }
 
-RingServer::RingServer(Machine& machine, CoreId core, uint32_t first_local, Ring ring,
+RingServer::RingServer(Machine& machine, CoreId core, uint32_t first_local, Addr ring_base,
                        RingConfig cfg, SyscallHandler handler)
     : machine_(machine),
       core_(core),
       first_local_(first_local),
-      ring_(ring),
+      ring_(Ring{ring_base, cfg.entries}),
       cfg_(cfg),
       handler_(std::move(handler)),
       served_(machine.sim().stats().Intern("runtime.ring." + cfg_.name + ".served")),
       deep_parks_(machine.sim().stats().Intern("runtime.ring." + cfg_.name + ".deep_parks")),
       scale_wakes_(machine.sim().stats().Intern("runtime.ring." + cfg_.name + ".scale_wakes")) {
   assert(cfg_.num_workers >= 1 && cfg_.num_workers <= Ring::kMaxWorkers);
-  ring_.entries = cfg_.entries;
+  assert(cfg_.entries >= 2 && (cfg_.entries & (cfg_.entries - 1)) == 0);
   for (uint32_t w = 0; w < cfg_.num_workers; w++) {
     worker_served_.push_back(machine.sim().stats().Intern(
         "runtime.ring." + cfg_.name + ".worker" + std::to_string(w) + ".served"));

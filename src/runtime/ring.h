@@ -142,7 +142,11 @@ GuestTask RingCallBatch(GuestContext& ctx, Ring ring, const SyscallRequest* reqs
 // served — the lost-wakeup guarantee lives here, not in a wake protocol.
 class RingServer {
  public:
-  RingServer(Machine& machine, CoreId core, uint32_t first_local, Ring ring, RingConfig cfg,
+  // `ring_base` is where the ring lives in guest memory; the server builds
+  // its Ring from it (depth = cfg.entries) — clients read it back via
+  // ring(). Deliberately not a Ring parameter: a caller-kept struct whose
+  // entries disagreed with the config would silently corrupt slot addressing.
+  RingServer(Machine& machine, CoreId core, uint32_t first_local, Addr ring_base, RingConfig cfg,
              SyscallHandler handler);
 
   // Seeds ring memory at `start_ticket` and binds + starts the workers.

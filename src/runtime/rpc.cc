@@ -54,13 +54,12 @@ RpcNode::RpcNode(Machine& machine, CoreId core, uint64_t node_id, Nic* nic, Addr
 void RpcNode::Install() {
   rings_ = SetupNicRings(machine_.mem(), *nic_, region_, kRingEntries);
   if (mode_ == RpcMode::kRing) {
-    ring_.base = region_ + 0xe0000;
     ring_cfg_.num_workers = num_workers_;
     ring_cfg_.name = "rpc.node" + std::to_string(node_id_);
-    ring_server_ = std::make_unique<RingServer>(machine_, core_, /*first_local=*/1, ring_,
-                                                ring_cfg_, ServeHandler());
+    ring_server_ = std::make_unique<RingServer>(machine_, core_, /*first_local=*/1,
+                                                region_ + 0xe0000, ring_cfg_, ServeHandler());
     ring_server_->Install();
-    ring_ = ring_server_->ring();  // entries resolved from the config
+    ring_ = ring_server_->ring();
     const Ptid dispatcher = machine_.BindNative(
         core_, 0, [this](GuestContext& ctx) -> GuestTask { return RingDispatcher(ctx); },
         /*supervisor=*/true);
@@ -203,30 +202,49 @@ SyscallHandler RpcNode::ServeHandler() {
   };
 }
 
+GuestTask RpcNode::DrainRing(GuestContext& ctx, std::deque<uint64_t>& outstanding) {
+  // Workers may finish out of order, so probe the whole outstanding window,
+  // not just the head.
+  for (auto it = outstanding.begin(); it != outstanding.end();) {
+    uint64_t staging = 0;
+    bool done = false;
+    co_await ctx.Call(RingTryCollect(ctx, ring_, *it, &staging, &done));
+    if (done) {
+      co_await ctx.Call(Transmit(ctx, staging, RpcFrame::kBytes));
+      served_++;
+      it = outstanding.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 GuestTask RpcNode::RingDispatcher(GuestContext& ctx) {
   std::deque<uint64_t> outstanding;  // ring tickets in submission order
   uint64_t rx_seen = 0;
   co_await ctx.Monitor(rings_.rx_tail);
   co_await ctx.Monitor(ring_.cr_head());
   for (;;) {
-    // 1. Completions: transmit staged responses. Workers may finish out of
-    // order, so probe the whole outstanding window, not just the head.
-    for (auto it = outstanding.begin(); it != outstanding.end();) {
-      uint64_t staging = 0;
-      bool done = false;
-      co_await ctx.Call(RingTryCollect(ctx, ring_, *it, &staging, &done));
-      if (done) {
-        co_await ctx.Call(Transmit(ctx, staging, RpcFrame::kBytes));
-        served_++;
-        it = outstanding.erase(it);
-      } else {
-        ++it;
-      }
-    }
+    // 1. Completions: transmit staged responses.
+    co_await ctx.Call(DrainRing(ctx, outstanding));
     // 2. New requests become ring descriptors. RingSubmit applies the ring's
     // own backpressure if the workers fall behind.
     const uint64_t tail = co_await ctx.Load(rings_.rx_tail);
     while (rx_seen < tail) {
+      // Cap in-flight tickets at the ring depth (the §4l no-deadlock
+      // contract). The dispatcher is this ring's only completion consumer:
+      // were it to sink into RingSubmit's backpressure wait with a full
+      // window of unconsumed completions, the workers would all be blocked
+      // on the overwrite guard waiting for consumed tags only the
+      // dispatcher writes — a circular wait. Drain here instead, mwaiting
+      // on cr_head (armed above) until a completion frees a slot.
+      while (outstanding.size() >= ring_.entries) {
+        const size_t before = outstanding.size();
+        co_await ctx.Call(DrainRing(ctx, outstanding));
+        if (outstanding.size() == before) {
+          co_await ctx.Mwait();
+        }
+      }
       const Addr buf = rings_.rx_bufs + (rx_seen % kRingEntries) * 2048;
       SyscallRequest req;
       req.nr = kRpcServe;

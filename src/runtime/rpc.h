@@ -82,6 +82,9 @@ class RpcNode {
   GuestTask Worker(GuestContext& ctx, uint32_t index);
   GuestTask EventLoop(GuestContext& ctx);
   GuestTask RingDispatcher(GuestContext& ctx);
+  // One probe pass over the in-flight ticket window: transmits every posted
+  // completion (workers finish out of order) and erases it from `outstanding`.
+  GuestTask DrainRing(GuestContext& ctx, std::deque<uint64_t>& outstanding);
   // Ring-worker handler for kRpcServe: service cycles + response staging.
   SyscallHandler ServeHandler();
   // Shared TX tail: writes the descriptor for a staged response and rings

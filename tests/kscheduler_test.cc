@@ -143,7 +143,7 @@ TEST_F(KschedulerTest, RingSpawnReplacesHostSubmitHop) {
   cfg.entries = 8;
   cfg.num_workers = 1;
   cfg.name = "sched";
-  RingServer spawn_ring(*machine_, 0, 6, Ring{0x00440000}, cfg, sched_->SpawnHandler());
+  RingServer spawn_ring(*machine_, 0, 6, 0x00440000, cfg, sched_->SpawnHandler());
   spawn_ring.Install();
   uint64_t soft_ids[2] = {~0ull, ~0ull};
   const Ptid spawner = machine_->BindNative(
@@ -166,6 +166,37 @@ TEST_F(KschedulerTest, RingSpawnReplacesHostSubmitHop) {
     ASSERT_NE(loc, kInvalidPtid);
     EXPECT_GT(machine_->threads().thread(loc).ReadGpr(10), 400u);
   }
+}
+
+TEST_F(KschedulerTest, SpawnHandlerRefusesCrossCoreInstall) {
+  // SpawnHandler mutates host-side scheduler state, which is shard-safe only
+  // when its RingServer runs on the scheduler's core. A ring installed on
+  // another core must get a clean refusal (kSchedSpawnRefused) instead of a
+  // host-level data race under --host-threads sharding.
+  sched_->AddWorkerPool(0, 1, 4);
+  sched_->Install();
+  timer_->StartTimer();
+  RingConfig cfg;
+  cfg.entries = 8;
+  cfg.num_workers = 1;
+  cfg.name = "xcore";
+  RingServer spawn_ring(*machine_, /*core=*/1, 0, 0x00450000, cfg, sched_->SpawnHandler());
+  spawn_ring.Install();
+  uint64_t soft_id = 0;
+  const Ptid spawner = machine_->BindNative(
+      1, 4,
+      [&](GuestContext& ctx) -> GuestTask {
+        co_await ctx.Call(RingCall(ctx, spawn_ring.ring(),
+                                   {.nr = kSchedSpawn, .a0 = entry_, .a1 = 500, .a2 = 2},
+                                   &soft_id));
+        co_await ctx.StopSelf();
+      },
+      /*supervisor=*/false);
+  machine_->Start(spawner);
+  machine_->RunFor(60000);
+  EXPECT_EQ(soft_id, kSchedSpawnRefused);
+  EXPECT_EQ(sched_->placements(), 0u);
+  EXPECT_EQ(sched_->LocationOf(kSchedSpawnRefused), kInvalidPtid);
 }
 
 }  // namespace

@@ -44,7 +44,7 @@ TEST(RingTest, SingleCallRoundTrip) {
   cfg.entries = 8;
   cfg.num_workers = 2;
   cfg.name = "rt";
-  RingServer server(m, 0, 0, Ring{kRingBase}, cfg, AddHandler());
+  RingServer server(m, 0, 0, kRingBase, cfg, AddHandler());
   server.Install();
   uint64_t ret = 0;
   const Ptid client = m.BindNative(
@@ -66,7 +66,7 @@ TEST(RingTest, BatchCompletesOutOfOrderAndCollectsInOrder) {
   cfg.entries = 16;
   cfg.num_workers = 4;
   cfg.name = "batch";
-  RingServer server(m, 0, 0, Ring{kRingBase}, cfg, AddHandler());
+  RingServer server(m, 0, 0, kRingBase, cfg, AddHandler());
   server.Install();
   constexpr uint32_t kN = 12;
   std::vector<SyscallRequest> reqs;
@@ -108,7 +108,7 @@ TEST(RingTest, FullRingBackpressureAndCompletionOverwriteGuard) {
   cfg.entries = 4;
   cfg.num_workers = 2;
   cfg.name = "guard";
-  RingServer server(m, 0, 0, Ring{kRingBase}, cfg, AddHandler());
+  RingServer server(m, 0, 0, kRingBase, cfg, AddHandler());
   server.Install();
   constexpr uint32_t kN = 8;  // 2 * entries outstanding before any collect
   std::vector<SyscallRequest> reqs;
@@ -154,7 +154,7 @@ TEST(RingTest, TicketWraparoundAtIndexMax) {
     cfg.entries = 8;
     cfg.num_workers = 2;
     cfg.name = "wrap";
-    RingServer server(m, 0, 0, Ring{kRingBase}, cfg, AddHandler());
+    RingServer server(m, 0, 0, kRingBase, cfg, AddHandler());
     server.Install(start_ticket);
     std::vector<uint64_t> rets;
     const Ptid client = m.BindNative(
@@ -202,7 +202,7 @@ TEST(RingTest, DeepParkScaleUpAndNoLostWakeup) {
   cfg.spin_polls = 2;
   cfg.park_rounds = 1;  // deep-park after one empty mwait wake
   cfg.scale_up_backlog = 3;
-  RingServer server(m, 0, 0, Ring{kRingBase}, cfg, AddHandler());
+  RingServer server(m, 0, 0, kRingBase, cfg, AddHandler());
   server.Install();
   uint64_t burst_rets[12] = {};
   const Ptid client = m.BindNative(
@@ -244,7 +244,7 @@ TEST(RingTest, ScaleDownWithDeepParkDisabledKeepsWorkersResident) {
   cfg.spin_polls = 1;
   cfg.park_rounds = 1;
   cfg.allow_deep_park = false;  // ablation: mwait-park only
-  RingServer server(m, 0, 0, Ring{kRingBase}, cfg, AddHandler());
+  RingServer server(m, 0, 0, kRingBase, cfg, AddHandler());
   server.Install();
   const Ptid client = m.BindNative(
       0, 2,
@@ -296,7 +296,7 @@ RingSnapshot RunShardedRings(uint32_t host_threads) {
     cfg.spin_polls = 2;
     cfg.park_rounds = 1;
     servers.push_back(std::make_unique<RingServer>(
-        m, c, 0, Ring{kRingBase + static_cast<Addr>(c) * 0x10000}, cfg, AddHandler()));
+        m, c, 0, kRingBase + static_cast<Addr>(c) * 0x10000, cfg, AddHandler()));
     servers[c]->Install();
   }
   std::vector<Ptid> clients;

@@ -347,9 +347,9 @@ class RpcTest : public ::testing::Test {
     });
   }
 
-  void RunNode(RpcMode mode, uint32_t workers) {
+  void RunNode(RpcMode mode, uint32_t workers, RingConfig ring_cfg = RingConfig{}) {
     node_ = std::make_unique<RpcNode>(*machine_, 0, kServerNode, server_nic_.get(), 0x03000000,
-                                      workers, mode);
+                                      workers, mode, std::move(ring_cfg));
     node_->Install();
     machine_->RunFor(1000);  // let threads park
   }
@@ -481,6 +481,35 @@ TEST_F(RpcTest, RingModeOverlapsLongRequests) {
   EXPECT_LT(max_short, long_done);
 }
 
+TEST_F(RpcTest, RingModeSurvivesBurstBeyondRingDepth) {
+  // Deadlock regression: a burst far larger than the ring depth lands in one
+  // rx_tail snapshot. The dispatcher is the ring's only completion consumer,
+  // so it must drain completions while submitting; a dispatcher that pushed
+  // the whole snapshot first would wedge — every worker blocked on the
+  // completion overwrite guard waiting for consumed tags only the dispatcher
+  // writes, the dispatcher blocked in RingSubmit's backpressure wait for a
+  // taken tag only a worker can write. A tiny ring makes the old circular
+  // wait reachable with a small burst (> ~2 * entries + workers).
+  RingConfig cfg;
+  cfg.entries = 4;
+  RunNode(RpcMode::kRing, 3, cfg);
+  constexpr uint64_t kBurst = 24;
+  for (uint64_t i = 1; i <= kBurst; i++) {
+    SendRequest(i, 1500);
+  }
+  machine_->RunFor(2000000);
+  ASSERT_EQ(responses_.size(), kBurst) << "dispatcher deadlocked under burst";
+  EXPECT_EQ(node_->served(), kBurst);
+  std::vector<uint64_t> ids;
+  for (auto& [id, t] : responses_) {
+    ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t i = 0; i < kBurst; i++) {
+    EXPECT_EQ(ids[i], i + 1);
+  }
+}
+
 TEST(ServicesTest, RingProxyChainsToChannelService) {
   // app -> ring proxy workers (policy) -> KV service behind a channel: the
   // ring transport composes with the existing per-call layers.
@@ -494,7 +523,7 @@ TEST(ServicesTest, RingProxyChainsToChannelService) {
   cfg.entries = 8;
   cfg.num_workers = 1;  // one proxy worker: the upstream channel is per-call
   cfg.name = "proxy";
-  RingServer proxy(m, 0, 1, Ring{0x00400000}, cfg, MakeProxyHandler(svc_ch, 50));
+  RingServer proxy(m, 0, 1, 0x00400000, cfg, MakeProxyHandler(svc_ch, 50));
   proxy.Install();
   uint64_t got = 0;
   const Ptid app = m.BindNative(
